@@ -1,0 +1,47 @@
+"""Ablation A5: the LRPF ordering alone versus the full controller.
+
+The paper proposes lowest-relative-performance-first as its batch
+ordering (§1) *inside* the utility-vector placement search.  This bench
+runs the ordering as a plain greedy preemptive policy next to the full
+APC on a loaded Experiment Two point.  Expectation: the standalone
+ordering matches the APC's deadline satisfaction but reconfigures the
+system vastly more — the evaluation machinery and churn gating, not the
+ordering, provide the stability the paper credits APC with (Figure 4).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import format_table
+from repro.experiments.experiment2 import run_experiment_two
+
+LOADED_POINT = 100.0
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_lrpf_vs_apc(benchmark, scale):
+    result = run_once(
+        benchmark,
+        run_experiment_two,
+        scale=scale,
+        interarrivals=(LOADED_POINT,),
+        policies=("LRPF", "APC"),
+    )
+    lrpf = result.cell("LRPF", LOADED_POINT)
+    apc = result.cell("APC", LOADED_POINT)
+    print()
+    print(format_table(
+        ["policy", "deadline satisfaction", "placement changes"],
+        [
+            ["LRPF", f"{100 * lrpf.deadline_satisfaction:.1f}%", lrpf.placement_changes],
+            ["APC", f"{100 * apc.deadline_satisfaction:.1f}%", apc.placement_changes],
+        ],
+    ))
+    assert abs(lrpf.deadline_satisfaction - apc.deadline_satisfaction) < 0.15
+    assert lrpf.placement_changes > apc.placement_changes, (
+        "the bare ordering must churn more than the gated controller"
+    )
+    benchmark.extra_info["lrpf_changes"] = lrpf.placement_changes
+    benchmark.extra_info["apc_changes"] = apc.placement_changes

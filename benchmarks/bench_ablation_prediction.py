@@ -1,0 +1,40 @@
+"""Ablation A4: exact versus interpolated hypothetical predictions.
+
+The paper uses the equation-(6) interpolation "because solving a system
+of linear equations ... is too costly to perform in an on-line placement
+algorithm"; this library's default is the exact (vectorized) equalized-
+level solve.  This bench runs Experiment Two's APC end to end with both
+predictors.  Expectation: deadline satisfaction is close — the
+approximation is good enough for placement — while churn may differ
+slightly (interpolation noise creates spurious near-ties).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import run_prediction_method_ablation
+from repro.experiments.common import format_table
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_prediction_method(benchmark, scale):
+    rows = run_once(benchmark, run_prediction_method_ablation, scale=scale)
+    print()
+    print(format_table(
+        ["prediction", "deadline satisfaction", "changes"],
+        [
+            [r.method, f"{100 * r.deadline_satisfaction:.1f}%", r.placement_changes]
+            for r in rows
+        ],
+    ))
+    by_name = {r.method: r for r in rows}
+    assert abs(
+        by_name["exact"].deadline_satisfaction
+        - by_name["interpolate"].deadline_satisfaction
+    ) < 0.15
+    benchmark.extra_info["rows"] = [
+        (r.method, round(r.deadline_satisfaction, 3), r.placement_changes)
+        for r in rows
+    ]

@@ -1,0 +1,41 @@
+"""Ablation A1: sensitivity to the sampling resolution ``R`` (§4.2).
+
+The paper picks a "small constant" number of target relative performance
+values and interpolates; this bench quantifies the interpolation error
+against the exact equalized-level solve across grid sizes.  Expectation:
+the error shrinks monotonically (in the mean) with resolution and is
+already modest at small R — which is why the paper's approximation
+works.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import run_sampling_ablation
+from repro.experiments.common import format_table
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_sampling_resolution(benchmark):
+    rows = run_once(benchmark, run_sampling_ablation)
+    print()
+    print(format_table(
+        ["R (grid points)", "max |err|", "mean |err|"],
+        [
+            [r.resolution, f"{r.max_interpolation_error:.4f}",
+             f"{r.mean_interpolation_error:.4f}"]
+            for r in rows
+        ],
+    ))
+    means = [r.mean_interpolation_error for r in rows]
+    assert means == sorted(means, reverse=True), "error should fall with R"
+    # Densifying the grid buys accuracy with diminishing returns; the
+    # residual error is dominated by deeply-late jobs whose utilities sit
+    # between the -inf floor row and the first finite grid level.
+    assert means[-1] < means[0]
+    assert means[-1] < 0.1
+    benchmark.extra_info["mean_errors"] = {
+        r.resolution: round(r.mean_interpolation_error, 5) for r in rows
+    }

@@ -1,0 +1,61 @@
+"""§5.1's runtime observation: the per-cycle placement computation.
+
+The paper reports ~1.5 s per cycle on a 3.2 GHz Xeon for the 25-node /
+800-job system "in normal conditions", with "internal shortcuts" making
+underloaded cycles much cheaper.  This is the one true microbenchmark in
+the suite: it times a single APC decision on (a) an underloaded snapshot
+(shortcut path) and (b) a saturated snapshot with a deep queue (full
+search path).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch.model import BatchWorkloadModel
+from repro.batch.queue import JobQueue
+from repro.core.apc import APCConfig, ApplicationPlacementController
+from repro.core.placement import PlacementState
+from repro.workloads.generators import experiment_one_jobs
+
+
+def snapshot(scale, job_count):
+    """A mid-experiment state: jobs submitted at t=0, controller decides."""
+    cluster = scale.cluster()
+    queue = JobQueue()
+    for job in experiment_one_jobs(count=job_count, mean_interarrival=1.0, seed=5):
+        job.submit_time = 0.0
+        job.desired_start = 0.0
+        queue.submit(job)
+    batch = BatchWorkloadModel(queue, queue_window=scale.queue_window)
+    controller = ApplicationPlacementController(
+        cluster, APCConfig(cycle_length=600.0)
+    )
+    return controller, batch, cluster
+
+
+@pytest.mark.benchmark(group="decision-time")
+def test_decision_time_underloaded(benchmark, scale):
+    # Fewer jobs than slots: the shortcut path.
+    controller, batch, cluster = snapshot(scale, job_count=2 * scale.nodes)
+
+    def decide():
+        return controller.place([batch], PlacementState(cluster), now=0.0)
+
+    result = benchmark(decide)
+    assert result.utilities
+    benchmark.extra_info["evaluations"] = result.evaluations
+
+
+@pytest.mark.benchmark(group="decision-time")
+def test_decision_time_saturated(benchmark, scale):
+    # Twice as many jobs as slots: greedy + full search path.
+    slots = 3 * scale.nodes
+    controller, batch, cluster = snapshot(scale, job_count=2 * slots)
+
+    def decide():
+        return controller.place([batch], PlacementState(cluster), now=0.0)
+
+    result = benchmark(decide)
+    assert result.utilities
+    benchmark.extra_info["evaluations"] = result.evaluations

@@ -1,0 +1,37 @@
+"""Table 1 + Figure 1: the illustrative example (§4.3).
+
+Regenerates the cycle-by-cycle decisions for scenarios S1 and S2 and
+checks the paper's two headline decisions:
+
+* S1, cycle 2: J2 is **not** started (the no-change tie);
+* S2, cycle 2: J2 **is** started and the node's CPU is split ~evenly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.illustrative import render, run_illustrative_example
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_illustrative_example(benchmark):
+    results = run_once(benchmark, run_illustrative_example)
+    print()
+    print(render(results))
+
+    s1, s2 = results["S1"], results["S2"]
+    # Paper, Figure 1 / §4.3:
+    assert s1.placed_at_cycle(1.0) == ["J1"], "S1 cycle 2 must keep J1 alone"
+    assert s2.placed_at_cycle(1.0) == ["J1", "J2"], "S2 cycle 2 must share"
+    # S2 splits the 1000 MHz node roughly in half (paper: 500/500).
+    cycle2 = [t for t in s2.cycles if t.time == 1.0][0]
+    assert cycle2.placements["J1"] == pytest.approx(500.0, rel=0.1)
+    assert cycle2.placements["J2"] == pytest.approx(500.0, rel=0.1)
+    # All jobs complete in both scenarios.
+    assert set(s1.completions) == {"J1", "J2", "J3"}
+    assert set(s2.completions) == {"J1", "J2", "J3"}
+
+    benchmark.extra_info["s1_cycle2"] = s1.placed_at_cycle(1.0)
+    benchmark.extra_info["s2_cycle2"] = s2.placed_at_cycle(1.0)

@@ -1,0 +1,56 @@
+"""Figure 3: percentage of jobs that met their deadline (§5.2).
+
+Sweeps the paper's inter-arrival times for FCFS, EDF and APC and prints
+the Figure 3 rows.  Checked shape:
+
+* no significant difference between algorithms when underloaded
+  (inter-arrival >= 200 s at paper scale);
+* FCFS collapses under load, far below EDF and APC;
+* EDF and APC stay comparable (EDF may edge out APC at the heaviest
+  load, as in the paper).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import format_table
+from repro.experiments.experiment2 import run_experiment_two
+
+#: A light/medium/heavy subset keeps the bench affordable; pass
+#: REPRO_BENCH_SCALE=paper and edit here for the full eight-point sweep.
+SWEEP = (400.0, 200.0, 100.0, 50.0)
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_deadline_satisfaction(benchmark, scale):
+    result = run_once(
+        benchmark, run_experiment_two, scale=scale, interarrivals=SWEEP
+    )
+
+    print()
+    print(format_table(
+        ["inter-arrival(s)", "FCFS", "EDF", "APC"], result.satisfaction_table()
+    ))
+
+    light = max(SWEEP)
+    heavy = min(SWEEP)
+    fcfs_light = result.cell("FCFS", light).deadline_satisfaction
+    fcfs_heavy = result.cell("FCFS", heavy).deadline_satisfaction
+    edf_heavy = result.cell("EDF", heavy).deadline_satisfaction
+    apc_heavy = result.cell("APC", heavy).deadline_satisfaction
+    apc_light = result.cell("APC", light).deadline_satisfaction
+    edf_light = result.cell("EDF", light).deadline_satisfaction
+
+    # Underloaded: everyone close together (paper: "no significant
+    # difference ... when inter-arrival times are greater than 100s").
+    assert abs(apc_light - edf_light) < 0.15
+    # FCFS collapses under load while EDF/APC stay far above it.
+    assert fcfs_heavy < fcfs_light
+    assert edf_heavy > fcfs_heavy + 0.2
+    assert apc_heavy > fcfs_heavy + 0.1
+    # EDF and APC comparable at the margin the paper reports (~10%).
+    assert apc_heavy > edf_heavy - 0.25
+
+    benchmark.extra_info["rows"] = result.satisfaction_table()

@@ -1,0 +1,48 @@
+"""Figure 4: number of placement changes (§5.2).
+
+Counts suspends + resumes + migrations per policy across the
+inter-arrival sweep.  Checked shape:
+
+* FCFS is non-preemptive: exactly zero changes everywhere;
+* under load, EDF reconfigures considerably more than APC — the paper's
+  headline: APC achieves its on-time rate "whilst still making few
+  changes".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import format_table
+from repro.experiments.experiment2 import run_experiment_two
+
+SWEEP = (400.0, 200.0, 100.0)
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_placement_changes(benchmark, scale):
+    result = run_once(
+        benchmark, run_experiment_two, scale=scale, interarrivals=SWEEP
+    )
+
+    print()
+    print(format_table(
+        ["inter-arrival(s)", "FCFS", "EDF", "APC"], result.changes_table()
+    ))
+
+    for ia in SWEEP:
+        assert result.cell("FCFS", ia).placement_changes == 0
+
+    # Aggregate over the loaded half of the sweep: EDF >> APC.
+    loaded = [ia for ia in SWEEP if ia <= 200.0]
+    edf_total = sum(result.cell("EDF", ia).placement_changes for ia in loaded)
+    apc_total = sum(result.cell("APC", ia).placement_changes for ia in loaded)
+    assert edf_total > apc_total, (
+        f"EDF should reconfigure more than APC under load "
+        f"(EDF={edf_total}, APC={apc_total})"
+    )
+
+    benchmark.extra_info["rows"] = result.changes_table()
+    benchmark.extra_info["edf_total_loaded"] = edf_total
+    benchmark.extra_info["apc_total_loaded"] = apc_total

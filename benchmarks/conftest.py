@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the corresponding rows/series.  Scale is selected with
+``REPRO_BENCH_SCALE`` (``tiny`` / ``small`` / ``half`` / ``paper``); the
+default keeps the whole suite laptop-friendly while preserving per-node
+load (see :mod:`repro.experiments.common`).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import Scale, scale_from_env
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    resolved = scale_from_env()
+    print(f"\n[repro] benchmark scale: {resolved.name} "
+          f"({resolved.nodes} nodes, {resolved.job_count} jobs)")
+    return resolved
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    These are end-to-end simulations (seconds to minutes); statistical
+    repetition buys nothing and multiplies runtime.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

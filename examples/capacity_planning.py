@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Capacity planning with the analysis tools.
+
+Before deploying the paper's controller, an operator wants to know how
+much hardware a workload mix needs.  This example:
+
+1. generates a week's worth of nightly analytics jobs and profiles the
+   stream analytically (offered load, slot bound, ideal backlog);
+2. binary-searches the minimum cluster size that meets a 95% on-time
+   target under the APC, and compares with FCFS — quantifying how much
+   hardware the smarter controller saves;
+3. sizes the transactional side with the inverse RPF.
+
+Run with::
+
+    python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    minimum_nodes_for_batch,
+    profile_workload,
+    transactional_capacity_required,
+)
+from repro.cluster import Cluster, NodeSpec
+from repro.txn.application import TransactionalApp
+from repro.txn.workload import ConstantTrace
+from repro.units import HOUR
+from repro.workloads.generators import JobClass, MixedJobGenerator
+
+NODE = NodeSpec(
+    cpu_capacity=4 * 3900.0, memory_capacity=16 * 1024.0, cpu_per_processor=3900.0
+)
+
+
+def nightly_analytics(nights: int = 7, jobs_per_night: int = 18, seed: int = 4):
+    """Bursts of mixed analytics jobs, one burst per night."""
+    generator = MixedJobGenerator(
+        classes=[
+            (JobClass("report", 1_800.0, 3_900.0, 4_096.0), 0.5),
+            (JobClass("model", 7_200.0, 3_900.0, 6_144.0), 0.3),
+            (JobClass("backtest", 14_400.0, 1_950.0, 4_096.0), 0.2),
+        ],
+        goal_factors=[(1.5, 0.2), (2.5, 0.5), (4.0, 0.3)],
+        seed=seed,
+        id_prefix="an",
+    )
+    jobs = []
+    for night in range(nights):
+        jobs.extend(
+            generator.generate(
+                jobs_per_night, mean_interarrival=300.0, start=night * 24 * HOUR
+            )
+        )
+    jobs.sort(key=lambda j: j.submit_time)
+    return jobs
+
+
+def main() -> None:
+    jobs = nightly_analytics()
+    probe_cluster = Cluster.homogeneous(
+        16, cpu_capacity=NODE.cpu_capacity,
+        memory_capacity=NODE.memory_capacity,
+        cpu_per_processor=NODE.cpu_per_processor,
+    )
+    profile = profile_workload(jobs, probe_cluster)
+    print(f"workload: {profile.job_count} jobs, "
+          f"{profile.total_work_mcycles / 1e6:,.1f} TCycles total")
+    print(f"mean offered load: {profile.mean_offered_mhz:,.0f} MHz "
+          f"({profile.utilization:.0%} of a 16-node cluster's usable capacity)")
+    print(f"peak ideal backlog: {profile.peak_backlog_mcycles / 1e6:,.1f} TCycles")
+
+    print("\nsizing the batch side (95% on-time target):")
+    for policy in ("APC", "FCFS"):
+        plan = minimum_nodes_for_batch(
+            jobs, NODE, target_satisfaction=0.95, max_nodes=16, policy=policy
+        )
+        print(f"  {policy:4s}: {plan.nodes} nodes "
+              f"(measured {plan.deadline_satisfaction:.1%}, "
+              f"{plan.evaluations} probe simulations)")
+
+    print("\nsizing the transactional side:")
+    frontend = TransactionalApp(
+        app_id="frontend",
+        memory_mb=1024.0,
+        demand_mcycles=390.0,
+        response_time_goal=0.25,
+        trace=ConstantTrace(90.0),
+        single_thread_speed_mhz=3900.0,
+    )
+    for target in (0.0, 0.3, 0.5):
+        needed = transactional_capacity_required(frontend, target)
+        print(f"  relative performance {target:+.1f} needs "
+              f"{needed:,.0f} MHz ({needed / NODE.cpu_capacity:.1f} nodes)")
+
+
+if __name__ == "__main__":
+    main()

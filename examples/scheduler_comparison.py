@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Compare scheduling policies on a mixed batch workload (Experiment
+Two in miniature).
+
+Submits the paper's §5.2 job mix (three job profiles, three goal-factor
+tiers) at a configurable pressure and runs it under FCFS, EDF and the
+paper's APC on the same cluster, printing the Figure 3/4/5 quantities:
+deadline satisfaction, placement changes, and distance-to-deadline
+statistics per goal tier.
+
+Run with::
+
+    python examples/scheduler_comparison.py [paper-interarrival-seconds]
+
+e.g. ``python examples/scheduler_comparison.py 100`` for the loaded
+regime.  The default (200 s) reproduces the moderate-load column.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.common import SCALES, format_table
+from repro.experiments.experiment2 import run_single
+
+
+def main() -> None:
+    paper_interarrival = float(sys.argv[1]) if len(sys.argv) > 1 else 200.0
+    scale = SCALES["small"]
+    print(
+        f"cluster: {scale.nodes} nodes; jobs: {scale.job_count}; "
+        f"inter-arrival: {paper_interarrival:.0f}s (paper scale) -> "
+        f"{scale.interarrival(paper_interarrival):.0f}s here"
+    )
+
+    cells = {}
+    for policy in ("FCFS", "EDF", "APC"):
+        cells[policy] = run_single(policy, paper_interarrival, scale, seed=7)
+
+    print()
+    print(format_table(
+        ["policy", "deadline satisfaction", "placement changes"],
+        [
+            [
+                name,
+                f"{100 * cell.deadline_satisfaction:.1f}%",
+                cell.placement_changes,
+            ]
+            for name, cell in cells.items()
+        ],
+    ))
+
+    print("\ndistance to deadline at completion (s), per goal tier:")
+    rows = []
+    for name, cell in cells.items():
+        for factor in sorted(cell.distances):
+            d = cell.distances[factor]
+            rows.append(
+                [
+                    name,
+                    f"{factor:.1f}x",
+                    len(d),
+                    f"{min(d):,.0f}",
+                    f"{sum(d) / len(d):,.0f}",
+                    f"{max(d):,.0f}",
+                ]
+            )
+    print(format_table(["policy", "goal", "n", "min", "mean", "max"], rows))
+
+    print(
+        "\nreading guide: positive distances beat the goal; FCFS's minima dive\n"
+        "under load (head-of-line blocking), EDF reconfigures the most, and\n"
+        "APC holds a comparable on-time rate with fewer changes and tighter\n"
+        "clustering (the paper's fairness claim)."
+    )
+
+
+if __name__ == "__main__":
+    main()

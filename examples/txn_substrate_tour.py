@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Tour of the transactional substrate: queuing model, RPF, router and
+work profiler.
+
+A standalone walk through the §3.1/§3.3 components, without the
+simulator:
+
+1. build a queuing performance model ``t(ω)`` and its RPF ``u(ω)``;
+2. ask the two questions the placement algorithm asks of an RPF;
+3. route a request stream across instances with overload protection;
+4. estimate per-request CPU demand from noisy monitoring samples with
+   the work profiler's regression — and close the loop by rebuilding
+   the model from the estimate.
+
+Run with::
+
+    python examples/txn_substrate_tour.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.txn.profiler import UtilizationSample, WorkProfiler
+from repro.txn.queuing import ProcessorSharingModel
+from repro.txn.router import RequestRouter
+from repro.txn.rpf import TransactionalRPF
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The queuing performance model (§3.3).
+    # ------------------------------------------------------------------
+    true_demand = 39.0          # Mcycles per request (ground truth)
+    arrival_rate = 120.0        # req/s
+    sigma = 3900.0              # one processor's speed
+    model = ProcessorSharingModel(arrival_rate, true_demand, sigma)
+    print("response time t(ω):")
+    for cpu in (5_000, 6_000, 8_000, 12_000, 30_000):
+        print(f"  ω={cpu:>7,} MHz -> t={model.response_time(cpu) * 1e3:7.2f} ms")
+    print(f"  offered load λ·d = {model.offered_load:,.0f} MHz; "
+          f"floor t_min = {model.min_response_time * 1e3:.1f} ms; "
+          f"saturation at {model.saturation_cpu:,.0f} MHz")
+
+    # ------------------------------------------------------------------
+    # 2. The RPF and the placement algorithm's two questions (§3.2).
+    # ------------------------------------------------------------------
+    rpf = TransactionalRPF(model, response_time_goal=0.05)
+    print("\nRPF u(ω) = (τ − t(ω))/τ with τ = 50 ms:")
+    some_allocation = 8_000.0
+    print(f"  Q1: relative performance at ω={some_allocation:,.0f} MHz? "
+          f"u = {rpf.utility(some_allocation):.3f}")
+    target = 0.4
+    print(f"  Q2: CPU needed for u={target}? "
+          f"ω = {rpf.required_cpu(target):,.0f} MHz")
+    print(f"  plateau: u_max = {rpf.max_utility:.3f} "
+          f"(the goal cannot be beaten by more than the floor allows)")
+
+    # ------------------------------------------------------------------
+    # 3. The request router with overload protection (§3.1).
+    # ------------------------------------------------------------------
+    router = RequestRouter(max_utilization=0.9)
+    instance_speeds = {"node0": 4_000.0, "node1": 2_000.0}
+    decision = router.route(arrival_rate, true_demand, instance_speeds, sigma)
+    print("\nrouter split (proportional to instance CPU, 90% admission cap):")
+    for node, admitted in sorted(decision.admitted.items()):
+        print(f"  {node}: {admitted:6.1f} req/s")
+    print(f"  shed: {decision.shed_rate:.1f} req/s; "
+          f"mean response time {decision.mean_response_time * 1e3:.1f} ms")
+
+    overloaded = router.route(400.0, true_demand, instance_speeds, sigma)
+    print(f"  at 400 req/s the cap sheds {overloaded.shed_rate:.1f} req/s "
+          "(overload protection)")
+
+    # ------------------------------------------------------------------
+    # 4. The work profiler's regression (§3.1).
+    # ------------------------------------------------------------------
+    rng = np.random.default_rng(3)
+    profiler = WorkProfiler(window=128)
+    for _ in range(96):
+        throughput = float(rng.uniform(20, 140))
+        used = throughput * true_demand + float(rng.normal(0.0, 60.0))
+        profiler.observe(
+            UtilizationSample({"web": throughput}, used_cpu_mhz=max(0.0, used))
+        )
+    estimate = profiler.estimate("web")
+    print(f"\nwork profiler: true demand {true_demand} Mcycles/request, "
+          f"estimated {estimate:.2f} from {profiler.sample_count} noisy samples")
+
+    rebuilt = ProcessorSharingModel(arrival_rate, estimate, sigma)
+    print(f"rebuilt model saturation: {rebuilt.saturation_cpu:,.0f} MHz "
+          f"(truth: {model.saturation_cpu:,.0f} MHz)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Metadata lives in ``pyproject.toml``.  This file exists so the package
+can be installed in editable mode (``python setup.py develop`` /
+``pip install -e .``) on environments whose setuptools predates full
+PEP 660 support without the ``wheel`` package available.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,120 @@
+"""repro — reproduction of Carrera et al., "Enabling Resource Sharing
+between Transactional and Batch Workloads Using Dynamic Application
+Placement" (MIDDLEWARE 2008).
+
+The library provides:
+
+* :mod:`repro.core` — the Application Placement Controller: RPF-driven,
+  maxmin-fair dynamic placement of heterogeneous workloads;
+* :mod:`repro.txn` — the transactional substrate (queuing performance
+  model, request router, work profiler);
+* :mod:`repro.batch` — the batch substrate (job profiles, hypothetical
+  relative performance, FCFS/EDF baselines);
+* :mod:`repro.sim` — the discrete-event cluster simulator with the
+  paper's VM action cost model;
+* :mod:`repro.workloads` — generators for the paper's workloads;
+* :mod:`repro.experiments` — runnable reproductions of every table and
+  figure in the paper's evaluation.
+
+Quickstart::
+
+    from repro import (
+        Cluster, JobQueue, BatchWorkloadModel,
+        ApplicationPlacementController, APCConfig, APCPolicy,
+        MixedWorkloadSimulator, SimulationConfig,
+    )
+    from repro.workloads import experiment_one_jobs
+
+    cluster = Cluster.homogeneous(4, cpu_capacity=4 * 3900,
+                                  memory_capacity=16 * 1024,
+                                  cpu_per_processor=3900)
+    queue = JobQueue()
+    batch = BatchWorkloadModel(queue)
+    controller = ApplicationPlacementController(
+        cluster, APCConfig(cycle_length=600.0))
+    policy = APCPolicy(controller, [batch])
+    sim = MixedWorkloadSimulator(
+        cluster, policy, queue,
+        arrivals=experiment_one_jobs(count=40, seed=7),
+        batch_model=batch,
+        config=SimulationConfig(cycle_length=600.0))
+    metrics = sim.run()
+    print(metrics.deadline_satisfaction_rate())
+"""
+
+from repro.cluster import Cluster, Node, NodeSpec
+from repro.core import (
+    APCConfig,
+    APCResult,
+    ApplicationPlacementController,
+    AppDemand,
+    ConstraintSet,
+    PlacementScore,
+    PlacementState,
+    UtilityVector,
+    distribute_load,
+)
+from repro.batch import (
+    BatchWorkloadModel,
+    HypotheticalRPF,
+    Job,
+    JobProfile,
+    JobQueue,
+    JobStage,
+    JobStatus,
+)
+from repro.txn import (
+    TransactionalApp,
+    TransactionalWorkloadModel,
+    ProcessorSharingModel,
+    TransactionalRPF,
+)
+from repro.sim import (
+    APCPolicy,
+    EDFPolicy,
+    FCFSPolicy,
+    MetricsRecorder,
+    MixedWorkloadSimulator,
+    PartitionedPolicy,
+    SimulationConfig,
+)
+from repro.virt import PAPER_COST_MODEL, FREE_COST_MODEL, VirtualizationCostModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "Node",
+    "NodeSpec",
+    "APCConfig",
+    "APCResult",
+    "ApplicationPlacementController",
+    "AppDemand",
+    "ConstraintSet",
+    "PlacementScore",
+    "PlacementState",
+    "UtilityVector",
+    "distribute_load",
+    "BatchWorkloadModel",
+    "HypotheticalRPF",
+    "Job",
+    "JobProfile",
+    "JobQueue",
+    "JobStage",
+    "JobStatus",
+    "TransactionalApp",
+    "TransactionalWorkloadModel",
+    "ProcessorSharingModel",
+    "TransactionalRPF",
+    "APCPolicy",
+    "EDFPolicy",
+    "FCFSPolicy",
+    "MetricsRecorder",
+    "MixedWorkloadSimulator",
+    "PartitionedPolicy",
+    "SimulationConfig",
+    "PAPER_COST_MODEL",
+    "FREE_COST_MODEL",
+    "VirtualizationCostModel",
+    "__version__",
+]

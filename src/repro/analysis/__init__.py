@@ -1,0 +1,30 @@
+"""Offline analysis companions to the placement controller.
+
+Tools an operator of the paper's system would keep next to it:
+
+* :mod:`repro.analysis.capacity` — capacity planning: how many nodes
+  does a given workload mix need to meet its goals?
+* :mod:`repro.analysis.workload_stats` — offered-load and backlog
+  profiles of a job stream (the quantities that explain every queueing
+  effect in the evaluation).
+"""
+
+from repro.analysis.capacity import (
+    CapacityPlan,
+    minimum_nodes_for_batch,
+    transactional_capacity_required,
+)
+from repro.analysis.workload_stats import (
+    WorkloadProfile,
+    offered_load_series,
+    profile_workload,
+)
+
+__all__ = [
+    "CapacityPlan",
+    "minimum_nodes_for_batch",
+    "transactional_capacity_required",
+    "WorkloadProfile",
+    "offered_load_series",
+    "profile_workload",
+]

@@ -1,0 +1,109 @@
+"""Offered-load and backlog profiles of a batch job stream.
+
+Two lower bounds govern everything the evaluation shows:
+
+* **CPU bound** — total work divided by cluster speed: no schedule can
+  drain the stream faster;
+* **slot (memory) bound** — each node hosts a limited number of job VMs;
+  with every slot busy the aggregate speed is capped by
+  ``slots * ω^max`` regardless of idle CPU (the binding constraint in
+  Experiments One and Three).
+
+:func:`profile_workload` computes both plus the backlog trajectory an
+ideal work-conserving scheduler would see, which predicts where (and
+whether) queueing occurs before running any simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.batch.job import Job
+from repro.cluster import Cluster
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class WorkloadProfile:
+    """Summary statistics of a job stream against a cluster."""
+
+    job_count: int
+    total_work_mcycles: float
+    first_submit: float
+    last_submit: float
+    #: Mean offered CPU load over the submission window (MHz).
+    mean_offered_mhz: float
+    #: Cluster CPU capacity (MHz).
+    cluster_capacity_mhz: float
+    #: Aggregate speed cap from memory slots: ``slots * max job speed``.
+    slot_capacity_mhz: float
+    #: mean_offered / min(cluster, slot capacity).
+    utilization: float
+    #: (time, backlog in Mcycles) under an ideal work-conserving drain.
+    backlog_series: List[Tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def peak_backlog_mcycles(self) -> float:
+        if not self.backlog_series:
+            return 0.0
+        return max(b for _, b in self.backlog_series)
+
+    @property
+    def is_overloaded(self) -> bool:
+        return self.utilization > 1.0
+
+
+def offered_load_series(jobs: Sequence[Job]) -> List[Tuple[float, float]]:
+    """(submit time, cumulative work submitted) in submission order."""
+    ordered = sorted(jobs, key=lambda j: j.submit_time)
+    series: List[Tuple[float, float]] = []
+    acc = 0.0
+    for job in ordered:
+        acc += job.profile.total_work
+        series.append((job.submit_time, acc))
+    return series
+
+
+def profile_workload(jobs: Sequence[Job], cluster: Cluster) -> WorkloadProfile:
+    """Compute the workload profile of ``jobs`` against ``cluster``."""
+    if not jobs:
+        raise ConfigurationError("cannot profile an empty workload")
+    ordered = sorted(jobs, key=lambda j: j.submit_time)
+    total_work = sum(j.profile.total_work for j in ordered)
+    first = ordered[0].submit_time
+    last = ordered[-1].submit_time
+    window = max(last - first, 1e-9)
+    mean_offered = total_work / window
+
+    # Slot capacity: how many job VMs fit per node times the max speed a
+    # slot can consume.  Uses the stream's dominant memory/speed numbers.
+    per_node_memory = min(n.memory_capacity for n in cluster)
+    max_job_memory = max(j.memory_mb for j in ordered)
+    slots_per_node = max(0, int(per_node_memory // max_job_memory)) if max_job_memory else 0
+    max_speed = max(j.max_speed for j in ordered)
+    slot_capacity = slots_per_node * len(cluster) * max_speed
+
+    capacity = min(cluster.total_cpu_capacity, slot_capacity) or cluster.total_cpu_capacity
+
+    # Ideal drain: between consecutive submissions the backlog shrinks at
+    # the effective capacity.
+    backlog: List[Tuple[float, float]] = []
+    outstanding = 0.0
+    now = first
+    for job in ordered:
+        outstanding = max(0.0, outstanding - capacity * (job.submit_time - now))
+        now = job.submit_time
+        outstanding += job.profile.total_work
+        backlog.append((now, outstanding))
+    return WorkloadProfile(
+        job_count=len(ordered),
+        total_work_mcycles=total_work,
+        first_submit=first,
+        last_submit=last,
+        mean_offered_mhz=mean_offered,
+        cluster_capacity_mhz=cluster.total_cpu_capacity,
+        slot_capacity_mhz=slot_capacity,
+        utilization=mean_offered / capacity if capacity else float("inf"),
+        backlog_series=backlog,
+    )

@@ -1,0 +1,36 @@
+"""Batch (long-running, non-interactive) workload substrate.
+
+Implements §4 of the paper: job resource-usage profiles (sequences of
+stages with CPU work, speed bounds and memory needs), completion-time
+goals and their relative performance function, the *hypothetical relative
+performance* machinery (the ``W``/``V`` matrices of §4.2), the job
+scheduler/queue, and the baseline scheduling policies (FCFS, EDF) used in
+Experiment Two, plus the lowest-relative-performance-first ordering the
+paper proposes.
+"""
+
+from repro.batch.job import Job, JobProfile, JobStage, JobStatus
+from repro.batch.rpf import (
+    completion_time_for_utility,
+    job_relative_performance,
+    JobAllocationRPF,
+)
+from repro.batch.hypothetical import HypotheticalRPF, DEFAULT_UTILITY_LEVELS
+from repro.batch.queue import JobQueue
+from repro.batch.profiler import JobWorkloadProfiler
+from repro.batch.model import BatchWorkloadModel
+
+__all__ = [
+    "Job",
+    "JobProfile",
+    "JobStage",
+    "JobStatus",
+    "completion_time_for_utility",
+    "job_relative_performance",
+    "JobAllocationRPF",
+    "HypotheticalRPF",
+    "DEFAULT_UTILITY_LEVELS",
+    "JobQueue",
+    "JobWorkloadProfiler",
+    "BatchWorkloadModel",
+]

@@ -1,0 +1,389 @@
+"""Batch job model: resource-usage profiles, goals and runtime state.
+
+§4.1: each job consists of a sequence of stages ``s_1 … s_Nm``; stage
+``s_k`` is described by the CPU cycles it consumes (``α_k``), the maximum
+and minimum speeds with which it may/must run (``ω^max_k``, ``ω^min_k``)
+and its memory requirement (``γ_k``).  The SLA objective is a desired
+completion time ``τ_m``; the difference between the completion-time goal
+and the desired start time ``τ_m − τ^start_m`` is the *relative goal*.
+
+At runtime the system tracks each job's status (running, not-started,
+suspended, paused) and the CPU time consumed thus far (``α*``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.units import EPSILON
+
+
+@dataclass(frozen=True)
+class JobStage:
+    """One stage of a job's resource usage profile (§4.1).
+
+    Parameters
+    ----------
+    work_mcycles:
+        CPU cycles consumed in this stage (``α_k``), in Mcycles.
+    max_speed_mhz:
+        Maximum speed with which the stage may run (``ω^max_k``).
+    min_speed_mhz:
+        Minimum speed with which the stage must run whenever it runs
+        (``ω^min_k``).
+    memory_mb:
+        Memory requirement of the stage (``γ_k``).
+    """
+
+    work_mcycles: float
+    max_speed_mhz: float
+    min_speed_mhz: float = 0.0
+    memory_mb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.work_mcycles <= 0:
+            raise ConfigurationError(f"stage work must be positive, got {self.work_mcycles}")
+        if self.max_speed_mhz <= 0:
+            raise ConfigurationError(f"stage max speed must be positive, got {self.max_speed_mhz}")
+        if not 0 <= self.min_speed_mhz <= self.max_speed_mhz + EPSILON:
+            raise ConfigurationError(
+                f"stage min speed {self.min_speed_mhz} outside [0, {self.max_speed_mhz}]"
+            )
+        if self.memory_mb < 0:
+            raise ConfigurationError(f"stage memory must be >= 0, got {self.memory_mb}")
+
+    @property
+    def best_execution_time(self) -> float:
+        """Seconds this stage takes at its maximum speed."""
+        return self.work_mcycles / self.max_speed_mhz
+
+
+class JobProfile:
+    """A job's full resource usage profile: an ordered sequence of stages.
+
+    The profile is given at submission time (in the real system it comes
+    from the job workload profiler, estimated from historical data).
+    """
+
+    def __init__(self, stages: Sequence[JobStage]) -> None:
+        if not stages:
+            raise ConfigurationError("job profile needs at least one stage")
+        self._stages: Tuple[JobStage, ...] = tuple(stages)
+        self._cumulative_work: List[float] = []
+        acc = 0.0
+        for stage in self._stages:
+            acc += stage.work_mcycles
+            self._cumulative_work.append(acc)
+
+    @classmethod
+    def single_stage(
+        cls,
+        work_mcycles: float,
+        max_speed_mhz: float,
+        memory_mb: float = 0.0,
+        min_speed_mhz: float = 0.0,
+    ) -> "JobProfile":
+        """The common case used throughout the paper's experiments."""
+        return cls(
+            [
+                JobStage(
+                    work_mcycles=work_mcycles,
+                    max_speed_mhz=max_speed_mhz,
+                    min_speed_mhz=min_speed_mhz,
+                    memory_mb=memory_mb,
+                )
+            ]
+        )
+
+    @property
+    def stages(self) -> Tuple[JobStage, ...]:
+        return self._stages
+
+    @property
+    def total_work(self) -> float:
+        """Total CPU cycles over all stages (Mcycles)."""
+        return self._cumulative_work[-1]
+
+    @property
+    def best_execution_time(self) -> float:
+        """Minimum execution time: every stage at its maximum speed."""
+        return sum(s.best_execution_time for s in self._stages)
+
+    @property
+    def peak_memory_mb(self) -> float:
+        """The largest stage memory requirement (capacity planning)."""
+        return max(s.memory_mb for s in self._stages)
+
+    def stage_index_at(self, cpu_consumed: float) -> int:
+        """Index of the stage in progress after ``cpu_consumed`` Mcycles.
+
+        Work exactly on a stage boundary belongs to the *next* stage; work
+        at or beyond the total belongs to the last stage.
+        """
+        if cpu_consumed < 0:
+            raise ConfigurationError(f"negative cpu_consumed: {cpu_consumed}")
+        for i, boundary in enumerate(self._cumulative_work):
+            if cpu_consumed < boundary - EPSILON:
+                return i
+        return len(self._stages) - 1
+
+    def stage_at(self, cpu_consumed: float) -> JobStage:
+        return self._stages[self.stage_index_at(cpu_consumed)]
+
+    def work_to_stage_end(self, cpu_consumed: float) -> float:
+        """Mcycles left in the stage in progress at ``cpu_consumed``."""
+        index = self.stage_index_at(cpu_consumed)
+        return max(0.0, self._cumulative_work[index] - cpu_consumed)
+
+    def is_last_stage(self, cpu_consumed: float) -> bool:
+        return self.stage_index_at(cpu_consumed) == len(self._stages) - 1
+
+    def remaining_work(self, cpu_consumed: float) -> float:
+        """Mcycles left after ``cpu_consumed`` (never negative)."""
+        return max(0.0, self.total_work - cpu_consumed)
+
+    def remaining_best_time(self, cpu_consumed: float) -> float:
+        """Seconds to finish from ``cpu_consumed`` with every remaining
+        stage at its maximum speed."""
+        remaining = self.remaining_work(cpu_consumed)
+        if remaining <= EPSILON:
+            return 0.0
+        time = 0.0
+        done = cpu_consumed
+        idx = self.stage_index_at(cpu_consumed)
+        for i in range(idx, len(self._stages)):
+            stage_start = self._cumulative_work[i] - self._stages[i].work_mcycles
+            in_stage_done = max(0.0, done - stage_start)
+            left = self._stages[i].work_mcycles - in_stage_done
+            if left > 0:
+                time += left / self._stages[i].max_speed_mhz
+            done = self._cumulative_work[i]
+        return time
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JobProfile({len(self._stages)} stages, "
+            f"work={self.total_work:.0f}Mcy, best={self.best_execution_time:.0f}s)"
+        )
+
+
+class JobStatus(enum.Enum):
+    """Runtime status of a job (§4.1 "Runtime state")."""
+
+    NOT_STARTED = "not-started"
+    RUNNING = "running"
+    SUSPENDED = "suspended"
+    PAUSED = "paused"
+    COMPLETED = "completed"
+
+
+#: Statuses in which the job still has work to do.
+INCOMPLETE_STATUSES = frozenset(
+    {JobStatus.NOT_STARTED, JobStatus.RUNNING, JobStatus.SUSPENDED, JobStatus.PAUSED}
+)
+
+
+@dataclass
+class Job:
+    """One long-running job with its profile, SLA goal and runtime state.
+
+    Parameters
+    ----------
+    job_id:
+        Stable identifier.
+    profile:
+        Resource usage profile (§4.1).
+    submit_time:
+        When the job entered the system.
+    completion_goal:
+        Absolute time ``τ_m`` by which the job must complete.
+    desired_start:
+        ``τ^start_m`` — defaults to the submission time.  Must satisfy
+        ``submit_time <= desired_start < completion_goal``.
+    parallelism:
+        Maximum number of instances the job may run on simultaneously
+        (moldable parallelism — the paper's stated future work).  Each
+        instance is bounded by the current stage's ``ω^max`` and needs
+        the stage's memory on its node; the job's aggregate speed ceiling
+        is ``parallelism * ω^max``.  The default (1) is the paper's
+        sequential job.
+    """
+
+    job_id: str
+    profile: JobProfile
+    submit_time: float
+    completion_goal: float
+    desired_start: Optional[float] = None
+    parallelism: int = 1
+
+    # Runtime state ------------------------------------------------------
+    status: JobStatus = JobStatus.NOT_STARTED
+    cpu_consumed: float = 0.0        #: ``α*`` in Mcycles
+    node: Optional[str] = None       #: node hosting the job's VM, if any
+    start_time: Optional[float] = None
+    completion_time: Optional[float] = None
+    #: Reconfiguration counters (Experiment Two, Figure 4).
+    suspend_count: int = field(default=0)
+    resume_count: int = field(default=0)
+    migration_count: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise ConfigurationError(
+                f"{self.job_id}: parallelism must be >= 1, got {self.parallelism}"
+            )
+        if self.desired_start is None:
+            self.desired_start = self.submit_time
+        if self.desired_start < self.submit_time - EPSILON:
+            raise ConfigurationError(
+                f"{self.job_id}: desired start {self.desired_start} before "
+                f"submission {self.submit_time}"
+            )
+        if self.completion_goal <= self.desired_start + EPSILON:
+            raise ConfigurationError(
+                f"{self.job_id}: completion goal {self.completion_goal} must "
+                f"exceed desired start {self.desired_start}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def with_goal_factor(
+        cls,
+        job_id: str,
+        profile: JobProfile,
+        submit_time: float,
+        goal_factor: float,
+        desired_start: Optional[float] = None,
+        parallelism: int = 1,
+    ) -> "Job":
+        """Build a job from the paper's *relative goal factor*.
+
+        §5 defines it as the ratio of the job's relative goal to its
+        execution time at maximum speed: ``(τ − τ_start) / t_best``.  A
+        factor of 1 means the job must start immediately and run at
+        maximum speed throughout its life to meet its goal.  For
+        parallel jobs ``t_best`` accounts for all instances running.
+        """
+        if goal_factor < 1.0 - EPSILON:
+            raise ConfigurationError(
+                f"{job_id}: goal factor below 1 ({goal_factor}) is unmeetable"
+            )
+        if parallelism < 1:
+            raise ConfigurationError(
+                f"{job_id}: parallelism must be >= 1, got {parallelism}"
+            )
+        start = submit_time if desired_start is None else desired_start
+        goal = start + goal_factor * profile.best_execution_time / parallelism
+        return cls(
+            job_id=job_id,
+            profile=profile,
+            submit_time=submit_time,
+            completion_goal=goal,
+            desired_start=start,
+            parallelism=parallelism,
+        )
+
+    # ------------------------------------------------------------------
+    # Goal arithmetic
+    # ------------------------------------------------------------------
+    @property
+    def relative_goal(self) -> float:
+        """``τ_m − τ^start_m`` in seconds."""
+        assert self.desired_start is not None
+        return self.completion_goal - self.desired_start
+
+    @property
+    def goal_factor(self) -> float:
+        """Relative goal divided by the best-case execution time."""
+        return self.relative_goal / self.best_execution_time
+
+    # ------------------------------------------------------------------
+    # Work / progress
+    # ------------------------------------------------------------------
+    @property
+    def remaining_work(self) -> float:
+        """Mcycles left (``α − α*``)."""
+        return self.profile.remaining_work(self.cpu_consumed)
+
+    @property
+    def is_complete(self) -> bool:
+        return self.status is JobStatus.COMPLETED
+
+    @property
+    def is_incomplete(self) -> bool:
+        return self.status in INCOMPLETE_STATUSES
+
+    @property
+    def current_stage(self) -> JobStage:
+        """The stage in progress (the last stage once complete)."""
+        return self.profile.stage_at(self.cpu_consumed)
+
+    @property
+    def max_speed(self) -> float:
+        """Maximum useful *aggregate* speed right now: the current
+        stage's ``ω^max`` times the job's parallelism."""
+        return self.current_stage.max_speed_mhz * self.parallelism
+
+    @property
+    def max_speed_per_instance(self) -> float:
+        """Maximum useful speed of one instance (the stage's ``ω^max``)."""
+        return self.current_stage.max_speed_mhz
+
+    @property
+    def min_speed(self) -> float:
+        """Minimum required speed right now (current stage's ``ω^min``)."""
+        return self.current_stage.min_speed_mhz
+
+    @property
+    def memory_mb(self) -> float:
+        """Memory footprint right now (current stage's ``γ``)."""
+        return self.current_stage.memory_mb
+
+    @property
+    def best_execution_time(self) -> float:
+        """Minimum execution time given the job's parallelism."""
+        return self.profile.best_execution_time / self.parallelism
+
+    @property
+    def remaining_best_time(self) -> float:
+        """Seconds to finish from the current progress at maximum speed
+        (all ``parallelism`` instances running flat out)."""
+        return self.profile.remaining_best_time(self.cpu_consumed) / self.parallelism
+
+    def advance(self, work_mcycles: float) -> None:
+        """Record ``work_mcycles`` of completed work (clamped at total)."""
+        if work_mcycles < -EPSILON:
+            raise ConfigurationError(f"cannot advance by negative work {work_mcycles}")
+        self.cpu_consumed = min(
+            self.profile.total_work, self.cpu_consumed + max(0.0, work_mcycles)
+        )
+
+    def earliest_completion(self, now: float) -> float:
+        """Earliest possible completion if run at max speed from ``now``."""
+        return now + self.remaining_best_time
+
+    def deadline_distance(self, completion_time: Optional[float] = None) -> float:
+        """``τ − t``: positive when the job beat its goal (Figure 5)."""
+        t = completion_time if completion_time is not None else self.completion_time
+        if t is None:
+            raise ConfigurationError(f"{self.job_id} has not completed")
+        return self.completion_goal - t
+
+    def met_deadline(self) -> bool:
+        """Whether the job completed at or before its goal (Figure 3)."""
+        return self.deadline_distance() >= -EPSILON
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Job({self.job_id!r}, {self.status.value}, "
+            f"done={self.cpu_consumed:.0f}/{self.profile.total_work:.0f}Mcy, "
+            f"goal={self.completion_goal:.0f}s)"
+        )

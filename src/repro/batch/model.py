@@ -1,0 +1,167 @@
+"""Batch workload model: plugs the job queue into the placement controller.
+
+Implements the :class:`~repro.core.workload.WorkloadModel` protocol for
+long-running jobs:
+
+* each incomplete job becomes one singleton application whose demand comes
+  from its current stage and whose allocation RPF is the per-job
+  hypothetical function (:class:`~repro.batch.rpf.JobAllocationRPF`);
+* evaluating a candidate allocation follows §4.2 "Evaluating placement
+  decisions": every placed job's consumed work ``α*`` is advanced by
+  ``ω_m · T``; the hypothetical relative performance is rebuilt at
+  ``t_now + T``; the aggregate batch allocation of the next cycle
+  (``ω_g = Σ_m ω_m``) is assumed to persist; per-job predictions are read
+  off the ``W``/``V`` interpolation (equation (6)).  Jobs that would
+  finish *within* the next cycle are predicted directly from their actual
+  completion time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.batch.hypothetical import DEFAULT_UTILITY_LEVELS, HypotheticalRPF
+from repro.batch.job import Job, JobStatus
+from repro.batch.queue import JobQueue
+from repro.batch.rpf import JobAllocationRPF, job_relative_performance
+from repro.core.loadbalance import AllocatableApp
+from repro.core.placement import AppDemand
+from repro.core.rpf import NEGATIVE_INFINITY_UTILITY
+from repro.units import EPSILON
+
+
+class BatchWorkloadModel:
+    """The long-running workload as seen by the placement controller.
+
+    Parameters
+    ----------
+    queue:
+        The scheduler's job queue (shared, live object).
+    levels:
+        Sampling points for the hypothetical relative performance.
+    queue_window:
+        At most this many *not-started* jobs (in submission order) are
+        offered as placement candidates each cycle.  All incomplete jobs
+        still participate in prediction — the window only bounds the
+        search space, mirroring the real system's need to keep the online
+        algorithm's cycle time low.  ``None`` = no limit.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        levels: Sequence[float] = DEFAULT_UTILITY_LEVELS,
+        queue_window: Optional[int] = None,
+        prediction_method: str = "exact",
+    ) -> None:
+        if prediction_method not in ("exact", "interpolate"):
+            raise ValueError(f"unknown prediction method {prediction_method!r}")
+        self._queue = queue
+        self._levels = tuple(levels)
+        self._queue_window = queue_window
+        self._prediction_method = prediction_method
+
+    @property
+    def queue(self) -> JobQueue:
+        return self._queue
+
+    @property
+    def levels(self) -> Sequence[float]:
+        return self._levels
+
+    # ------------------------------------------------------------------
+    # WorkloadModel protocol
+    # ------------------------------------------------------------------
+    def app_specs(self, now: float) -> Dict[str, AllocatableApp]:
+        specs: Dict[str, AllocatableApp] = {}
+        for job in self._queue.incomplete():
+            stage = job.current_stage
+            demand = AppDemand(
+                app_id=job.job_id,
+                memory_mb=stage.memory_mb,
+                min_cpu_mhz=stage.min_speed_mhz,
+                max_cpu_per_instance_mhz=stage.max_speed_mhz,
+                # Moldable parallel jobs (the paper's future-work
+                # extension) may spread over up to `parallelism`
+                # instances; sequential jobs are singletons.
+                max_instances=job.parallelism,
+                divisible=job.parallelism > 1,
+            )
+            specs[job.job_id] = AllocatableApp(
+                demand=demand, rpf=JobAllocationRPF(job, now)
+            )
+        return specs
+
+    def placement_candidates(self, now: float) -> List[str]:
+        candidates: List[str] = []
+        waiting: List[Job] = []
+        for job in self._queue.incomplete():
+            if job.status is JobStatus.NOT_STARTED:
+                waiting.append(job)
+            else:
+                candidates.append(job.job_id)
+        if self._queue_window is not None and len(waiting) > self._queue_window:
+            # The window must look at the queue the way the controller
+            # does — lowest relative performance first (§1's LRPF), not
+            # submission order — or a deep backlog would degrade the
+            # controller to FCFS for everything beyond the window.
+            waiting.sort(key=lambda job: JobAllocationRPF(job, now).max_utility)
+            waiting = waiting[: self._queue_window]
+        candidates.extend(job.job_id for job in waiting)
+        return candidates
+
+    def evaluate(
+        self, allocations: Mapping[str, float], now: float, horizon: float
+    ) -> Dict[str, float]:
+        jobs = self._queue.incomplete()
+        if not jobs:
+            return {}
+
+        utilities: Dict[str, float] = {}
+        future_rpfs: List[JobAllocationRPF] = []
+        aggregate = 0.0
+
+        for job in jobs:
+            speed = min(allocations.get(job.job_id, 0.0), job.max_speed)
+            aggregate += speed
+            remaining = job.remaining_work
+            if speed * horizon >= remaining - EPSILON and speed > EPSILON:
+                # The job finishes within the next cycle: predict from its
+                # actual completion time (equation (2) directly).
+                completion = now + remaining / speed
+                utilities[job.job_id] = max(
+                    NEGATIVE_INFINITY_UTILITY,
+                    job_relative_performance(job, completion),
+                )
+            else:
+                future_rpfs.append(
+                    JobAllocationRPF(
+                        job,
+                        now + horizon,
+                        remaining_work=remaining - speed * horizon,
+                    )
+                )
+
+        if future_rpfs:
+            hypothetical = HypotheticalRPF(future_rpfs, levels=self._levels)
+            utilities.update(
+                hypothetical.job_utilities(aggregate, method=self._prediction_method)
+            )
+        return utilities
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def hypothetical(self, now: float) -> HypotheticalRPF:
+        """The current hypothetical RPF over all incomplete jobs
+        (used for the "average hypothetical relative performance" series
+        of Figures 2 and 6)."""
+        rpfs = [JobAllocationRPF(job, now) for job in self._queue.incomplete()]
+        return HypotheticalRPF(rpfs, levels=self._levels)
+
+    def average_hypothetical_utility(
+        self, now: float, aggregate_mhz: float
+    ) -> float:
+        """Average predicted relative performance at a given aggregate
+        batch allocation."""
+        return self.hypothetical(now).average_utility(aggregate_mhz)

@@ -1,0 +1,116 @@
+"""Job workload profiler.
+
+§3.1: "A job workload profiler estimates job resource usage profiles,
+which are fed into APC."  §4.1: "The profile is estimated based on
+historical data analysis."
+
+This implementation aggregates observed executions per *job class* (jobs
+submitted under the same class name are assumed statistically similar —
+e.g. the nightly portfolio-risk run) and produces a
+:class:`~repro.batch.job.JobProfile` estimate:
+
+* total work: a configurable upper percentile of observed work (a
+  conservative estimate keeps completion-time predictions honest);
+* maximum speed: the median of observed peak speeds (speed is a property
+  of the job's parallelism, so the central tendency is the right
+  estimate);
+* memory: the maximum observed footprint plus a safety margin (memory is
+  a hard constraint — underestimating it causes placement failures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.batch.job import JobProfile
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """One observed historical execution of a job class."""
+
+    work_mcycles: float
+    peak_speed_mhz: float
+    peak_memory_mb: float
+
+
+class JobWorkloadProfiler:
+    """Estimates job resource-usage profiles from execution history."""
+
+    def __init__(
+        self,
+        work_percentile: float = 90.0,
+        memory_margin: float = 0.1,
+        min_history: int = 1,
+    ) -> None:
+        if not 0 < work_percentile <= 100:
+            raise ModelError(f"work percentile must be in (0, 100], got {work_percentile}")
+        if memory_margin < 0:
+            raise ModelError(f"memory margin must be >= 0, got {memory_margin}")
+        if min_history < 1:
+            raise ModelError(f"min history must be >= 1, got {min_history}")
+        self._work_percentile = work_percentile
+        self._memory_margin = memory_margin
+        self._min_history = min_history
+        self._history: Dict[str, List[ExecutionRecord]] = {}
+
+    def record_execution(
+        self,
+        job_class: str,
+        work_mcycles: float,
+        peak_speed_mhz: float,
+        peak_memory_mb: float,
+    ) -> None:
+        """Record one completed execution of ``job_class``."""
+        if work_mcycles <= 0 or peak_speed_mhz <= 0 or peak_memory_mb < 0:
+            raise ModelError(
+                f"invalid execution record for {job_class!r}: "
+                f"work={work_mcycles}, speed={peak_speed_mhz}, mem={peak_memory_mb}"
+            )
+        self._history.setdefault(job_class, []).append(
+            ExecutionRecord(work_mcycles, peak_speed_mhz, peak_memory_mb)
+        )
+
+    def history_size(self, job_class: str) -> int:
+        return len(self._history.get(job_class, []))
+
+    def known_classes(self) -> List[str]:
+        return sorted(self._history)
+
+    def can_estimate(self, job_class: str) -> bool:
+        return self.history_size(job_class) >= self._min_history
+
+    def estimate(self, job_class: str) -> JobProfile:
+        """Estimate a single-stage profile for ``job_class``.
+
+        Raises :class:`~repro.errors.ModelError` when the class has fewer
+        than ``min_history`` recorded executions.
+        """
+        records = self._history.get(job_class, [])
+        if len(records) < self._min_history:
+            raise ModelError(
+                f"job class {job_class!r}: {len(records)} execution(s) recorded, "
+                f"need {self._min_history}"
+            )
+        work = float(
+            np.percentile([r.work_mcycles for r in records], self._work_percentile)
+        )
+        speed = float(np.median([r.peak_speed_mhz for r in records]))
+        memory = float(
+            max(r.peak_memory_mb for r in records) * (1.0 + self._memory_margin)
+        )
+        return JobProfile.single_stage(
+            work_mcycles=work, max_speed_mhz=speed, memory_mb=memory
+        )
+
+    def estimate_or_default(
+        self, job_class: str, default: Optional[JobProfile]
+    ) -> Optional[JobProfile]:
+        """Estimate, or fall back to a submission-time declared profile."""
+        if self.can_estimate(job_class):
+            return self.estimate(job_class)
+        return default

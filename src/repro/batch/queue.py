@@ -1,0 +1,110 @@
+"""Job queue: the scheduler's view of all submitted jobs.
+
+Long-running jobs are submitted to the system via the job scheduler,
+placed in its queue, and dispatched based on the resource allocation
+decisions of the management system (§3.1).  The queue keeps jobs in
+submission order (ties broken by submission sequence) and provides the
+status-partitioned views the policies and the controller need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.batch.job import Job, JobStatus
+from repro.errors import SchedulingError
+
+
+class JobQueue:
+    """All jobs known to the scheduler, in submission order."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+
+    def submit(self, job: Job) -> None:
+        """Register a newly submitted job."""
+        if job.job_id in self._jobs:
+            raise SchedulingError(f"duplicate job id: {job.job_id!r}")
+        self._jobs[job.job_id] = job
+        self._order.append(job.job_id)
+
+    def job(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise SchedulingError(f"unknown job: {job_id!r}") from None
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._jobs
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return (self._jobs[j] for j in self._order)
+
+    # ------------------------------------------------------------------
+    # Status-partitioned views (all in submission order)
+    # ------------------------------------------------------------------
+    def all_jobs(self) -> List[Job]:
+        return [self._jobs[j] for j in self._order]
+
+    def incomplete(self) -> List[Job]:
+        """Jobs that still have work to do (running, queued or suspended)."""
+        return [j for j in self if j.is_incomplete]
+
+    def running(self) -> List[Job]:
+        return [j for j in self if j.status is JobStatus.RUNNING]
+
+    def not_started(self) -> List[Job]:
+        """Jobs waiting in the queue, never yet dispatched."""
+        return [j for j in self if j.status is JobStatus.NOT_STARTED]
+
+    def suspended(self) -> List[Job]:
+        return [j for j in self if j.status is JobStatus.SUSPENDED]
+
+    def completed(self) -> List[Job]:
+        return [j for j in self if j.status is JobStatus.COMPLETED]
+
+    def pending(self) -> List[Job]:
+        """Jobs that are incomplete but not currently running."""
+        return [j for j in self if j.is_incomplete and j.status is not JobStatus.RUNNING]
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def completed_count(self) -> int:
+        return sum(1 for j in self if j.is_complete)
+
+    def deadline_satisfaction_rate(self) -> float:
+        """Fraction of *completed* jobs that met their goal (Figure 3)."""
+        done = self.completed()
+        if not done:
+            return float("nan")
+        met = sum(1 for j in done if j.met_deadline())
+        return met / len(done)
+
+    def total_placement_changes(self) -> int:
+        """Suspends + resumes + migrations across all jobs (Figure 4)."""
+        return sum(
+            j.suspend_count + j.resume_count + j.migration_count for j in self
+        )
+
+    def prune_completed(self, keep: int = 0) -> List[Job]:
+        """Drop completed jobs from the queue (optionally keeping the most
+        recent ``keep``), returning the dropped jobs.
+
+        Long experiments submit hundreds of jobs; pruning keeps the
+        controller's working set proportional to the *incomplete* jobs.
+        Dropped jobs remain owned by the caller (metrics recorders hold
+        their own references).
+        """
+        dropped: List[Job] = []
+        completed_ids = [j.job_id for j in self.completed()]
+        if keep:
+            completed_ids = completed_ids[:-keep]
+        for job_id in completed_ids:
+            dropped.append(self._jobs.pop(job_id))
+            self._order.remove(job_id)
+        return dropped

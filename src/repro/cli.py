@@ -1,0 +1,314 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Installed as the ``repro`` console script::
+
+    repro illustrative                 # Table 1 / Figure 1
+    repro exp1 --scale small           # Table 2 / Figure 2
+    repro exp2 --interarrivals 400 100 # Figures 3-5
+    repro exp3 --chart                 # Figures 6-7
+    repro ablations sampling           # design-choice studies
+
+Every experiment subcommand accepts ``--scale`` (tiny/small/half/paper)
+and ``--seed``; series-producing ones accept ``--chart`` (render text
+charts) and ``--export-json PATH`` (dump raw metrics).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import common
+from repro.experiments.common import SCALES, format_table, percent
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="experiment scale (default: REPRO_BENCH_SCALE or 'small')",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+
+
+def _resolve_scale(args) -> common.Scale:
+    if args.scale is not None:
+        return SCALES[args.scale]
+    return common.scale_from_env()
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_illustrative(args) -> int:
+    from repro.experiments.illustrative import render, run_illustrative_example
+
+    results = run_illustrative_example()
+    print(render(results))
+    return 0
+
+
+def cmd_exp1(args) -> int:
+    from repro.experiments.experiment1 import run_experiment_one
+
+    scale = _resolve_scale(args)
+    result = run_experiment_one(scale=scale, seed=args.seed)
+    print(f"scale: {scale.name} ({scale.nodes} nodes, {scale.job_count} jobs)")
+    print(f"peak hypothetical relative performance: "
+          f"{result.peak_hypothetical:.3f} (paper: 0.63)")
+    print(f"deadline satisfaction: {percent(result.deadline_satisfaction)}")
+    print(f"placement changes: {result.placement_changes} (paper: 0)")
+    shift = result.series_time_shift()
+    if shift is not None:
+        print(f"hypothetical->completion series shift: {shift:.0f}s "
+              f"(paper: ~18,000s at paper scale)")
+    print(f"mean decision time: {result.mean_decision_seconds * 1e3:.1f} ms/cycle")
+    if args.chart:
+        from repro.experiments.plotting import figure2_chart
+
+        print()
+        print(figure2_chart(result.hypothetical_series, result.completion_series))
+    if args.export_json:
+        from repro.sim.export import metrics_to_json
+
+        metrics_to_json(result.metrics, args.export_json)
+        print(f"metrics written to {args.export_json}")
+    return 0
+
+
+def cmd_exp2(args) -> int:
+    from repro.experiments.experiment2 import run_experiment_two
+
+    scale = _resolve_scale(args)
+    interarrivals = tuple(args.interarrivals)
+    result = run_experiment_two(
+        scale=scale, interarrivals=interarrivals, seed=args.seed
+    )
+    print(f"scale: {scale.name} ({scale.nodes} nodes, {scale.job_count} jobs)")
+    print("\nFigure 3 — % of jobs that met the deadline")
+    print(format_table(["inter-arrival(s)", "FCFS", "EDF", "APC"],
+                       result.satisfaction_table()))
+    print("\nFigure 4 — placement changes")
+    print(format_table(["inter-arrival(s)", "FCFS", "EDF", "APC"],
+                       result.changes_table()))
+    print("\nFigure 5 — deadline distance by goal factor (min/mean/max, s)")
+    rows = []
+    for run in result.runs:
+        for factor in sorted(run.distances):
+            d = run.distances[factor]
+            rows.append([
+                int(run.paper_interarrival), run.policy, f"{factor:.1f}x",
+                f"{min(d):,.0f}", f"{sum(d)/len(d):,.0f}", f"{max(d):,.0f}",
+            ])
+    print(format_table(["ia(s)", "policy", "goal", "min", "mean", "max"], rows))
+    return 0
+
+
+def cmd_exp3(args) -> int:
+    from repro.experiments.experiment3 import run_experiment_three
+
+    scale = _resolve_scale(args)
+    result = run_experiment_three(scale=scale, seed=args.seed)
+    print(f"scale: {scale.name} ({scale.nodes} nodes, {scale.job_count} jobs)")
+    rows = []
+    for key, cfg in result.configurations.items():
+        rows.append([
+            cfg.name,
+            f"{cfg.min_txn_utility():.3f}..{cfg.max_txn_utility():.3f}",
+            f"{cfg.mean_abs_utility_gap():.3f}",
+            percent(cfg.deadline_satisfaction),
+        ])
+    print(format_table(
+        ["configuration", "TX rel.perf range", "mean |TX-LR| gap",
+         "batch deadline satisfaction"],
+        rows,
+    ))
+    if args.chart:
+        from repro.experiments.plotting import figure6_chart, figure7_chart
+
+        for cfg in result.configurations.values():
+            print()
+            print(figure6_chart(
+                cfg.txn_utility_series, cfg.batch_utility_series, cfg.name
+            ))
+            print()
+            print(figure7_chart(cfg.allocation_series, cfg.name))
+    if args.export_json:
+        from repro.sim.export import metrics_to_json
+
+        metrics_to_json(result.dynamic.metrics, args.export_json)
+        print(f"dynamic-configuration metrics written to {args.export_json}")
+    return 0
+
+
+def cmd_workload(args) -> int:
+    from repro.workloads.generators import experiment_one_jobs, experiment_two_jobs
+    from repro.workloads.traces import write_job_trace
+
+    if args.kind == "exp1":
+        jobs = experiment_one_jobs(
+            count=args.count, mean_interarrival=args.interarrival, seed=args.seed
+        )
+    else:
+        jobs = experiment_two_jobs(
+            count=args.count, mean_interarrival=args.interarrival, seed=args.seed
+        )
+    text = write_job_trace(jobs, args.out)
+    if args.out:
+        print(f"{len(jobs)} jobs written to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from repro.analysis import minimum_nodes_for_batch, profile_workload
+    from repro.cluster import Cluster, NodeSpec
+    from repro.workloads.traces import read_job_trace
+
+    jobs = read_job_trace(args.trace)
+    spec = NodeSpec(
+        cpu_capacity=args.node_cpu,
+        memory_capacity=args.node_memory,
+        cpu_per_processor=args.cpu_per_processor or args.node_cpu,
+    )
+    probe = Cluster.homogeneous(
+        max(args.max_nodes, 1),
+        cpu_capacity=spec.cpu_capacity,
+        memory_capacity=spec.memory_capacity,
+        cpu_per_processor=spec.cpu_per_processor,
+    )
+    profile = profile_workload(jobs, probe)
+    print(f"jobs: {profile.job_count}; total work: "
+          f"{profile.total_work_mcycles:,.0f} Mcycles")
+    print(f"mean offered load: {profile.mean_offered_mhz:,.0f} MHz over "
+          f"{profile.last_submit - profile.first_submit:,.0f}s")
+    plan = minimum_nodes_for_batch(
+        jobs, spec,
+        target_satisfaction=args.target,
+        max_nodes=args.max_nodes,
+        policy=args.policy,
+    )
+    print(f"minimum nodes for {percent(args.target)} on-time ({args.policy}): "
+          f"{plan.nodes} (measured {percent(plan.deadline_satisfaction)}, "
+          f"{plan.evaluations} probe simulations)")
+    return 0
+
+
+def cmd_ablations(args) -> int:
+    from repro.experiments import ablations
+
+    scale = _resolve_scale(args)
+    which = args.study
+    if which in ("sampling", "all"):
+        rows = ablations.run_sampling_ablation(seed=args.seed)
+        print("\nA1 — sampling resolution (interpolation vs exact)")
+        print(format_table(
+            ["R", "max |err|", "mean |err|"],
+            [[r.resolution, f"{r.max_interpolation_error:.4f}",
+              f"{r.mean_interpolation_error:.4f}"] for r in rows],
+        ))
+    if which in ("cycle", "all"):
+        rows = ablations.run_cycle_length_ablation(scale=scale, seed=args.seed)
+        print("\nA2 — control cycle length")
+        print(format_table(
+            ["T (s)", "deadline satisfaction", "changes"],
+            [[int(r.cycle_length), percent(r.deadline_satisfaction),
+              r.placement_changes] for r in rows],
+        ))
+    if which in ("costs", "all"):
+        rows = ablations.run_cost_model_ablation(scale=scale, seed=args.seed)
+        print("\nA3 — placement-action costs")
+        print(format_table(
+            ["cost model", "deadline satisfaction", "changes"],
+            [[r.cost_model, percent(r.deadline_satisfaction),
+              r.placement_changes] for r in rows],
+        ))
+    if which in ("prediction", "all"):
+        rows = ablations.run_prediction_method_ablation(scale=scale, seed=args.seed)
+        print("\nA4 — prediction method (exact vs interpolate)")
+        print(format_table(
+            ["method", "deadline satisfaction", "changes"],
+            [[r.method, percent(r.deadline_satisfaction),
+              r.placement_changes] for r in rows],
+        ))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce Carrera et al. (MIDDLEWARE 2008) experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("illustrative", help="Table 1 / Figure 1 (§4.3)")
+    p.set_defaults(func=cmd_illustrative)
+
+    p = sub.add_parser("exp1", help="Table 2 / Figure 2 (§5.1)")
+    _add_common(p)
+    p.add_argument("--chart", action="store_true", help="render a text chart")
+    p.add_argument("--export-json", metavar="PATH", default=None)
+    p.set_defaults(func=cmd_exp1)
+
+    p = sub.add_parser("exp2", help="Figures 3-5 (§5.2)")
+    _add_common(p)
+    p.add_argument(
+        "--interarrivals",
+        type=float,
+        nargs="+",
+        default=[400.0, 200.0, 100.0],
+        help="paper-scale inter-arrival times to sweep (s)",
+    )
+    p.set_defaults(func=cmd_exp2)
+
+    p = sub.add_parser("exp3", help="Figures 6-7 (§5.3)")
+    _add_common(p)
+    p.add_argument("--chart", action="store_true", help="render text charts")
+    p.add_argument("--export-json", metavar="PATH", default=None)
+    p.set_defaults(func=cmd_exp3)
+
+    p = sub.add_parser("workload", help="generate a job-trace CSV")
+    p.add_argument("kind", choices=["exp1", "exp2"])
+    p.add_argument("--count", type=int, default=100)
+    p.add_argument("--interarrival", type=float, default=260.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", metavar="PATH", default=None)
+    p.set_defaults(func=cmd_workload)
+
+    p = sub.add_parser("plan", help="capacity-plan a cluster for a job trace")
+    p.add_argument("trace", help="job-trace CSV (see 'repro workload')")
+    p.add_argument("--node-cpu", type=float, default=4 * 3900.0)
+    p.add_argument("--node-memory", type=float, default=16 * 1024.0)
+    p.add_argument("--cpu-per-processor", type=float, default=3900.0)
+    p.add_argument("--target", type=float, default=0.95)
+    p.add_argument("--max-nodes", type=int, default=64)
+    p.add_argument("--policy", choices=["APC", "FCFS"], default="APC")
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("ablations", help="design-choice studies")
+    _add_common(p)
+    p.add_argument(
+        "study",
+        choices=["sampling", "cycle", "costs", "prediction", "all"],
+        nargs="?",
+        default="all",
+    )
+    p.set_defaults(func=cmd_ablations)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Cluster substrate: physical nodes and capacity bookkeeping.
+
+The paper's system model (§3.2) is a set of heterogeneous physical
+machines ("nodes"), each with a CPU capacity (MHz) and a memory capacity
+(MB).  This package provides:
+
+* :class:`~repro.cluster.node.Node` — a single physical machine.
+* :class:`~repro.cluster.cluster.Cluster` — an indexed collection of nodes
+  with aggregate capacity queries and factory helpers for the homogeneous
+  clusters used in the paper's experiments.
+"""
+
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.cluster import Cluster
+
+__all__ = ["Node", "NodeSpec", "Cluster"]

@@ -1,0 +1,128 @@
+"""Cluster: an ordered, name-indexed collection of nodes."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.cluster.node import Node, NodeSpec
+from repro.errors import ConfigurationError, PlacementError
+
+
+class Cluster:
+    """A set of physical nodes managed by the placement controller.
+
+    The cluster preserves insertion order (the placement algorithm's outer
+    loop iterates nodes deterministically) and indexes nodes by name.
+    """
+
+    def __init__(self, nodes: Iterable[Node] = ()) -> None:
+        self._nodes: Dict[str, Node] = {}
+        for node in nodes:
+            self.add_node(node)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def homogeneous(
+        cls,
+        count: int,
+        cpu_capacity: float,
+        memory_capacity: float,
+        cpu_per_processor: float = 0.0,
+        name_prefix: str = "node",
+    ) -> "Cluster":
+        """Build a cluster of ``count`` identical nodes.
+
+        This matches the paper's experimental setup, e.g. Experiment One's
+        "25 nodes, each of which has four 3.9GHz processors and 16GB of
+        RAM"::
+
+            Cluster.homogeneous(25, cpu_capacity=4 * 3900,
+                                memory_capacity=16 * 1024,
+                                cpu_per_processor=3900)
+        """
+        if count <= 0:
+            raise ConfigurationError(f"cluster must have >= 1 node, got {count}")
+        spec = NodeSpec(
+            cpu_capacity=cpu_capacity,
+            memory_capacity=memory_capacity,
+            cpu_per_processor=cpu_per_processor,
+        )
+        width = len(str(count - 1))
+        return cls(
+            Node(name=f"{name_prefix}{i:0{width}d}", spec=spec) for i in range(count)
+        )
+
+    def add_node(self, node: Node) -> None:
+        """Add a node; raises :class:`PlacementError` on duplicate names."""
+        if node.name in self._nodes:
+            raise PlacementError(f"duplicate node name: {node.name!r}")
+        self._nodes[node.name] = node
+
+    # ------------------------------------------------------------------
+    # Lookup / iteration
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> Node:
+        """Return the node called ``name``; raise if unknown."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise PlacementError(f"unknown node: {name!r}") from None
+
+    def get(self, name: str) -> Optional[Node]:
+        """Return the node called ``name`` or ``None``."""
+        return self._nodes.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> List[Node]:
+        """Nodes in insertion order."""
+        return list(self._nodes.values())
+
+    @property
+    def node_names(self) -> List[str]:
+        """Node names in insertion order."""
+        return list(self._nodes.keys())
+
+    # ------------------------------------------------------------------
+    # Aggregate capacity
+    # ------------------------------------------------------------------
+    @property
+    def total_cpu_capacity(self) -> float:
+        """Sum of node CPU capacities in MHz."""
+        return sum(n.cpu_capacity for n in self._nodes.values())
+
+    @property
+    def total_memory_capacity(self) -> float:
+        """Sum of node memory capacities in MB."""
+        return sum(n.memory_capacity for n in self._nodes.values())
+
+    def subcluster(self, names: Iterable[str]) -> "Cluster":
+        """A new cluster containing only the named nodes (for static
+        partitioning experiments, e.g. Experiment Three's 9/16 split)."""
+        return Cluster(self.node(name) for name in names)
+
+    def partition(self, first_count: int) -> "tuple[Cluster, Cluster]":
+        """Split the cluster into the first ``first_count`` nodes and the rest."""
+        names = self.node_names
+        if not 0 < first_count < len(names):
+            raise ConfigurationError(
+                f"partition size must be in (0, {len(names)}), got {first_count}"
+            )
+        return self.subcluster(names[:first_count]), self.subcluster(names[first_count:])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cluster({len(self)} nodes, "
+            f"cpu={self.total_cpu_capacity:.0f}MHz, "
+            f"mem={self.total_memory_capacity:.0f}MB)"
+        )

@@ -1,0 +1,110 @@
+"""Physical machine model.
+
+A node is described by its CPU capacity (MHz, aggregated over all
+processors), its per-processor speed (MHz — the speed ceiling for any
+single execution thread, relevant because a request or a single-threaded
+job cannot run faster than one processor), and its memory capacity (MB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.units import EPSILON
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Immutable hardware description of a node.
+
+    Parameters
+    ----------
+    cpu_capacity:
+        Total CPU power of the node in MHz (sum over processors).
+    memory_capacity:
+        Total memory of the node in MB.
+    cpu_per_processor:
+        Speed of a single processor in MHz.  Defaults to the total
+        capacity (i.e. a single-processor machine).
+    """
+
+    cpu_capacity: float
+    memory_capacity: float
+    cpu_per_processor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_capacity <= 0:
+            raise ConfigurationError(
+                f"node CPU capacity must be positive, got {self.cpu_capacity}"
+            )
+        if self.memory_capacity <= 0:
+            raise ConfigurationError(
+                f"node memory capacity must be positive, got {self.memory_capacity}"
+            )
+        if self.cpu_per_processor == 0.0:
+            object.__setattr__(self, "cpu_per_processor", self.cpu_capacity)
+        if self.cpu_per_processor < 0 or self.cpu_per_processor > self.cpu_capacity + EPSILON:
+            raise ConfigurationError(
+                "per-processor speed must be in (0, cpu_capacity], got "
+                f"{self.cpu_per_processor} with capacity {self.cpu_capacity}"
+            )
+
+    @property
+    def processor_count(self) -> int:
+        """Number of processors implied by total and per-processor speed."""
+        return max(1, round(self.cpu_capacity / self.cpu_per_processor))
+
+
+@dataclass
+class Node:
+    """A physical machine in the managed cluster.
+
+    Nodes are identified by a stable string name and carry an immutable
+    :class:`NodeSpec`.  Resource *usage* is not tracked here — placement
+    and load matrices (:mod:`repro.core.placement`) own that state — but
+    the node exposes convenience capacity accessors used throughout the
+    placement algorithm.
+    """
+
+    name: str
+    spec: NodeSpec
+    #: Optional free-form labels (e.g. ``{"pool": "transactional"}``) used
+    #: by placement constraints such as pinning.
+    labels: dict = field(default_factory=dict)
+    #: False while the node is failed/drained: it contributes no capacity
+    #: and accepts no placements (failure-injection extension).
+    available: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("node name must be non-empty")
+
+    @property
+    def cpu_capacity(self) -> float:
+        """Usable CPU capacity in MHz (0 while unavailable)."""
+        return self.spec.cpu_capacity if self.available else 0.0
+
+    @property
+    def memory_capacity(self) -> float:
+        """Usable memory capacity in MB (0 while unavailable)."""
+        return self.spec.memory_capacity if self.available else 0.0
+
+    @property
+    def cpu_per_processor(self) -> float:
+        """Single-processor speed in MHz."""
+        return self.spec.cpu_per_processor
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Node):
+            return NotImplemented
+        return self.name == other.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Node({self.name!r}, cpu={self.spec.cpu_capacity:.0f}MHz, "
+            f"mem={self.spec.memory_capacity:.0f}MB)"
+        )

@@ -1,0 +1,550 @@
+"""The Application Placement Controller (APC).
+
+§3.2: every control cycle the APC "examines the placement of applications
+on nodes and their resource allocations, evaluates the relative
+performance of this allocation and makes changes to the allocation by
+starting, stopping, suspending, resuming, relocating or changing CPU
+share configuration of some applications".
+
+The optimization objective is the maxmin extension over per-application
+relative performance (see :mod:`repro.core.objective`), subject to node
+memory/CPU capacities and placement constraints, with a secondary goal of
+minimizing placement changes.
+
+The placement problem is NP-hard; the search is the three-nested-loop
+heuristic of [18] (Carrera et al., NOMS 2008):
+
+* the **outer loop** iterates over nodes;
+* the **intermediate loop** iterates over the application instances
+  placed on the node and removes them one by one (cumulatively),
+  generating a set of candidate configurations linear in the number of
+  instances on the node — instances of the *highest*-utility applications
+  are removed first (they can best afford to lose resources);
+* the **inner loop** iterates over applications, attempting to place new
+  instances on the node as permitted by the constraints — applications
+  are visited lowest-relative-performance first (the paper's LRPF
+  ordering), so the neediest work is considered first.
+
+Each candidate configuration is scored by running the load-distribution
+optimizer (:mod:`repro.core.loadbalance`) and the workload models'
+predictors; it is adopted only if the global utility vector strictly
+improves (ties never justify churn — which is exactly why, in the
+illustrative example's Scenario 1, the controller leaves J1 running
+alone, and why Experiment One's identical-job workload sees zero
+placement changes).
+
+Before the full search the controller runs a cheap **greedy admission
+pass** that places queued/unplaced applications into free capacity in
+LRPF order.  When no removal-based improvement is possible — detected by
+comparing unplaced candidates' best-achievable relative performance
+against placed applications' current predictions — the search is skipped
+entirely.  This is the "internal shortcut" the paper observes: "when all
+submitted jobs can be placed concurrently, the algorithm is able to take
+internal shortcuts, resulting in a significant reduction in execution
+time" (§5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster import Cluster
+from repro.core.constraints import ConstraintSet
+from repro.core.loadbalance import AllocatableApp, distribute_load
+from repro.core.objective import PlacementScore, UtilityVector
+from repro.core.placement import PlacementState
+from repro.core.workload import WorkloadModel
+from repro.errors import ConfigurationError, PlacementError
+from repro.units import EPSILON
+from repro.virt.actions import diff_placements
+
+
+@dataclass
+class APCConfig:
+    """Tunables of the placement controller.
+
+    Attributes
+    ----------
+    cycle_length:
+        Control cycle period ``T`` in seconds (§3.1: "of the order of
+        minutes"; Experiment One uses 600 s).
+    max_removals_per_node:
+        Cap on the intermediate loop's cumulative removals per node
+        (``None`` = all instances on the node may be considered).
+    search_sweeps:
+        Number of outer-loop sweeps over all nodes per cycle.
+    improvement_epsilon:
+        Minimum per-element utility-vector improvement that justifies a
+        change; below this, candidates are treated as ties (and ties
+        never justify churn).  The default, 0.02, matches the paper's
+        reporting granularity for the illustrative example — Scenario 1's
+        alternatives (exactly: 0.6875 vs 0.6955) are reported as the tie
+        "0.7 vs 0.7" and resolved in favor of no change.
+    preemption_penalty:
+        Extra utility-vector improvement a candidate must show when it
+        *suspends or relocates* running instances.  The hypothetical
+        predictor has one-cycle lookahead: swapping a queued job for a
+        running one of the same class always shows a transient gain of
+        ``T / relative_goal`` (the queued job's achievable performance
+        stops eroding for one cycle) even though the true completion-time
+        vector cannot improve — the paper proves this for identical jobs
+        (§5.1) and indeed observes zero changes.  Requiring preemptive
+        configs to beat the incumbent by this margin suppresses those
+        illusory swaps while preserving genuine urgency-driven
+        preemption (a tight-goal job's erosion rate is many times
+        larger).  This realizes the paper's "heuristics that aim to
+        minimize the number of changes to the current placement" (§3.2).
+    enable_search:
+        When False only the greedy admission pass runs (useful for
+        ablations; the full paper algorithm keeps it True).
+    """
+
+    cycle_length: float = 600.0
+    max_removals_per_node: Optional[int] = None
+    search_sweeps: int = 1
+    improvement_epsilon: float = 0.02
+    preemption_penalty: float = 0.05
+    enable_search: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cycle_length <= 0:
+            raise ConfigurationError(f"cycle length must be positive, got {self.cycle_length}")
+        if self.search_sweeps < 0:
+            raise ConfigurationError(f"search sweeps must be >= 0, got {self.search_sweeps}")
+        if self.max_removals_per_node is not None and self.max_removals_per_node < 0:
+            raise ConfigurationError("max removals per node must be >= 0 or None")
+
+
+@dataclass
+class APCResult:
+    """Outcome of one control cycle's placement computation."""
+
+    #: The chosen placement with its load matrix filled in.
+    state: PlacementState
+    #: Total CPU granted per placed application.
+    allocations: Dict[str, float] = field(default_factory=dict)
+    #: Predicted relative performance for every application (incl. unplaced).
+    utilities: Dict[str, float] = field(default_factory=dict)
+    #: Score of the chosen placement (vs. the cycle's starting placement).
+    score: Optional[PlacementScore] = None
+    #: Number of candidate placements fully evaluated.
+    evaluations: int = 0
+    #: Whether the chosen placement differs from the starting one.
+    changed: bool = False
+
+    @property
+    def utility_vector(self) -> UtilityVector:
+        return UtilityVector(self.utilities.values())
+
+
+class ApplicationPlacementController:
+    """Searches for the best placement each control cycle."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: Optional[APCConfig] = None,
+        constraints: Optional[ConstraintSet] = None,
+    ) -> None:
+        self._cluster = cluster
+        self._config = config or APCConfig()
+        self._constraints = constraints or ConstraintSet()
+
+    @property
+    def config(self) -> APCConfig:
+        return self._config
+
+    @property
+    def constraints(self) -> ConstraintSet:
+        return self._constraints
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def place(
+        self,
+        models: Sequence[WorkloadModel],
+        current: PlacementState,
+        now: float,
+    ) -> APCResult:
+        """Compute the placement for the control cycle starting at ``now``.
+
+        ``current`` is the placement in effect; it is not mutated.  The
+        returned state carries the new placement and load matrix.
+        """
+        specs = self._merge_specs(models, now)
+        candidates = self._merge_candidates(models, now)
+
+        state = current.copy()
+        self._prune_vanished(state, specs)
+        self._refresh_demands(state, specs)
+        baseline = state.as_matrix()
+
+        evaluations = 0
+
+        def evaluate(
+            trial: PlacementState, tolerance: Optional[float] = None
+        ) -> Tuple[PlacementScore, Dict[str, float], Dict[str, float]]:
+            nonlocal evaluations
+            evaluations += 1
+            result = distribute_load(trial, specs)
+            utilities: Dict[str, float] = {}
+            for model in models:
+                utilities.update(
+                    model.evaluate(result.allocations, now, self._config.cycle_length)
+                )
+            removals, additions = diff_placements(baseline, trial.as_matrix())
+            churn = sum(c for _, _, c in removals) + sum(c for _, _, c in additions)
+            score = PlacementScore(
+                UtilityVector(
+                    utilities.values(),
+                    tolerance=(
+                        self._config.improvement_epsilon
+                        if tolerance is None
+                        else tolerance
+                    ),
+                ),
+                churn,
+            )
+            return score, utilities, result.allocations
+
+        best_state = state
+        best_score, best_utilities, best_allocations = evaluate(best_state)
+
+        # ---- greedy admission pass --------------------------------------
+        # Adoption always requires a *strict* utility-vector improvement:
+        # a tie never justifies touching the placement (the illustrative
+        # example's Scenario 1 — the equal-utility alternative that
+        # starts J2 is rejected because it requires a change).
+        trial = best_state.copy()
+        placed_any = self._greedy_admit(trial, specs, candidates, best_utilities)
+        if placed_any:
+            score, utilities, allocations = evaluate(trial)
+            if score.utilities > best_score.utilities:
+                best_state, best_score = trial, score
+                best_utilities, best_allocations = utilities, allocations
+
+        # ---- full nested-loop search ------------------------------------
+        if self._config.enable_search and self._search_is_worthwhile(
+            best_state, specs, candidates, best_utilities, best_allocations
+        ):
+            for _ in range(self._config.search_sweeps):
+                improved, best_state, best_score, best_utilities, best_allocations = (
+                    self._sweep(
+                        best_state,
+                        best_score,
+                        best_utilities,
+                        best_allocations,
+                        specs,
+                        candidates,
+                        evaluate,
+                    )
+                )
+                if not improved:
+                    break
+
+        changed = best_state.as_matrix() != baseline
+        return APCResult(
+            state=best_state,
+            allocations=best_allocations,
+            utilities=best_utilities,
+            score=best_score,
+            evaluations=evaluations,
+            changed=changed,
+        )
+
+    # ------------------------------------------------------------------
+    # Pieces
+    # ------------------------------------------------------------------
+    def _merge_specs(
+        self, models: Sequence[WorkloadModel], now: float
+    ) -> Dict[str, AllocatableApp]:
+        specs: Dict[str, AllocatableApp] = {}
+        for model in models:
+            for app_id, spec in model.app_specs(now).items():
+                if app_id in specs:
+                    raise PlacementError(
+                        f"application id {app_id!r} provided by multiple models"
+                    )
+                specs[app_id] = spec
+        return specs
+
+    def _merge_candidates(
+        self, models: Sequence[WorkloadModel], now: float
+    ) -> List[str]:
+        out: List[str] = []
+        for model in models:
+            out.extend(model.placement_candidates(now))
+        return out
+
+    @staticmethod
+    def _prune_vanished(state: PlacementState, specs: Mapping[str, AllocatableApp]) -> None:
+        """Remove instances of applications no longer under management
+        (completed jobs, deregistered apps)."""
+        for app_id in list(state.app_ids):
+            if app_id not in specs:
+                for node, count in state.instances(app_id).items():
+                    state.remove(app_id, node, count)
+
+    @staticmethod
+    def _refresh_demands(
+        state: PlacementState, specs: Mapping[str, AllocatableApp]
+    ) -> None:
+        """Re-apply current memory demands to carried-over instances.
+
+        A multi-stage job's memory requirement (``γ_k``) changes across
+        stage boundaries (§4.1).  Instances are re-placed with the
+        current demand; an instance whose grown footprint no longer fits
+        its node is removed (the admission/search passes will try to
+        place the application elsewhere this same cycle).
+        """
+        from repro.errors import CapacityError
+
+        for app_id in list(state.app_ids):
+            spec = specs.get(app_id)
+            if spec is None:
+                continue
+            recorded = state.memory_demand_of(app_id)
+            if recorded is None or abs(recorded - spec.demand.memory_mb) <= EPSILON:
+                continue
+            placements = state.instances(app_id)
+            for node, count in placements.items():
+                state.remove(app_id, node, count)
+            state.forget_memory_demand(app_id)
+            for node, count in placements.items():
+                try:
+                    state.place(app_id, node, spec.demand.memory_mb, count)
+                except CapacityError:
+                    pass  # evicted by its own growth; may be re-placed
+
+    def _can_host(
+        self,
+        state: PlacementState,
+        spec: AllocatableApp,
+        node: str,
+    ) -> bool:
+        """Memory + min-CPU + policy check for one more instance."""
+        demand = spec.demand
+        if state.memory_available(node) + EPSILON < demand.memory_mb:
+            return False
+        if demand.max_instances is not None:
+            if state.instance_count(demand.app_id) >= demand.max_instances:
+                return False
+        # Reserve minimum speeds: the sum of min speeds of instances on
+        # the node (including the newcomer) must fit in CPU capacity.
+        return self._constraints.allows(state, demand.app_id, node)
+
+    def _min_cpu_fits(
+        self,
+        state: PlacementState,
+        specs: Mapping[str, AllocatableApp],
+        node: str,
+        extra_min: float,
+    ) -> bool:
+        committed = extra_min
+        for app_id in state.apps_on(node):
+            spec = specs.get(app_id)
+            if spec is None:
+                continue
+            committed += spec.demand.min_cpu_mhz * state.instances(app_id)[node]
+        return committed <= self._cluster.node(node).cpu_capacity + EPSILON
+
+    def _greedy_admit(
+        self,
+        state: PlacementState,
+        specs: Mapping[str, AllocatableApp],
+        candidates: Sequence[str],
+        utilities: Mapping[str, float],
+    ) -> bool:
+        """Place unplaced candidates into free capacity, LRPF first.
+
+        Singleton applications (jobs) get one instance on the node with
+        the most free CPU among those with room; divisible applications
+        (web clusters) get an instance on *every* node that can host one —
+        growing the cluster costs nothing at this stage and lets the load
+        distributor use all available capacity.
+        """
+        placed_any = False
+        unplaced = [c for c in candidates if not state.is_placed(c) and c in specs]
+        unplaced.sort(key=lambda a: utilities.get(a, specs[a].rpf.max_utility))
+        for app_id in unplaced:
+            spec = specs[app_id]
+            if spec.demand.divisible:
+                for node in self._cluster.node_names:
+                    if self._can_host(state, spec, node) and self._min_cpu_fits(
+                        state, specs, node, spec.demand.min_cpu_mhz
+                    ):
+                        state.place(app_id, node, spec.demand.memory_mb)
+                        placed_any = True
+            else:
+                hosts = [
+                    n
+                    for n in self._cluster.node_names
+                    if self._can_host(state, spec, n)
+                    and self._min_cpu_fits(state, specs, n, spec.demand.min_cpu_mhz)
+                ]
+                if hosts:
+                    # Most free CPU first: spreads jobs and leaves room
+                    # for each to reach its maximum speed.
+                    target = max(hosts, key=lambda n: (state.cpu_available(n), -self._cluster.node_names.index(n)))
+                    state.place(app_id, target, spec.demand.memory_mb)
+                    placed_any = True
+        return placed_any
+
+    def _search_is_worthwhile(
+        self,
+        state: PlacementState,
+        specs: Mapping[str, AllocatableApp],
+        candidates: Sequence[str],
+        utilities: Mapping[str, float],
+        allocations: Mapping[str, float],
+    ) -> bool:
+        """Skip the expensive search when no removal can pay off.
+
+        A removal-based change must eventually clear the preemption
+        penalty, so the search is only entered when either
+
+        * some unplaced candidate's *best-case* relative performance if
+          placed right now (its RPF maximum) exceeds its current
+          prediction by more than the penalty — the headroom a swap could
+          at most realize; with identical jobs this headroom is one
+          cycle's goal erosion (``T / relative_goal``), below the
+          penalty, which is why Experiment One skips the search entirely
+          (the paper's "internal shortcuts"); or
+        * some placed application is starved well below the best placed
+          application while other nodes still have free CPU — a live
+          migration could rebalance.
+        """
+        gate = max(
+            self._config.preemption_penalty, self._config.improvement_epsilon
+        )
+        for candidate in candidates:
+            if state.is_placed(candidate) or candidate not in specs:
+                continue
+            headroom = specs[candidate].rpf.max_utility - utilities.get(
+                candidate, float("-inf")
+            )
+            if headroom > gate:
+                return True
+
+        placed_utilities = {
+            a: utilities[a] for a in state.app_ids if a in utilities
+        }
+        if not placed_utilities:
+            return any(
+                not state.is_placed(c) for c in candidates if c in specs
+            )
+        best_placed = max(placed_utilities.values())
+        for app_id, utility in placed_utilities.items():
+            if utility >= best_placed - gate:
+                continue
+            spec = specs.get(app_id)
+            if spec is None:
+                continue
+            allocated = allocations.get(app_id, 0.0)
+            if allocated + EPSILON >= spec.rpf.saturation_cpu:
+                continue
+            own_nodes = set(state.nodes_of(app_id))
+            if any(
+                state.cpu_available(n) > EPSILON
+                for n in self._cluster.node_names
+                if n not in own_nodes
+            ):
+                return True
+        return False
+
+    def _sweep(
+        self,
+        best_state: PlacementState,
+        best_score: PlacementScore,
+        best_utilities: Dict[str, float],
+        best_allocations: Dict[str, float],
+        specs: Mapping[str, AllocatableApp],
+        candidates: Sequence[str],
+        evaluate,
+    ):
+        """One outer-loop pass over all nodes.  Returns
+        ``(improved, state, score, utilities, allocations)``."""
+        improved = False
+
+        # Outer loop: visit nodes hosting the highest-utility instances
+        # first — they are the most promising donors of capacity.
+        def node_key(node: str) -> float:
+            apps = best_state.apps_on(node)
+            if not apps:
+                return float("-inf")
+            return max(best_utilities.get(a, float("-inf")) for a in apps)
+
+        for node in sorted(self._cluster.node_names, key=node_key, reverse=True):
+            # All of this node's candidate configurations are built from
+            # the same base (competing alternatives for the node); an
+            # adopted candidate becomes the base for *subsequent* nodes.
+            node_base = best_state
+            # Intermediate loop: cumulative removals, highest utility first.
+            removable: List[str] = []
+            for app_id in sorted(
+                node_base.apps_on(node),
+                key=lambda a: best_utilities.get(a, float("-inf")),
+                reverse=True,
+            ):
+                removable.extend([app_id] * node_base.instances(app_id)[node])
+            if self._config.max_removals_per_node is not None:
+                removable = removable[: self._config.max_removals_per_node]
+
+            for removals in range(len(removable) + 1):
+                trial = node_base.copy()
+                for app_id in removable[:removals]:
+                    trial.remove(app_id, node)
+                filled = self._fill_node(
+                    trial, specs, candidates, best_utilities, node,
+                    forbidden=set(removable[:removals]),
+                )
+                if removals == 0 and not filled:
+                    continue  # identical to the incumbent placement
+                # Preemptive configs (those that suspend/relocate running
+                # instances) must clear the preemption penalty; pure
+                # additions only the noise threshold.
+                tolerance = (
+                    max(
+                        self._config.preemption_penalty,
+                        self._config.improvement_epsilon,
+                    )
+                    if removals > 0
+                    else None
+                )
+                score, utilities, allocations = evaluate(trial, tolerance=tolerance)
+                if score.utilities > best_score.utilities:
+                    best_state, best_score = trial, score
+                    best_utilities, best_allocations = utilities, allocations
+                    improved = True
+        return improved, best_state, best_score, best_utilities, best_allocations
+
+    def _fill_node(
+        self,
+        state: PlacementState,
+        specs: Mapping[str, AllocatableApp],
+        candidates: Sequence[str],
+        utilities: Mapping[str, float],
+        node: str,
+        forbidden: set,
+    ) -> bool:
+        """Inner loop: place new instances on ``node``, LRPF order."""
+        placed_any = False
+        eligible = [
+            c
+            for c in candidates
+            if c in specs
+            and c not in forbidden
+            and (specs[c].demand.divisible or not state.is_placed(c))
+            and state.instances(c).get(node, 0) == 0
+        ]
+        eligible.sort(key=lambda a: utilities.get(a, specs[a].rpf.max_utility))
+        for app_id in eligible:
+            spec = specs[app_id]
+            if self._can_host(state, spec, node) and self._min_cpu_fits(
+                state, specs, node, spec.demand.min_cpu_mhz
+            ):
+                state.place(app_id, node, spec.demand.memory_mb)
+                placed_any = True
+        return placed_any

@@ -1,0 +1,138 @@
+"""Placement constraints.
+
+§3.2: "While finding the optimal placement, APC also observes a number of
+constraints, such as resource constraints, collocation constraints and
+application pinning, amongst others."  Resource constraints (memory, CPU)
+are enforced structurally by :class:`~repro.core.placement.PlacementState`;
+this module provides the policy-level constraints as pluggable predicates.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Protocol, runtime_checkable
+
+from repro.core.placement import PlacementState
+
+
+@runtime_checkable
+class PlacementConstraint(Protocol):
+    """A predicate over a candidate instance placement.
+
+    ``allows(state, app_id, node)`` answers: may one more instance of
+    ``app_id`` be placed on ``node`` given the (partial) placement
+    ``state``?  Constraints must be monotone in removals — removing an
+    instance never turns an allowed placement into a forbidden one — which
+    the search algorithm relies on when it explores removals.
+    """
+
+    def allows(self, state: PlacementState, app_id: str, node: str) -> bool:
+        ...
+
+
+class PinToNodes:
+    """Restrict an application to an explicit set of allowed nodes."""
+
+    def __init__(self, app_id: str, nodes: Iterable[str]) -> None:
+        self.app_id = app_id
+        self.nodes: FrozenSet[str] = frozenset(nodes)
+
+    def allows(self, state: PlacementState, app_id: str, node: str) -> bool:
+        if app_id != self.app_id:
+            return True
+        return node in self.nodes
+
+    def __repr__(self) -> str:
+        return f"PinToNodes({self.app_id!r}, {sorted(self.nodes)!r})"
+
+
+class AntiCollocation:
+    """Forbid two applications from sharing a node.
+
+    Typical uses: availability (replicas of the same service on distinct
+    failure domains) or licensing.
+    """
+
+    def __init__(self, app_a: str, app_b: str) -> None:
+        self.app_a = app_a
+        self.app_b = app_b
+
+    def allows(self, state: PlacementState, app_id: str, node: str) -> bool:
+        if app_id == self.app_a:
+            other = self.app_b
+        elif app_id == self.app_b:
+            other = self.app_a
+        else:
+            return True
+        return state.instances(other).get(node, 0) == 0
+
+    def __repr__(self) -> str:
+        return f"AntiCollocation({self.app_a!r}, {self.app_b!r})"
+
+
+class Collocation:
+    """Require an application's instances to land only where another
+    application already runs (affinity).
+
+    Typical use: a cache sidecar that must share a node with the service
+    it accelerates.  The dependent application can only be placed on
+    nodes hosting the anchor; the anchor itself is unconstrained.
+    """
+
+    def __init__(self, dependent: str, anchor: str) -> None:
+        if dependent == anchor:
+            raise ValueError("an application cannot be collocated with itself")
+        self.dependent = dependent
+        self.anchor = anchor
+
+    def allows(self, state: PlacementState, app_id: str, node: str) -> bool:
+        if app_id != self.dependent:
+            return True
+        return state.instances(self.anchor).get(node, 0) > 0
+
+    def __repr__(self) -> str:
+        return f"Collocation({self.dependent!r} -> {self.anchor!r})"
+
+
+class MaxInstancesPerNode:
+    """Cap the number of instances of one application per node.
+
+    Transactional application clusters place at most one instance per node
+    in the paper's system (the application-server model); that is the
+    default cap.
+    """
+
+    def __init__(self, app_id: str, limit: int = 1) -> None:
+        self.app_id = app_id
+        self.limit = limit
+
+    def allows(self, state: PlacementState, app_id: str, node: str) -> bool:
+        if app_id != self.app_id:
+            return True
+        return state.instances(app_id).get(node, 0) < self.limit
+
+    def __repr__(self) -> str:
+        return f"MaxInstancesPerNode({self.app_id!r}, {self.limit})"
+
+
+class ConstraintSet:
+    """Conjunction of placement constraints, indexed for fast checks."""
+
+    def __init__(self, constraints: Iterable[PlacementConstraint] = ()) -> None:
+        self._constraints: List[PlacementConstraint] = list(constraints)
+
+    def add(self, constraint: PlacementConstraint) -> None:
+        self._constraints.append(constraint)
+
+    def allows(self, state: PlacementState, app_id: str, node: str) -> bool:
+        """True iff every constraint admits one more ``app_id`` instance
+        on ``node``."""
+        return all(c.allows(state, app_id, node) for c in self._constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self):
+        return iter(self._constraints)
+
+    def __repr__(self) -> str:
+        return f"ConstraintSet({self._constraints!r})"

@@ -1,0 +1,367 @@
+"""Load distribution for a fixed placement: progressive filling.
+
+Given a placement matrix ``P`` (which instances sit on which nodes), the
+controller must choose the load matrix ``L`` — how much CPU each instance
+receives — to maximize the sorted vector of application relative
+performance lexicographically (§3.2).  This module implements that inner
+optimization by *progressive filling* on the relative-performance scale:
+
+1. every placed application first receives its minimum speed
+   (``ω^min`` per instance);
+2. a common relative-performance level ``u`` is raised (binary search) as
+   far as node CPU capacities allow, each application demanding
+   ``ω_m(u)`` — the inverse of its RPF — clamped into its
+   ``[min, max]`` speed range (an application already at its maximum
+   utility simply demands its maximum useful speed, so it never blocks
+   the level);
+3. any remaining capacity is handed out in ascending-utility order:
+   each application is individually raised as far as its own nodes'
+   residual capacity permits (lexicographic refinement).
+
+Applications enter the optimizer as :class:`AllocatableApp` — a resource
+demand plus an RPF of the CPU allocation.  For batch jobs the RPF is the
+per-job hypothetical function of §4.2 (the ``W`` matrix row: the average
+speed the job must sustain from now on to reach a target relative
+performance); for transactional applications it is the queuing-model RPF
+of §3.3.  The coupling between jobs (shared future capacity) affects
+*evaluation* of the resulting allocation, not the per-job demand curves,
+so this optimizer stays workload-agnostic.
+
+Distributing an application's aggregate target over its instances is a
+transportation problem; we use a greedy scheme that is exact for
+single-node applications (all batch jobs — they are singletons) and for
+any number of divisible applications that do not compete with each other
+on shared nodes (the experimental configurations).  With several divisible
+applications overlapping on saturated nodes it is a heuristic, consistent
+with the paper's overall heuristic approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.placement import AppDemand, PlacementState
+from repro.core.rpf import (
+    NEGATIVE_INFINITY_UTILITY,
+    RelativePerformanceFunction,
+)
+from repro.units import EPSILON, clamp
+
+#: Binary-search iterations for utility levels.  48 halvings of the
+#: [-50, 1] utility interval resolve levels to ~2e-13, far below any
+#: physically meaningful difference.
+_LEVEL_SEARCH_ITERATIONS = 48
+
+#: Maximum refinement sweeps.  Each sweep either raises at least one
+#: application or terminates, so this is a safety bound, not a tuning knob.
+_MAX_REFINEMENT_SWEEPS = 64
+
+
+@dataclass(frozen=True)
+class AllocatableApp:
+    """One application as seen by the load-distribution optimizer."""
+
+    demand: AppDemand
+    rpf: RelativePerformanceFunction
+
+    @property
+    def app_id(self) -> str:
+        return self.demand.app_id
+
+
+@dataclass
+class LoadDistributionResult:
+    """Outcome of :func:`distribute_load`.
+
+    Attributes
+    ----------
+    allocations:
+        Total CPU (MHz) granted to each placed application.
+    utilities:
+        Relative performance at the granted allocation, per the
+        application's own RPF.  (Batch job utilities are re-derived by the
+        batch model during placement evaluation; these values are the
+        per-app view used for ordering.)
+    common_level:
+        The highest common relative-performance level reached in phase 2.
+    feasible:
+        False when even the minimum speeds could not be satisfied;
+        allocations are then best-effort.
+    """
+
+    allocations: Dict[str, float] = field(default_factory=dict)
+    utilities: Dict[str, float] = field(default_factory=dict)
+    common_level: float = NEGATIVE_INFINITY_UTILITY
+    feasible: bool = True
+
+
+def _aggregate_bounds(
+    app: AllocatableApp, state: PlacementState
+) -> Tuple[float, float]:
+    """(min_total, max_total) CPU for the app given its instance count."""
+    count = state.instance_count(app.app_id)
+    min_total = app.demand.min_cpu_mhz * count
+    max_per_instance = app.demand.max_cpu_per_instance_mhz
+    if max_per_instance == float("inf"):
+        max_total = float("inf")
+    else:
+        max_total = max_per_instance * count
+    return min_total, max_total
+
+
+def _target_at_level(
+    app: AllocatableApp, state: PlacementState, level: float
+) -> float:
+    """CPU the app demands at relative-performance level ``level``.
+
+    The inverse RPF, clamped into the app's feasible speed range.  An
+    unreachable level (``required_cpu == inf``) clamps to the maximum
+    useful speed: the app saturates rather than blocking the level.
+    """
+    min_total, max_total = _aggregate_bounds(app, state)
+    required = app.rpf.required_cpu(level)
+    if required == float("inf"):
+        # The level is unreachable: the app demands its saturation
+        # allocation (beyond which more CPU cannot improve it), bounded
+        # by its speed ceiling.
+        required = min(app.rpf.saturation_cpu, max_total)
+    if max_total == float("inf"):
+        # No speed ceiling: cap by what its nodes could ever provide.
+        max_total = sum(
+            state.cluster.node(n).cpu_capacity for n in state.nodes_of(app.app_id)
+        )
+        required = min(required, max_total)
+    return clamp(required, min(min_total, max_total), max_total)
+
+
+def _try_distribute(
+    targets: Mapping[str, float],
+    apps: Mapping[str, AllocatableApp],
+    state: PlacementState,
+) -> Optional[Dict[str, Dict[str, float]]]:
+    """Distribute aggregate targets over instances; ``None`` if infeasible.
+
+    Singleton (non-divisible) applications are handled first — they have
+    no freedom — then divisible applications draw greedily from their
+    nodes in descending residual order.
+    """
+    residual: Dict[str, float] = {
+        node.name: node.cpu_capacity for node in state.cluster
+    }
+    per_node: Dict[str, Dict[str, float]] = {app_id: {} for app_id in targets}
+
+    singletons = [a for a in targets if not apps[a].demand.divisible]
+    divisible = [a for a in targets if apps[a].demand.divisible]
+
+    for app_id in singletons:
+        target = targets[app_id]
+        if target <= EPSILON:
+            continue
+        nodes = state.nodes_of(app_id)
+        remaining = target
+        # A non-divisible app normally has a single instance; if it has
+        # several (not used by the experiments), fill them in order.
+        for node in nodes:
+            count = state.instances(app_id).get(node, 0)
+            cap = apps[app_id].demand.max_cpu_per_instance_mhz * count
+            take = min(remaining, residual[node], cap)
+            if take > EPSILON:
+                per_node[app_id][node] = take
+                residual[node] -= take
+                remaining -= take
+            if remaining <= EPSILON:
+                break
+        if remaining > EPSILON:
+            return None
+
+    for app_id in divisible:
+        target = targets[app_id]
+        if target <= EPSILON:
+            continue
+        remaining = target
+        instance_nodes = state.instances(app_id)
+        # Most-residual-first keeps the greedy exact for a lone divisible
+        # application and balances the router's view of instance speeds.
+        for node in sorted(instance_nodes, key=lambda n: -residual[n]):
+            count = instance_nodes[node]
+            cap = apps[app_id].demand.max_cpu_per_instance_mhz * count
+            take = min(remaining, residual[node], cap)
+            if take > EPSILON:
+                per_node[app_id][node] = per_node[app_id].get(node, 0.0) + take
+                residual[node] -= take
+                remaining -= take
+            if remaining <= EPSILON:
+                break
+        if remaining > EPSILON:
+            return None
+
+    return per_node
+
+
+def distribute_load(
+    state: PlacementState,
+    apps: Mapping[str, AllocatableApp],
+    write_load_matrix: bool = True,
+) -> LoadDistributionResult:
+    """Compute the maxmin-fair load matrix for the placement in ``state``.
+
+    Parameters
+    ----------
+    state:
+        The placement to allocate within.  Only applications with placed
+        instances receive CPU.
+    apps:
+        All applications known to the controller, keyed by id.
+    write_load_matrix:
+        When True (default) the resulting per-instance allocations are
+        written back into ``state``.
+    """
+    placed_ids = [a for a in apps if state.is_placed(a)]
+    result = LoadDistributionResult()
+    if not placed_ids:
+        if write_load_matrix:
+            state.clear_load()
+        return result
+
+    placed = {a: apps[a] for a in placed_ids}
+
+    def targets_at(level: float) -> Dict[str, float]:
+        return {a: _target_at_level(placed[a], state, level) for a in placed_ids}
+
+    def feasible(level: float) -> Optional[Dict[str, Dict[str, float]]]:
+        return _try_distribute(targets_at(level), placed, state)
+
+    # ------------------------------------------------------------------
+    # Phase 1+2: binary search the highest feasible common level.
+    # ------------------------------------------------------------------
+    lo, hi = NEGATIVE_INFINITY_UTILITY, 1.0
+    best_assignment = feasible(lo)
+    if best_assignment is None:
+        # Even the floor level (≈ minimum speeds) does not fit: best
+        # effort — hand every app what its nodes can give, worst first.
+        result.feasible = False
+        best_assignment = _best_effort(placed, state)
+        result.common_level = NEGATIVE_INFINITY_UTILITY
+    else:
+        if feasible(hi) is not None:
+            lo = hi
+            best_assignment = feasible(hi)
+        else:
+            for _ in range(_LEVEL_SEARCH_ITERATIONS):
+                mid = 0.5 * (lo + hi)
+                assignment = feasible(mid)
+                if assignment is not None:
+                    lo = mid
+                    best_assignment = assignment
+                else:
+                    hi = mid
+        result.common_level = lo
+
+    allocations = {
+        a: sum(best_assignment.get(a, {}).values()) for a in placed_ids
+    }
+
+    # ------------------------------------------------------------------
+    # Phase 3: lexicographic refinement with leftover capacity.
+    # ------------------------------------------------------------------
+    residual: Dict[str, float] = {
+        node.name: node.cpu_capacity for node in state.cluster
+    }
+    for app_id, nodes in best_assignment.items():
+        for node, cpu in nodes.items():
+            residual[node] -= cpu
+
+    for _ in range(_MAX_REFINEMENT_SWEEPS):
+        raised_any = False
+        order = sorted(
+            placed_ids, key=lambda a: placed[a].rpf.utility(allocations[a])
+        )
+        for app_id in order:
+            app = placed[app_id]
+            gain = _raise_app(
+                app, state, best_assignment.setdefault(app_id, {}),
+                allocations[app_id], residual,
+            )
+            if gain > EPSILON:
+                allocations[app_id] += gain
+                raised_any = True
+        if not raised_any:
+            break
+
+    result.allocations = allocations
+    result.utilities = {
+        a: placed[a].rpf.utility(allocations[a]) for a in placed_ids
+    }
+
+    if write_load_matrix:
+        state.clear_load()
+        for app_id, nodes in best_assignment.items():
+            for node, cpu in nodes.items():
+                if cpu > EPSILON:
+                    state.set_cpu(app_id, node, cpu)
+    return result
+
+
+def _raise_app(
+    app: AllocatableApp,
+    state: PlacementState,
+    assignment: Dict[str, float],
+    current_total: float,
+    residual: Dict[str, float],
+) -> float:
+    """Raise one application's allocation as far as residual CPU allows.
+
+    Returns the total CPU gained.  Mutates ``assignment`` and ``residual``.
+    """
+    _, max_total = _aggregate_bounds(app, state)
+    # CPU the app could still usefully absorb: up to its saturation point
+    # and its speed ceiling.
+    saturation = app.rpf.saturation_cpu
+    useful_ceiling = min(max_total, max(saturation, current_total))
+    headroom = useful_ceiling - current_total
+    if headroom <= EPSILON:
+        return 0.0
+
+    gained = 0.0
+    instance_nodes = state.instances(app.app_id)
+    for node in sorted(instance_nodes, key=lambda n: -residual[n]):
+        count = instance_nodes[node]
+        cap = app.demand.max_cpu_per_instance_mhz * count
+        here = assignment.get(node, 0.0)
+        take = min(headroom - gained, residual[node], cap - here)
+        if take > EPSILON:
+            assignment[node] = here + take
+            residual[node] -= take
+            gained += take
+        if headroom - gained <= EPSILON:
+            break
+    return gained
+
+
+def _best_effort(
+    placed: Mapping[str, AllocatableApp], state: PlacementState
+) -> Dict[str, Dict[str, float]]:
+    """Fallback when minimum speeds do not fit: give minima where
+    possible, clipping on saturated nodes, singletons first."""
+    residual: Dict[str, float] = {
+        node.name: node.cpu_capacity for node in state.cluster
+    }
+    per_node: Dict[str, Dict[str, float]] = {a: {} for a in placed}
+    ordered = sorted(placed, key=lambda a: placed[a].demand.divisible)
+    for app_id in ordered:
+        app = placed[app_id]
+        min_total, _ = _aggregate_bounds(app, state)
+        remaining = min_total
+        instance_nodes = state.instances(app_id)
+        for node in sorted(instance_nodes, key=lambda n: -residual[n]):
+            count = instance_nodes[node]
+            cap = app.demand.max_cpu_per_instance_mhz * count
+            take = min(remaining, residual[node], cap)
+            if take > EPSILON:
+                per_node[app_id][node] = take
+                residual[node] -= take
+                remaining -= take
+            if remaining <= EPSILON:
+                break
+    return per_node

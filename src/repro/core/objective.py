@@ -1,0 +1,140 @@
+"""The optimization objective: a maxmin extension over utility vectors.
+
+The performance of the system under a candidate placement is the vector of
+per-application relative performance values *sorted ascending* (§3.2).
+Two placements are compared lexicographically on these sorted vectors:
+first maximize the worst application's relative performance; when the
+worst cannot be improved, maximize the second worst; and so on.  This is
+the paper's "extension of a maxmin criterion".
+
+Ties on the utility vector are broken by the number of placement changes —
+the controller "employs heuristics that aim to minimize the number of
+changes to the current placement", which is also why, in the illustrative
+example's Scenario 1, the no-change alternative wins among equal-utility
+placements.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Iterable, Mapping, Tuple
+
+from repro.units import EPSILON
+
+
+@functools.total_ordering
+class UtilityVector:
+    """An ascending-sorted vector of relative performance values.
+
+    Comparison is lexicographic with a per-element tolerance, so vectors
+    whose elements differ only by noise compare equal.  The tolerance is
+    configurable because it doubles as the controller's *significance
+    threshold*: a candidate placement whose utilities differ from the
+    incumbent's by less than the tolerance is a tie, and ties never
+    justify placement changes (predicted utilities come from a sampled
+    interpolation — §4.2 — so sub-tolerance differences are model noise,
+    not real improvements).
+
+    A longer prefix-equal vector compares *greater* than a shorter one
+    only through its extra elements; in practice the controller always
+    compares vectors over the same application set, so lengths match.
+    """
+
+    __slots__ = ("_values", "_tolerance")
+
+    def __init__(self, utilities: Iterable[float], tolerance: float = EPSILON) -> None:
+        self._values: Tuple[float, ...] = tuple(sorted(utilities))
+        self._tolerance = tolerance
+
+    @classmethod
+    def of(
+        cls, per_app: Mapping[str, float], tolerance: float = EPSILON
+    ) -> "UtilityVector":
+        """Build from a mapping of application id to relative performance."""
+        return cls(per_app.values(), tolerance=tolerance)
+
+    @property
+    def tolerance(self) -> float:
+        return self._tolerance
+
+    @property
+    def values(self) -> Tuple[float, ...]:
+        """The sorted utilities."""
+        return self._values
+
+    @property
+    def worst(self) -> float:
+        """The lowest relative performance (the maxmin objective)."""
+        if not self._values:
+            return float("inf")
+        return self._values[0]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def _shared_tolerance(self, other: "UtilityVector") -> float:
+        return max(self._tolerance, other._tolerance)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UtilityVector):
+            return NotImplemented
+        if len(self._values) != len(other._values):
+            return False
+        tol = self._shared_tolerance(other)
+        return all(abs(a - b) <= tol for a, b in zip(self._values, other._values))
+
+    def __lt__(self, other: "UtilityVector") -> bool:
+        if not isinstance(other, UtilityVector):
+            return NotImplemented
+        tol = self._shared_tolerance(other)
+        for a, b in zip(self._values, other._values):
+            if a < b - tol:
+                return True
+            if a > b + tol:
+                return False
+        return len(self._values) < len(other._values)
+
+    def __hash__(self) -> int:
+        # Consistent with __eq__ only up to epsilon; UtilityVector is not
+        # intended as a dict key, but hashability keeps it usable in sets
+        # of exact duplicates (e.g. memoized candidate scores).
+        return hash(tuple(round(v, 6) for v in self._values))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v:.3f}" for v in self._values)
+        return f"UtilityVector([{inner}])"
+
+
+@functools.total_ordering
+class PlacementScore:
+    """A candidate placement's full score: utility vector, then churn.
+
+    ``a > b`` means placement ``a`` is preferable: its utility vector is
+    lexicographically greater, or the vectors tie and ``a`` requires fewer
+    placement changes.
+    """
+
+    __slots__ = ("utilities", "num_changes")
+
+    def __init__(self, utilities: UtilityVector, num_changes: int = 0) -> None:
+        self.utilities = utilities
+        self.num_changes = num_changes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PlacementScore):
+            return NotImplemented
+        return (
+            self.utilities == other.utilities
+            and self.num_changes == other.num_changes
+        )
+
+    def __lt__(self, other: "PlacementScore") -> bool:
+        if not isinstance(other, PlacementScore):
+            return NotImplemented
+        if self.utilities != other.utilities:
+            return self.utilities < other.utilities
+        # Equal utility vectors: more churn is worse.
+        return self.num_changes > other.num_changes
+
+    def __repr__(self) -> str:
+        return f"PlacementScore({self.utilities!r}, changes={self.num_changes})"

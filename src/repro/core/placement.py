@@ -1,0 +1,294 @@
+"""Placement (``P``) and load (``L``) matrices.
+
+§3.2: ``P[m][n]`` is the number of instances of application ``m`` on node
+``n``; ``L[m][n]`` is the CPU speed consumed by all instances of ``m`` on
+``n``.  :class:`PlacementState` bundles both with the cluster's capacity
+bookkeeping and is the object the placement algorithm mutates while
+searching for a better configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cluster import Cluster
+from repro.errors import CapacityError, PlacementError
+from repro.units import EPSILON
+
+
+@dataclass(frozen=True)
+class AppDemand:
+    """Resource requirements of one application, as seen by the placer.
+
+    Parameters
+    ----------
+    app_id:
+        Stable identifier.
+    memory_mb:
+        Load-independent demand (§3.2): memory consumed by each instance
+        of the application whenever it is started on a node.
+    min_cpu_mhz:
+        Minimum speed each instance must receive whenever it runs (a job
+        stage's ``ω^min``).  0 for transactional applications.
+    max_cpu_per_instance_mhz:
+        Maximum useful speed of one instance (a job stage's ``ω^max``; for
+        a transactional instance, typically the node's per-processor speed
+        times the instance's thread-level parallelism — we use the node
+        CPU capacity by default).
+    max_instances:
+        Cap on simultaneous instances; batch jobs are singletons (1),
+        transactional applications may be clustered (``None`` = unbounded).
+    divisible:
+        Whether the application's load can be split across instances on
+        different nodes.  True for transactional applications (the router
+        balances requests), False for jobs.
+    """
+
+    app_id: str
+    memory_mb: float
+    min_cpu_mhz: float = 0.0
+    max_cpu_per_instance_mhz: float = float("inf")
+    max_instances: Optional[int] = 1
+    divisible: bool = False
+
+    def __post_init__(self) -> None:
+        if self.memory_mb < 0:
+            raise PlacementError(f"{self.app_id}: negative memory demand")
+        if self.min_cpu_mhz < 0:
+            raise PlacementError(f"{self.app_id}: negative min CPU")
+        if self.max_cpu_per_instance_mhz < self.min_cpu_mhz - EPSILON:
+            raise PlacementError(
+                f"{self.app_id}: max CPU {self.max_cpu_per_instance_mhz} "
+                f"below min CPU {self.min_cpu_mhz}"
+            )
+
+
+class PlacementState:
+    """Mutable placement + load assignment over a cluster.
+
+    Tracks, per node, which application instances are placed and how much
+    CPU each consumes; enforces memory and CPU capacity on every mutation.
+    Copy-on-explore: the search algorithm calls :meth:`copy` to branch.
+    """
+
+    def __init__(self, cluster: Cluster) -> None:
+        self._cluster = cluster
+        # P: app_id -> node -> instance count
+        self._instances: Dict[str, Dict[str, int]] = {}
+        # L: app_id -> node -> cpu MHz (aggregate over instances there)
+        self._load: Dict[str, Dict[str, float]] = {}
+        # memory demand per instance, recorded at placement time
+        self._memory_demand: Dict[str, float] = {}
+        # per-node caches
+        self._node_memory_used: Dict[str, float] = {n.name: 0.0 for n in cluster}
+        self._node_cpu_used: Dict[str, float] = {n.name: 0.0 for n in cluster}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def cluster(self) -> Cluster:
+        return self._cluster
+
+    @property
+    def app_ids(self) -> List[str]:
+        """Applications with at least one instance placed."""
+        return [a for a, nodes in self._instances.items() if nodes]
+
+    def instances(self, app_id: str) -> Dict[str, int]:
+        """``{node: count}`` for ``app_id`` (empty if not placed)."""
+        return dict(self._instances.get(app_id, {}))
+
+    def instance_count(self, app_id: str) -> int:
+        return sum(self._instances.get(app_id, {}).values())
+
+    def is_placed(self, app_id: str) -> bool:
+        return self.instance_count(app_id) > 0
+
+    def nodes_of(self, app_id: str) -> List[str]:
+        return [n for n, c in self._instances.get(app_id, {}).items() if c > 0]
+
+    def apps_on(self, node: str) -> List[str]:
+        """Applications with instances on ``node``, in insertion order."""
+        return [
+            app_id
+            for app_id, nodes in self._instances.items()
+            if nodes.get(node, 0) > 0
+        ]
+
+    def cpu_of(self, app_id: str) -> float:
+        """Total CPU allocated to ``app_id`` across the cluster (``ω_m``)."""
+        return sum(self._load.get(app_id, {}).values())
+
+    def cpu_on(self, app_id: str, node: str) -> float:
+        """CPU allocated to ``app_id`` on ``node`` (``L[m][n]``)."""
+        return self._load.get(app_id, {}).get(node, 0.0)
+
+    def memory_demand_of(self, app_id: str) -> Optional[float]:
+        """Per-instance memory recorded when the app was first placed
+        (``None`` if it never was)."""
+        return self._memory_demand.get(app_id)
+
+    def forget_memory_demand(self, app_id: str) -> None:
+        """Clear the recorded per-instance memory so the application can
+        be re-placed with a different (new stage's) demand.  Only valid
+        while the application has no placed instances."""
+        if self.instance_count(app_id) > 0:
+            raise PlacementError(
+                f"{app_id} still has instances; cannot change its demand"
+            )
+        self._memory_demand.pop(app_id, None)
+
+    def memory_used(self, node: str) -> float:
+        return self._node_memory_used[node]
+
+    def memory_available(self, node: str) -> float:
+        return self._cluster.node(node).memory_capacity - self._node_memory_used[node]
+
+    def cpu_used(self, node: str) -> float:
+        return self._node_cpu_used[node]
+
+    def cpu_available(self, node: str) -> float:
+        return self._cluster.node(node).cpu_capacity - self._node_cpu_used[node]
+
+    def total_cpu_used(self) -> float:
+        return sum(self._node_cpu_used.values())
+
+    def allocations(self) -> Dict[str, float]:
+        """``{app_id: total CPU}`` over all placed applications."""
+        return {app_id: self.cpu_of(app_id) for app_id in self.app_ids}
+
+    def as_matrix(self) -> Dict[str, Dict[str, int]]:
+        """A deep copy of the placement matrix ``P``."""
+        return {a: dict(nodes) for a, nodes in self._instances.items() if nodes}
+
+    def load_matrix(self) -> Dict[str, Dict[str, float]]:
+        """A deep copy of the load matrix ``L``."""
+        return {
+            a: {n: c for n, c in nodes.items() if c > EPSILON}
+            for a, nodes in self._load.items()
+            if any(c > EPSILON for c in nodes.values())
+        }
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def place(self, app_id: str, node: str, memory_mb: float, count: int = 1) -> None:
+        """Place ``count`` instances of ``app_id`` on ``node``.
+
+        Raises :class:`CapacityError` if the node lacks memory.
+        """
+        if count <= 0:
+            raise PlacementError(f"instance count must be positive, got {count}")
+        if node not in self._node_memory_used:
+            raise PlacementError(f"unknown node: {node!r}")
+        existing_demand = self._memory_demand.get(app_id)
+        if existing_demand is not None and abs(existing_demand - memory_mb) > EPSILON:
+            raise PlacementError(
+                f"{app_id}: inconsistent memory demand "
+                f"({existing_demand} vs {memory_mb})"
+            )
+        needed = memory_mb * count
+        if needed > self.memory_available(node) + EPSILON:
+            raise CapacityError(
+                f"node {node}: {needed:.0f}MB needed for {count}x {app_id}, "
+                f"only {self.memory_available(node):.0f}MB free"
+            )
+        self._memory_demand[app_id] = memory_mb
+        self._instances.setdefault(app_id, {})
+        self._instances[app_id][node] = self._instances[app_id].get(node, 0) + count
+        self._node_memory_used[node] += needed
+
+    def remove(self, app_id: str, node: str, count: int = 1) -> None:
+        """Remove ``count`` instances of ``app_id`` from ``node``.
+
+        Any CPU allocated to the application on the node is released.
+        """
+        have = self._instances.get(app_id, {}).get(node, 0)
+        if count <= 0 or have < count:
+            raise PlacementError(
+                f"cannot remove {count}x {app_id} from {node}: {have} placed"
+            )
+        self._instances[app_id][node] = have - count
+        if self._instances[app_id][node] == 0:
+            del self._instances[app_id][node]
+        self._node_memory_used[node] -= self._memory_demand[app_id] * count
+        if self._node_memory_used[node] < 0:
+            self._node_memory_used[node] = 0.0
+        if self._instances[app_id].get(node, 0) == 0:
+            self.set_cpu(app_id, node, 0.0)
+        if not self._instances[app_id]:
+            del self._instances[app_id]
+
+    def set_cpu(self, app_id: str, node: str, cpu_mhz: float) -> None:
+        """Set ``L[app_id][node] = cpu_mhz``.
+
+        Raises :class:`CapacityError` on node CPU overflow and
+        :class:`PlacementError` if the application has no instance there
+        (unless setting to zero).
+        """
+        if cpu_mhz < -EPSILON:
+            raise PlacementError(f"negative CPU allocation: {cpu_mhz}")
+        cpu_mhz = max(0.0, cpu_mhz)
+        if cpu_mhz > EPSILON and self._instances.get(app_id, {}).get(node, 0) == 0:
+            raise PlacementError(f"{app_id} has no instance on {node}")
+        current = self._load.get(app_id, {}).get(node, 0.0)
+        new_used = self._node_cpu_used[node] - current + cpu_mhz
+        capacity = self._cluster.node(node).cpu_capacity
+        if new_used > capacity + EPSILON:
+            raise CapacityError(
+                f"node {node}: CPU {new_used:.1f}MHz exceeds capacity {capacity:.1f}MHz"
+            )
+        self._node_cpu_used[node] = new_used
+        self._load.setdefault(app_id, {})[node] = cpu_mhz
+        if cpu_mhz <= EPSILON:
+            self._load[app_id].pop(node, None)
+
+    def clear_load(self) -> None:
+        """Zero the entire load matrix (placement is kept)."""
+        self._load = {}
+        self._node_cpu_used = {n: 0.0 for n in self._node_cpu_used}
+
+    def copy(self) -> "PlacementState":
+        """A deep, independent copy sharing only the (immutable) cluster."""
+        clone = PlacementState.__new__(PlacementState)
+        clone._cluster = self._cluster
+        clone._instances = {a: dict(nodes) for a, nodes in self._instances.items()}
+        clone._load = {a: dict(nodes) for a, nodes in self._load.items()}
+        clone._memory_demand = dict(self._memory_demand)
+        clone._node_memory_used = dict(self._node_memory_used)
+        clone._node_cpu_used = dict(self._node_cpu_used)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Re-derive caches and assert internal consistency (for tests)."""
+        for node in self._cluster:
+            mem = sum(
+                self._memory_demand.get(a, 0.0) * nodes.get(node.name, 0)
+                for a, nodes in self._instances.items()
+            )
+            if abs(mem - self._node_memory_used[node.name]) > 1e-3:
+                raise PlacementError(
+                    f"memory cache drift on {node.name}: "
+                    f"{mem} vs {self._node_memory_used[node.name]}"
+                )
+            if mem > node.memory_capacity + EPSILON:
+                raise CapacityError(f"node {node.name} memory overcommitted")
+            cpu = sum(
+                loads.get(node.name, 0.0) for loads in self._load.values()
+            )
+            if abs(cpu - self._node_cpu_used[node.name]) > 1e-3:
+                raise PlacementError(
+                    f"CPU cache drift on {node.name}: "
+                    f"{cpu} vs {self._node_cpu_used[node.name]}"
+                )
+            if cpu > node.cpu_capacity + EPSILON:
+                raise CapacityError(f"node {node.name} CPU overcommitted")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        placed = sum(self.instance_count(a) for a in self.app_ids)
+        return f"PlacementState({len(self.app_ids)} apps, {placed} instances)"

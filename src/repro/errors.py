@@ -1,0 +1,37 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause
+while still letting programming errors (``TypeError``, ``ValueError`` from
+bad arguments, …) propagate normally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters."""
+
+
+class CapacityError(ReproError):
+    """A resource allocation would exceed a node's CPU or memory capacity."""
+
+
+class PlacementError(ReproError):
+    """A placement operation is invalid (duplicate instance, unknown node, …)."""
+
+
+class SchedulingError(ReproError):
+    """A scheduling policy was asked to do something it cannot do."""
+
+
+class ModelError(ReproError):
+    """A performance model was evaluated outside its domain."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""

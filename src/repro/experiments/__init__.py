@@ -1,0 +1,29 @@
+"""Runnable reproductions of every table and figure in the paper.
+
+Each module reproduces one experiment:
+
+* :mod:`repro.experiments.illustrative` — Table 1 + Figure 1 (§4.3);
+* :mod:`repro.experiments.experiment1` — Table 2 + Figure 2 (§5.1);
+* :mod:`repro.experiments.experiment2` — Figures 3, 4, 5 (§5.2);
+* :mod:`repro.experiments.experiment3` — Figures 6, 7 (§5.3);
+* :mod:`repro.experiments.ablations` — design-choice sensitivity studies.
+
+All experiment entry points accept a :class:`repro.experiments.common.Scale`
+so they can run at paper scale (25 nodes, 800 jobs) or laptop scale; the
+benchmark harness picks the scale from ``REPRO_BENCH_SCALE``.
+"""
+
+from repro.experiments.common import Scale, scale_from_env
+from repro.experiments.illustrative import run_illustrative_example
+from repro.experiments.experiment1 import run_experiment_one
+from repro.experiments.experiment2 import run_experiment_two
+from repro.experiments.experiment3 import run_experiment_three
+
+__all__ = [
+    "Scale",
+    "scale_from_env",
+    "run_illustrative_example",
+    "run_experiment_one",
+    "run_experiment_two",
+    "run_experiment_three",
+]

@@ -1,0 +1,239 @@
+"""Experiment Three (§5.3, Figures 6 + 7): heterogeneous workloads.
+
+Experiment One's batch stream runs alongside a constant transactional
+application under three system configurations:
+
+1. **APC dynamic resource sharing** — the paper's technique on the whole
+   cluster;
+2. **Static partition, TX 9 / LR 16 nodes** (at paper scale), FCFS for
+   the jobs — enough transactional capacity to fully satisfy it;
+3. **Static partition, TX 6 / LR 19 nodes**, FCFS for the jobs.
+
+The transactional application is calibrated to the paper's two anchors:
+maximum achievable relative performance ≈ 0.66, saturating at
+≈ 130,000 MHz (slightly less than 9 nodes of CPU).  Its per-instance
+memory is small enough that an instance collocates with the three jobs
+that fit on each node, so the workloads compete only for CPU.
+
+The paper's qualitative results:
+
+* dynamic sharing equalizes the two workloads' relative performance as
+  job pressure grows, and returns CPU to the transactional application
+  when the job queue drains (Figure 6, left);
+* with 9 dedicated TX nodes the transactional workload sits at its 0.66
+  plateau while jobs struggle; with only 6 TX nodes the transactional
+  performance is consistently below the dynamic technique's without a
+  clear batch benefit (Figure 6, middle/right);
+* the allocation plot (Figure 7) shows dynamic sharing moving CPU
+  between workloads over time, while the static configurations hold
+  constant splits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.batch.model import BatchWorkloadModel
+from repro.batch.queue import JobQueue
+from repro.core.apc import APCConfig, ApplicationPlacementController
+from repro.experiments.common import (
+    PAPER_CONTROL_CYCLE,
+    PAPER_CPU_PER_PROCESSOR,
+    PAPER_NODES,
+    Scale,
+    scale_from_env,
+)
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.policies import APCPolicy, PartitionedPolicy
+from repro.sim.simulator import MixedWorkloadSimulator, SimulationConfig
+from repro.txn.application import TransactionalApp
+from repro.txn.model import TransactionalWorkloadModel
+from repro.workloads.generators import experiment_one_jobs
+
+#: §5.3 anchors for the transactional workload.
+PAPER_TXN_MAX_UTILITY = 0.66
+PAPER_TXN_SATURATION_MHZ = 130_000.0
+#: Small enough that one instance collocates with three Experiment One
+#: jobs per node (3 * 4320 + 1024 = 13,984 MB <= 16,384 MB).
+TXN_INSTANCE_MEMORY_MB = 1024.0
+
+#: The paper's static partitions (out of 25 nodes).
+PAPER_PARTITIONS = (9, 6)
+
+#: Batch pressure: a shorter inter-arrival than Experiment One's 260 s so
+#: the queue builds up, then drains after the last submission (the paper
+#: ends the experiment by raising the inter-arrival time).
+PAPER_INTERARRIVAL = 200.0
+
+
+@dataclass
+class ConfigurationResult:
+    """One system configuration's Figure 6/7 series."""
+
+    name: str
+    metrics: MetricsRecorder
+    #: (time, transactional relative performance) — Figure 6 bold line.
+    txn_utility_series: List[Tuple[float, float]] = field(default_factory=list)
+    #: (time, avg hypothetical batch relative performance) — thin line.
+    batch_utility_series: List[Tuple[float, float]] = field(default_factory=list)
+    #: (time, txn MHz, batch MHz) — Figure 7.
+    allocation_series: List[Tuple[float, float, float]] = field(default_factory=list)
+    deadline_satisfaction: float = 0.0
+
+    def min_txn_utility(self) -> float:
+        values = [u for _, u in self.txn_utility_series]
+        return min(values) if values else float("nan")
+
+    def max_txn_utility(self) -> float:
+        values = [u for _, u in self.txn_utility_series]
+        return max(values) if values else float("nan")
+
+    def mean_abs_utility_gap(self) -> float:
+        """Mean |txn − batch| relative performance over cycles where both
+        exist — the fairness gap dynamic sharing is meant to minimize."""
+        batch = dict(self.batch_utility_series)
+        gaps = [
+            abs(u - batch[t])
+            for t, u in self.txn_utility_series
+            if t in batch and batch[t] == batch[t]
+        ]
+        return sum(gaps) / len(gaps) if gaps else float("nan")
+
+
+@dataclass
+class ExperimentThreeResult:
+    scale: Scale
+    configurations: Dict[str, ConfigurationResult] = field(default_factory=dict)
+
+    @property
+    def dynamic(self) -> ConfigurationResult:
+        return self.configurations["APC"]
+
+
+def make_txn_app(scale: Scale) -> TransactionalApp:
+    """The constant transactional application, anchors scaled with the
+    cluster so saturation stays just under the 9-of-25 partition."""
+    saturation = PAPER_TXN_SATURATION_MHZ * scale.nodes / PAPER_NODES
+    return TransactionalApp.calibrated(
+        app_id="TX",
+        memory_mb=TXN_INSTANCE_MEMORY_MB,
+        max_utility=PAPER_TXN_MAX_UTILITY,
+        saturation_cpu_mhz=saturation,
+        single_thread_speed_mhz=PAPER_CPU_PER_PROCESSOR,
+    )
+
+
+def partition_nodes(scale: Scale, paper_size: int) -> int:
+    """Translate a paper partition size preserving its *semantics*.
+
+    The 9-node partition is "enough CPU power to fully satisfy" the
+    transactional workload — the smallest node count whose capacity
+    covers the (scaled) saturation allocation; at paper scale this is
+    exactly ceil(130,000 / 15,600) = 9.  The 6-node partition is the
+    "not enough" configuration — scaled proportionally, rounded down,
+    and forced strictly below the satisfied size.
+    """
+    import math
+
+    node_capacity = scale.cluster().nodes[0].cpu_capacity
+    saturation = PAPER_TXN_SATURATION_MHZ * scale.nodes / PAPER_NODES
+    satisfied = max(1, math.ceil(saturation / node_capacity))
+    # The M/M/c curve approaches its plateau softly; make sure the
+    # "satisfied" partition actually delivers plateau-level performance
+    # (at paper scale this still yields exactly 9 nodes).
+    rpf = make_txn_app(scale).rpf_at(0.0)
+    while (
+        satisfied < scale.nodes - 1
+        and rpf.utility(satisfied * node_capacity) < rpf.max_utility - 0.01
+    ):
+        satisfied += 1
+    if paper_size >= 9:
+        return min(satisfied, scale.nodes - 1)
+    tight = max(1, math.floor(paper_size * scale.nodes / PAPER_NODES))
+    if tight >= satisfied:
+        tight = max(1, satisfied - 1)
+    return tight
+
+
+def _collect(name: str, metrics: MetricsRecorder) -> ConfigurationResult:
+    return ConfigurationResult(
+        name=name,
+        metrics=metrics,
+        txn_utility_series=metrics.txn_utility_series("TX"),
+        batch_utility_series=metrics.hypothetical_utility_series(),
+        allocation_series=metrics.allocation_series(),
+        deadline_satisfaction=metrics.deadline_satisfaction_rate(),
+    )
+
+
+def run_configuration(
+    config_name: str,
+    scale: Scale,
+    interarrival: float = PAPER_INTERARRIVAL,
+    cycle_length: float = PAPER_CONTROL_CYCLE,
+    seed: int = 0,
+    job_count: Optional[int] = None,
+) -> ConfigurationResult:
+    """Run one of the three configurations.
+
+    ``config_name`` is ``"APC"`` or ``"TX<k>"`` where ``k`` is the paper
+    partition size (9 or 6) translated to the current scale.
+    """
+    cluster = scale.cluster()
+    txn_app = make_txn_app(scale)
+    queue = JobQueue()
+    batch = BatchWorkloadModel(queue, queue_window=scale.queue_window)
+    jobs = experiment_one_jobs(
+        count=job_count if job_count is not None else scale.job_count,
+        mean_interarrival=scale.interarrival(interarrival),
+        seed=seed,
+    )
+
+    if config_name == "APC":
+        txn_model = TransactionalWorkloadModel([txn_app])
+        controller = ApplicationPlacementController(
+            cluster, APCConfig(cycle_length=cycle_length)
+        )
+        policy = APCPolicy(controller, [txn_model, batch])
+        label = "APC - dynamic resource sharing"
+    elif config_name.startswith("TX"):
+        paper_size = int(config_name[2:])
+        size = partition_nodes(scale, paper_size)
+        txn_nodes = cluster.node_names[:size]
+        policy = PartitionedPolicy(cluster, txn_nodes, txn_app, queue)
+        label = f"TX {size} nodes, LR {scale.nodes - size} nodes"
+    else:
+        raise ValueError(f"unknown configuration {config_name!r}")
+
+    sim = MixedWorkloadSimulator(
+        cluster,
+        policy,
+        queue,
+        arrivals=jobs,
+        txn_apps=[txn_app],
+        batch_model=batch,
+        config=SimulationConfig(cycle_length=cycle_length),
+    )
+    metrics = sim.run()
+    return _collect(label, metrics)
+
+
+def run_experiment_three(
+    scale: Optional[Scale] = None,
+    interarrival: float = PAPER_INTERARRIVAL,
+    cycle_length: float = PAPER_CONTROL_CYCLE,
+    seed: int = 0,
+) -> ExperimentThreeResult:
+    """Run all three configurations on the same workload."""
+    scale = scale or scale_from_env()
+    result = ExperimentThreeResult(scale=scale)
+    result.configurations["APC"] = run_configuration(
+        "APC", scale, interarrival, cycle_length, seed
+    )
+    for paper_size in PAPER_PARTITIONS:
+        key = f"TX{paper_size}"
+        result.configurations[key] = run_configuration(
+            key, scale, interarrival, cycle_length, seed
+        )
+    return result

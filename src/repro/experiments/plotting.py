@@ -1,0 +1,127 @@
+"""Text-mode plotting for the paper's figures.
+
+The reproduction environment is offline and headless; these helpers
+render the experiment series as unicode line/scatter charts good enough
+to eyeball every figure's shape directly in a terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+
+def _finite(series: Series) -> List[Tuple[float, float]]:
+    return [(t, v) for t, v in series if v == v and abs(v) != math.inf]
+
+
+def ascii_chart(
+    series_list: Sequence[Series],
+    labels: Sequence[str],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more (x, y) series as a character grid.
+
+    Each series gets a distinct glyph; axes are annotated with min/max.
+    """
+    glyphs = "*o+x#@%&"
+    cleaned = [_finite(s) for s in series_list]
+    points = [p for s in cleaned for p in s]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi - x_lo <= 0:
+        x_hi = x_lo + 1.0
+    if y_hi - y_lo <= 0:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(cleaned):
+        glyph = glyphs[index % len(glyphs)]
+        for t, v in series:
+            col = int((t - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((v - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {label}" for i, label in enumerate(labels)
+    )
+    if legend:
+        lines.append(legend)
+    lines.append(f"{y_hi:10.3f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_lo:10.3f} +" + "-" * width)
+    lines.append(
+        " " * 12 + f"{x_lo:<12.0f}{y_label:^{max(0, width - 24)}}{x_hi:>12.0f}"
+    )
+    return "\n".join(lines)
+
+
+def figure2_chart(
+    hypothetical: Series, completions: Series, width: int = 72
+) -> str:
+    """Figure 2: hypothetical vs completion-time relative performance."""
+    return ascii_chart(
+        [hypothetical, completions],
+        ["avg hypothetical relative performance", "relative performance at completion"],
+        width=width,
+        title="Figure 2 — prediction accuracy",
+        y_label="time (s)",
+    )
+
+
+def figure6_chart(txn: Series, batch: Series, name: str, width: int = 72) -> str:
+    """Figure 6: transactional vs batch relative performance over time."""
+    return ascii_chart(
+        [txn, batch],
+        ["transactional (TX)", "long-running (LR)"],
+        width=width,
+        title=f"Figure 6 — {name}",
+        y_label="time (s)",
+    )
+
+
+def figure7_chart(
+    allocations: Sequence[Tuple[float, float, float]], name: str, width: int = 72
+) -> str:
+    """Figure 7: per-workload CPU allocation over time."""
+    txn = [(t, tx) for t, tx, _ in allocations]
+    batch = [(t, lr) for t, _, lr in allocations]
+    return ascii_chart(
+        [txn, batch],
+        ["TX allocation (MHz)", "LR allocation (MHz)"],
+        width=width,
+        title=f"Figure 7 — {name}",
+        y_label="time (s)",
+    )
+
+
+def bar_chart(
+    rows: Sequence[Tuple[str, float]],
+    width: int = 48,
+    title: str = "",
+    fmt: str = "{:.1f}",
+) -> str:
+    """Horizontal bars (Figure 3/4-style summaries)."""
+    lines = [title] if title else []
+    if not rows:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    peak = max(abs(v) for _, v in rows) or 1.0
+    name_width = max(len(name) for name, _ in rows)
+    for name, value in rows:
+        bar = "#" * int(round(abs(value) / peak * width))
+        lines.append(f"{name:<{name_width}}  {fmt.format(value):>10}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Discrete-event cluster simulator.
+
+Re-implements the simulator the paper's evaluation runs on (§5): a
+virtualized cluster in which VM control mechanisms (boot, suspend,
+resume, live migration — with the measured linear cost model) configure
+application placement, batch jobs progress at their allocated speeds,
+transactional workloads follow the queuing performance model, and the
+management policy runs on a fixed control cycle.
+"""
+
+from repro.sim.engine import EventQueue, ScheduledEvent
+from repro.sim.metrics import (
+    MetricsRecorder,
+    CycleSample,
+    JobCompletionRecord,
+)
+from repro.sim.policies import (
+    PlacementPolicy,
+    APCPolicy,
+    FCFSPolicy,
+    EDFPolicy,
+    LRPFPolicy,
+    PartitionedPolicy,
+)
+from repro.sim.simulator import MixedWorkloadSimulator, NodeFailure, SimulationConfig
+from repro.sim.trace import SimulationTrace, TraceEvent, TraceEventKind
+from repro.sim.monitoring import (
+    MonitoredTransactionalModel,
+    MonitoringPolicyWrapper,
+    MonitoringReport,
+)
+from repro.sim.export import (
+    completions_to_csv,
+    cycles_to_csv,
+    load_metrics_json,
+    metrics_to_json,
+)
+
+__all__ = [
+    "EventQueue",
+    "ScheduledEvent",
+    "MetricsRecorder",
+    "CycleSample",
+    "JobCompletionRecord",
+    "PlacementPolicy",
+    "APCPolicy",
+    "FCFSPolicy",
+    "EDFPolicy",
+    "LRPFPolicy",
+    "PartitionedPolicy",
+    "MixedWorkloadSimulator",
+    "NodeFailure",
+    "SimulationConfig",
+    "SimulationTrace",
+    "TraceEvent",
+    "TraceEventKind",
+    "MonitoredTransactionalModel",
+    "MonitoringPolicyWrapper",
+    "MonitoringReport",
+    "completions_to_csv",
+    "cycles_to_csv",
+    "load_metrics_json",
+    "metrics_to_json",
+]

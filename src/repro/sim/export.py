@@ -1,0 +1,136 @@
+"""Export simulation metrics to CSV and JSON.
+
+A downstream user regenerating the paper's figures (or their own) needs
+the raw series out of the simulator; these helpers write the two record
+types — per-cycle samples and per-job completion records — in formats
+any plotting stack consumes.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.sim.metrics import CycleSample, JobCompletionRecord, MetricsRecorder
+
+PathLike = Union[str, Path]
+
+#: Column order for cycle samples (stable export schema).
+CYCLE_COLUMNS = (
+    "time",
+    "batch_hypothetical_utility",
+    "batch_allocation_mhz",
+    "txn_allocation_mhz",
+    "running_jobs",
+    "queued_jobs",
+    "placement_changes",
+    "decision_seconds",
+)
+
+#: Column order for completion records.
+COMPLETION_COLUMNS = (
+    "job_id",
+    "submit_time",
+    "completion_time",
+    "completion_goal",
+    "relative_goal",
+    "goal_factor",
+    "best_execution_time",
+    "relative_performance",
+    "deadline_distance",
+    "met_deadline",
+    "suspend_count",
+    "resume_count",
+    "migration_count",
+)
+
+
+def _cycle_row(sample: CycleSample) -> Dict[str, object]:
+    row = {column: getattr(sample, column) for column in CYCLE_COLUMNS}
+    # Per-app transactional columns are flattened with a prefix.
+    for app_id, utility in sorted(sample.txn_utilities.items()):
+        row[f"txn_utility::{app_id}"] = utility
+    for app_id, mhz in sorted(sample.txn_allocations_mhz.items()):
+        row[f"txn_allocation_mhz::{app_id}"] = mhz
+    return row
+
+
+def _completion_row(record: JobCompletionRecord) -> Dict[str, object]:
+    return {column: getattr(record, column) for column in COMPLETION_COLUMNS}
+
+
+def cycles_to_csv(metrics: MetricsRecorder, path: Optional[PathLike] = None) -> str:
+    """Write the per-cycle series as CSV; returns the CSV text."""
+    rows = [_cycle_row(s) for s in metrics.cycles]
+    return _write_csv(rows, list(CYCLE_COLUMNS), path)
+
+
+def completions_to_csv(
+    metrics: MetricsRecorder, path: Optional[PathLike] = None
+) -> str:
+    """Write the completion records as CSV; returns the CSV text."""
+    rows = [_completion_row(r) for r in metrics.completions]
+    return _write_csv(rows, list(COMPLETION_COLUMNS), path)
+
+
+def _write_csv(
+    rows: List[Dict[str, object]], base_columns: List[str], path: Optional[PathLike]
+) -> str:
+    columns = list(base_columns)
+    extra = sorted({k for row in rows for k in row} - set(columns))
+    columns.extend(extra)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def metrics_to_json(
+    metrics: MetricsRecorder, path: Optional[PathLike] = None, indent: int = 2
+) -> str:
+    """Write everything (cycles + completions + summary) as one JSON
+    document; returns the JSON text."""
+    document = {
+        "summary": {
+            "cycles": len(metrics.cycles),
+            "completions": len(metrics.completions),
+            "deadline_satisfaction_rate": metrics.deadline_satisfaction_rate(),
+            "total_placement_changes": metrics.total_placement_changes(),
+            "mean_decision_seconds": metrics.mean_decision_seconds(),
+        },
+        "cycles": [_cycle_row(s) for s in metrics.cycles],
+        "completions": [_completion_row(r) for r in metrics.completions],
+    }
+
+    def default(value):
+        if value != value:  # NaN -> null
+            return None
+        raise TypeError(f"not JSON serializable: {value!r}")
+
+    # NaN is not valid JSON; scrub it.
+    def scrub(obj):
+        if isinstance(obj, float) and obj != obj:
+            return None
+        if isinstance(obj, dict):
+            return {k: scrub(v) for k, v in obj.items()}
+        if isinstance(obj, list):
+            return [scrub(v) for v in obj]
+        return obj
+
+    text = json.dumps(scrub(document), indent=indent)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def load_metrics_json(path: PathLike) -> Dict:
+    """Read back a document written by :func:`metrics_to_json`."""
+    return json.loads(Path(path).read_text())

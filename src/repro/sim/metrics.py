@@ -1,0 +1,190 @@
+"""Metric recorders for the mixed-workload simulator.
+
+Records exactly the quantities the paper's figures plot:
+
+* per-cycle time series: average hypothetical relative performance of the
+  batch workload, actual relative performance of each transactional
+  application, CPU allocated per workload, queue lengths, cumulative
+  placement changes (Figures 2, 4, 6, 7);
+* per-job completion records: completion time, distance to the deadline,
+  goal factor, minimum execution time — everything Figures 3 and 5 bin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.batch.job import Job
+from repro.batch.rpf import job_relative_performance
+
+
+@dataclass
+class CycleSample:
+    """System state captured at the start of one control cycle."""
+
+    time: float
+    #: Average hypothetical relative performance over incomplete jobs
+    #: (NaN when no jobs are in the system).
+    batch_hypothetical_utility: float
+    #: Total CPU allocated to batch jobs (MHz).
+    batch_allocation_mhz: float
+    #: Actual (modeled) relative performance per transactional app.
+    txn_utilities: Dict[str, float] = field(default_factory=dict)
+    #: Total CPU allocated per transactional app (MHz).
+    txn_allocations_mhz: Dict[str, float] = field(default_factory=dict)
+    running_jobs: int = 0
+    queued_jobs: int = 0
+    #: Placement changes (suspend/resume/migrate) performed *this* cycle.
+    placement_changes: int = 0
+    #: Wall-clock seconds the policy spent deciding this cycle.
+    decision_seconds: float = 0.0
+
+    @property
+    def txn_allocation_mhz(self) -> float:
+        """Aggregate transactional allocation (Figure 7 plots one line)."""
+        return sum(self.txn_allocations_mhz.values())
+
+
+@dataclass(frozen=True)
+class JobCompletionRecord:
+    """Everything the evaluation needs about one finished job."""
+
+    job_id: str
+    submit_time: float
+    completion_time: float
+    completion_goal: float
+    relative_goal: float
+    goal_factor: float
+    best_execution_time: float
+    relative_performance: float
+    deadline_distance: float
+    suspend_count: int
+    resume_count: int
+    migration_count: int
+
+    @property
+    def met_deadline(self) -> bool:
+        return self.deadline_distance >= 0.0
+
+    @classmethod
+    def from_job(cls, job: Job) -> "JobCompletionRecord":
+        if job.completion_time is None:
+            raise ValueError(f"job {job.job_id} has not completed")
+        return cls(
+            job_id=job.job_id,
+            submit_time=job.submit_time,
+            completion_time=job.completion_time,
+            completion_goal=job.completion_goal,
+            relative_goal=job.relative_goal,
+            goal_factor=job.goal_factor,
+            best_execution_time=job.profile.best_execution_time,
+            relative_performance=job_relative_performance(job, job.completion_time),
+            deadline_distance=job.deadline_distance(),
+            suspend_count=job.suspend_count,
+            resume_count=job.resume_count,
+            migration_count=job.migration_count,
+        )
+
+
+class MetricsRecorder:
+    """Accumulates cycle samples and job completion records."""
+
+    def __init__(self) -> None:
+        self.cycles: List[CycleSample] = []
+        self.completions: List[JobCompletionRecord] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_cycle(self, sample: CycleSample) -> None:
+        self.cycles.append(sample)
+
+    def record_completion(self, job: Job) -> None:
+        self.completions.append(JobCompletionRecord.from_job(job))
+
+    # ------------------------------------------------------------------
+    # Figure 3: deadline satisfaction
+    # ------------------------------------------------------------------
+    def deadline_satisfaction_rate(self) -> float:
+        """Fraction of completed jobs that met their goal."""
+        if not self.completions:
+            return float("nan")
+        met = sum(1 for c in self.completions if c.met_deadline)
+        return met / len(self.completions)
+
+    # ------------------------------------------------------------------
+    # Figure 4: placement changes
+    # ------------------------------------------------------------------
+    def total_placement_changes(self) -> int:
+        """Suspends + resumes + migrations over all completed jobs plus
+        per-cycle recorded changes for jobs still in flight."""
+        return sum(s.placement_changes for s in self.cycles)
+
+    # ------------------------------------------------------------------
+    # Figure 5: distance-to-deadline distributions
+    # ------------------------------------------------------------------
+    def distances_by_goal_factor(self) -> Dict[float, List[float]]:
+        """Deadline distances grouped by (rounded) goal factor."""
+        groups: Dict[float, List[float]] = {}
+        for c in self.completions:
+            key = round(c.goal_factor, 2)
+            groups.setdefault(key, []).append(c.deadline_distance)
+        return groups
+
+    def distance_summary(self) -> Dict[float, Dict[str, float]]:
+        """Min / mean / max / spread of deadline distance per goal factor."""
+        out: Dict[float, Dict[str, float]] = {}
+        for factor, distances in sorted(self.distances_by_goal_factor().items()):
+            n = len(distances)
+            mean = sum(distances) / n
+            out[factor] = {
+                "count": float(n),
+                "min": min(distances),
+                "mean": mean,
+                "max": max(distances),
+                "spread": max(distances) - min(distances),
+            }
+        return out
+
+    # ------------------------------------------------------------------
+    # Figures 2, 6, 7: time series
+    # ------------------------------------------------------------------
+    def hypothetical_utility_series(self) -> List[tuple]:
+        """(time, average hypothetical relative performance) samples."""
+        return [(s.time, s.batch_hypothetical_utility) for s in self.cycles]
+
+    def completion_utility_series(self) -> List[tuple]:
+        """(completion time, relative performance at completion) points."""
+        return [
+            (c.completion_time, c.relative_performance) for c in self.completions
+        ]
+
+    def allocation_series(self) -> List[tuple]:
+        """(time, txn allocation MHz, batch allocation MHz) samples."""
+        return [
+            (s.time, s.txn_allocation_mhz, s.batch_allocation_mhz)
+            for s in self.cycles
+        ]
+
+    def txn_utility_series(self, app_id: Optional[str] = None) -> List[tuple]:
+        """(time, transactional relative performance) samples.
+
+        With ``app_id`` None the first (or only) application's series is
+        returned — Experiment Three uses a single transactional app.
+        """
+        series = []
+        for s in self.cycles:
+            if not s.txn_utilities:
+                continue
+            if app_id is None:
+                series.append((s.time, next(iter(s.txn_utilities.values()))))
+            elif app_id in s.txn_utilities:
+                series.append((s.time, s.txn_utilities[app_id]))
+        return series
+
+    def mean_decision_seconds(self) -> float:
+        """Average per-cycle policy decision time (§5.1 reports ~1.5 s)."""
+        if not self.cycles:
+            return float("nan")
+        return sum(s.decision_seconds for s in self.cycles) / len(self.cycles)

@@ -1,0 +1,210 @@
+"""The monitoring and estimation loop.
+
+§3.1: "The request router monitors incoming and outgoing requests and
+measures their service times and arrival rates per application.  A
+separate component, called the work profiler, monitors resource
+utilization of nodes and ... estimates an average CPU requirement of a
+single request to any application."
+
+In the evaluation sections the simulator feeds the controller
+ground-truth models; the *real* system only ever sees estimates.  This
+module closes that loop inside the simulator:
+
+* every control cycle, each transactional application's offered traffic
+  is routed across its instances (per the load matrix) by the
+  :class:`~repro.txn.router.RequestRouter`;
+* the resulting per-node utilization/throughput windows (with
+  configurable measurement noise) are fed to the
+  :class:`~repro.txn.profiler.WorkProfiler`;
+* the estimated per-request demands replace the ground truth in the
+  models the controller sees, once enough samples accumulate.
+
+:class:`MonitoredTransactionalModel` is a drop-in replacement for
+:class:`~repro.txn.model.TransactionalWorkloadModel` that performs this
+estimation; :meth:`MonitoredTransactionalModel.observe_cycle` is called
+by the simulator's owner (or a custom policy wrapper) each cycle with
+the placement in effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+import numpy as np
+
+from repro.core.placement import PlacementState
+from repro.errors import ConfigurationError, ModelError
+from repro.txn.application import TransactionalApp
+from repro.txn.model import TransactionalWorkloadModel
+from repro.txn.profiler import UtilizationSample, WorkProfiler
+from repro.txn.router import RequestRouter, RoutingDecision
+from repro.units import EPSILON
+
+
+@dataclass
+class MonitoringReport:
+    """What the monitoring path observed in one control cycle."""
+
+    time: float
+    #: Routing decision per application.
+    routing: Dict[str, RoutingDecision] = field(default_factory=dict)
+    #: Mean response time per application (request-weighted).
+    response_times: Dict[str, float] = field(default_factory=dict)
+    #: Demand estimates in effect after this cycle (Mcycles/request).
+    demand_estimates: Dict[str, float] = field(default_factory=dict)
+
+
+class MonitoredTransactionalModel(TransactionalWorkloadModel):
+    """Transactional workload model driven by *estimated* demands.
+
+    Until ``warmup_cycles`` observations exist for an application, the
+    submission-time (declared) demand is used; afterwards the profiler's
+    regression estimate takes over.  Measurement noise is injected into
+    the observed node utilization to exercise the estimator the way a
+    real system would.
+    """
+
+    def __init__(
+        self,
+        apps: Iterable[TransactionalApp] = (),
+        router: Optional[RequestRouter] = None,
+        profiler: Optional[WorkProfiler] = None,
+        noise_fraction: float = 0.02,
+        warmup_cycles: int = 4,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(apps)
+        if noise_fraction < 0:
+            raise ConfigurationError(
+                f"noise fraction must be >= 0, got {noise_fraction}"
+            )
+        if warmup_cycles < 1:
+            raise ConfigurationError(
+                f"warmup cycles must be >= 1, got {warmup_cycles}"
+            )
+        self.router = router or RequestRouter()
+        self.profiler = profiler or WorkProfiler()
+        self._noise = noise_fraction
+        self._warmup = warmup_cycles
+        self._rng = np.random.default_rng(seed)
+        self._observations: Dict[str, int] = {}
+        self._estimates: Dict[str, float] = {}
+        self.reports: List[MonitoringReport] = []
+
+    # ------------------------------------------------------------------
+    # Estimation state
+    # ------------------------------------------------------------------
+    def estimated_demand(self, app_id: str) -> float:
+        """The demand the controller currently believes (Mcycles/request)."""
+        app = self.app(app_id)
+        if self._observations.get(app_id, 0) >= self._warmup:
+            return self._estimates.get(app_id, app.demand_mcycles)
+        return app.demand_mcycles
+
+    def estimation_error(self, app_id: str) -> float:
+        """Relative error of the current estimate vs ground truth."""
+        truth = self.app(app_id).demand_mcycles
+        return abs(self.estimated_demand(app_id) - truth) / truth
+
+    # ------------------------------------------------------------------
+    # The per-cycle monitoring pass
+    # ------------------------------------------------------------------
+    def observe_cycle(self, state: PlacementState, now: float) -> MonitoringReport:
+        """Route traffic over the placement in effect, observe node
+        windows, update estimates."""
+        report = MonitoringReport(time=now)
+        per_node_used: Dict[str, float] = {}
+        per_node_throughput: Dict[str, Dict[str, float]] = {}
+
+        for app in self.apps:
+            instance_speeds = {
+                node: state.cpu_on(app.app_id, node)
+                for node in state.nodes_of(app.app_id)
+            }
+            decision = self.router.route(
+                arrival_rate=app.arrival_rate(now),
+                demand_mcycles=app.demand_mcycles,   # physics: true demand
+                instance_speeds=instance_speeds,
+                single_thread_speed_mhz=app.single_thread_speed_mhz,
+            )
+            report.routing[app.app_id] = decision
+            report.response_times[app.app_id] = decision.mean_response_time
+            for node, admitted in decision.admitted.items():
+                used = admitted * app.demand_mcycles
+                per_node_used[node] = per_node_used.get(node, 0.0) + used
+                per_node_throughput.setdefault(node, {})[app.app_id] = admitted
+
+        for node, used in per_node_used.items():
+            noisy = used * (1.0 + self._rng.normal(0.0, self._noise))
+            self.profiler.observe(
+                UtilizationSample(
+                    throughput=per_node_throughput.get(node, {}),
+                    used_cpu_mhz=max(0.0, noisy),
+                )
+            )
+            for app_id in per_node_throughput.get(node, {}):
+                self._observations[app_id] = self._observations.get(app_id, 0) + 1
+
+        try:
+            self._estimates = self.profiler.estimates()
+        except ModelError:
+            pass  # nothing observed yet
+        report.demand_estimates = {
+            app.app_id: self.estimated_demand(app.app_id) for app in self.apps
+        }
+        self.reports.append(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Model overrides: predictions use the *estimated* demand
+    # ------------------------------------------------------------------
+    def _estimated_app(self, app: TransactionalApp) -> TransactionalApp:
+        demand = self.estimated_demand(app.app_id)
+        if abs(demand - app.demand_mcycles) <= EPSILON:
+            return app
+        return TransactionalApp(
+            app_id=app.app_id,
+            memory_mb=app.memory_mb,
+            demand_mcycles=demand,
+            response_time_goal=app.response_time_goal,
+            trace=app.trace,
+            single_thread_speed_mhz=app.single_thread_speed_mhz,
+            max_instances=app.max_instances,
+            model_type=app.model_type,
+        )
+
+    def app_specs(self, now: float):
+        specs = {}
+        for app in self.apps:
+            believed = self._estimated_app(app)
+            spec = TransactionalWorkloadModel([believed]).app_specs(now)
+            specs.update(spec)
+        return specs
+
+    def evaluate(self, allocations: Mapping[str, float], now: float, horizon: float):
+        del horizon
+        return {
+            app.app_id: self._estimated_app(app)
+            .rpf_at(now)
+            .utility(allocations.get(app.app_id, 0.0))
+            for app in self.apps
+        }
+
+
+class MonitoringPolicyWrapper:
+    """Wraps any placement policy to run the monitoring pass each cycle.
+
+    The monitoring pass observes the placement *in effect* (the one the
+    previous cycle produced), exactly as a real monitor samples the
+    running system before the controller recomputes.
+    """
+
+    def __init__(self, inner, monitored: MonitoredTransactionalModel) -> None:
+        self._inner = inner
+        self._monitored = monitored
+        self.name = f"{inner.name} + monitoring"
+
+    def decide(self, current: PlacementState, now: float) -> PlacementState:
+        self._monitored.observe_cycle(current, now)
+        return self._inner.decide(current, now)

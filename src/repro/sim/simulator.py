@@ -1,0 +1,540 @@
+"""The mixed-workload cluster simulator.
+
+Drives a :class:`~repro.sim.policies.PlacementPolicy` over a virtualized
+cluster on a fixed control cycle ``T`` (§3.1), exactly as the paper's
+evaluation does:
+
+* **arrivals**: jobs are submitted at their scheduled times and wait in
+  the queue until the next control cycle considers them;
+* **control cycles**: at every multiple of ``T`` the policy computes a
+  new placement; the diff against the running placement is translated
+  into VM control actions (boot / suspend / resume / migrate), whose
+  costs — the paper's measured linear-in-footprint model — delay the
+  affected job's execution within the cycle;
+* **execution**: between control points allocations are constant; placed
+  jobs progress at their allocated speed; completions are scheduled as
+  exact-time events (capacity freed mid-cycle stays idle until the next
+  control point, matching the control-cycle granularity of the real
+  system);
+* **metrics**: every cycle records the series the paper plots (average
+  hypothetical relative performance, transactional relative performance,
+  per-workload allocations, placement changes), and every completion
+  records the job-level outcome (deadline distance, relative performance
+  at completion time).
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.batch.job import Job, JobStatus
+from repro.batch.model import BatchWorkloadModel
+from repro.batch.queue import JobQueue
+from repro.cluster import Cluster
+from repro.core.placement import PlacementState
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import (
+    EventQueue,
+    PRIORITY_ARRIVAL,
+    PRIORITY_COMPLETION,
+    PRIORITY_CYCLE,
+)
+from repro.sim.metrics import CycleSample, MetricsRecorder
+from repro.sim.policies import PlacementPolicy
+from repro.sim.trace import SimulationTrace, TraceEventKind
+from repro.txn.application import TransactionalApp
+from repro.units import EPSILON
+from repro.virt.costs import PAPER_COST_MODEL, VirtualizationCostModel
+
+
+@dataclass
+class SimulationConfig:
+    """Simulator parameters.
+
+    Attributes
+    ----------
+    cycle_length:
+        Control cycle period ``T`` (s).
+    max_time:
+        Hard stop; ``None`` runs until the batch workload drains.
+    cost_model:
+        VM action cost model (the paper's measured model by default;
+        Experiment Two uses :data:`~repro.virt.costs.FREE_COST_MODEL`).
+    prune_completed:
+        Drop completed jobs from the queue each cycle to keep the
+        controller's working set small (metrics keep their own records).
+    failures:
+        Injected node outages (failure-injection extension).
+    """
+
+    cycle_length: float = 600.0
+    max_time: Optional[float] = None
+    cost_model: VirtualizationCostModel = field(default_factory=lambda: PAPER_COST_MODEL)
+    prune_completed: bool = True
+    failures: Sequence["NodeFailure"] = ()
+
+    def __post_init__(self) -> None:
+        if self.cycle_length <= 0:
+            raise ConfigurationError(
+                f"cycle length must be positive, got {self.cycle_length}"
+            )
+        if self.max_time is not None and self.max_time <= 0:
+            raise ConfigurationError(f"max time must be positive, got {self.max_time}")
+        self.failures = tuple(self.failures)
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """One injected node outage.
+
+    ``lose_progress`` models an abrupt crash — the VM state is gone and
+    affected jobs restart from zero; ``False`` models a graceful drain —
+    jobs are suspended with progress intact and resumable elsewhere.
+    ``duration`` of ``inf`` keeps the node down for the rest of the run.
+    """
+
+    node: str
+    fail_time: float
+    duration: float = float("inf")
+    lose_progress: bool = True
+
+    def __post_init__(self) -> None:
+        if self.fail_time < 0:
+            raise ConfigurationError(
+                f"fail time must be >= 0, got {self.fail_time}"
+            )
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"duration must be positive, got {self.duration}"
+            )
+
+
+# Event payloads --------------------------------------------------------
+_ARRIVAL = "arrival"
+_CYCLE = "cycle"
+_COMPLETION = "completion"
+_STAGE = "stage"
+_FAIL = "fail"
+_RESTORE = "restore"
+
+
+class MixedWorkloadSimulator:
+    """Simulates one policy over one workload on one cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        policy: PlacementPolicy,
+        queue: JobQueue,
+        arrivals: Iterable[Job],
+        txn_apps: Sequence[TransactionalApp] = (),
+        batch_model: Optional[BatchWorkloadModel] = None,
+        config: Optional[SimulationConfig] = None,
+        trace: Optional[SimulationTrace] = None,
+    ) -> None:
+        self._cluster = cluster
+        self._policy = policy
+        self._queue = queue
+        self._arrivals: Iterator[Job] = iter(arrivals)
+        self._txn_apps = list(txn_apps)
+        self._batch_model = batch_model or BatchWorkloadModel(queue)
+        self._config = config or SimulationConfig()
+
+        self.metrics = MetricsRecorder()
+        self.trace = trace
+        self._state = PlacementState(cluster)
+        #: Per running job: (allocated speed MHz, execution start time).
+        self._speeds: Dict[str, float] = {}
+        self._run_since: Dict[str, float] = {}
+        self._pending_arrival: Optional[Job] = None
+        self._arrivals_done = False
+        self._cycle_end = 0.0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> PlacementState:
+        """The placement currently in effect."""
+        return self._state
+
+    @property
+    def config(self) -> SimulationConfig:
+        return self._config
+
+    def run(self) -> MetricsRecorder:
+        """Run to completion and return the metrics recorder."""
+        events = EventQueue()
+        self._schedule_next_arrival(events, 0.0)
+        for failure in self._config.failures:
+            if failure.node not in self._cluster:
+                raise SimulationError(f"failure targets unknown node {failure.node!r}")
+            events.schedule(
+                failure.fail_time, (_FAIL, failure), priority=PRIORITY_ARRIVAL
+            )
+            if failure.duration != float("inf"):
+                events.schedule(
+                    failure.fail_time + failure.duration,
+                    (_RESTORE, failure.node),
+                    priority=PRIORITY_ARRIVAL,
+                )
+        events.schedule(0.0, (_CYCLE, None), priority=PRIORITY_CYCLE)
+
+        while events:
+            now, (kind, payload) = events.pop()
+            if self._config.max_time is not None and now > self._config.max_time + EPSILON:
+                break
+            if kind == _ARRIVAL:
+                self._queue.submit(payload)
+                if self.trace is not None:
+                    self.trace.emit(
+                        now, TraceEventKind.ARRIVAL, payload.job_id,
+                        goal=round(payload.completion_goal, 1),
+                    )
+                self._schedule_next_arrival(events, now)
+            elif kind == _COMPLETION:
+                self._complete_job(payload, now)
+            elif kind == _STAGE:
+                self._cross_stage_boundary(payload, now, events)
+            elif kind == _FAIL:
+                self._fail_node(payload, now)
+            elif kind == _RESTORE:
+                self._restore_node(payload, now)
+            elif kind == _CYCLE:
+                self._control_cycle(now, events)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event kind {kind!r}")
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def _schedule_next_arrival(self, events: EventQueue, now: float) -> None:
+        job = next(self._arrivals, None)
+        if job is None:
+            self._arrivals_done = True
+            return
+        if job.submit_time < now - EPSILON:
+            raise SimulationError(
+                f"arrival stream not sorted: {job.job_id} at {job.submit_time} < {now}"
+            )
+        events.schedule(job.submit_time, (_ARRIVAL, job), priority=PRIORITY_ARRIVAL)
+
+    def _complete_job(self, job_id: str, now: float) -> None:
+        job = self._queue.job(job_id)
+        if job.status is not JobStatus.RUNNING:
+            return  # stale event that escaped cancellation
+        self._advance_job(job, now)
+        # Snap exact completion: floating residue below a millicycle.
+        job.cpu_consumed = job.profile.total_work
+        job.status = JobStatus.COMPLETED
+        job.completion_time = now
+        self._speeds.pop(job_id, None)
+        self._run_since.pop(job_id, None)
+        self.metrics.record_completion(job)
+        if self.trace is not None:
+            self.trace.emit(
+                now, TraceEventKind.COMPLETION, job_id,
+                met=job.met_deadline(),
+                distance=round(job.deadline_distance(), 1),
+            )
+
+    def _advance_job(self, job: Job, now: float) -> None:
+        """Credit work done since the job last ran."""
+        speed = self._speeds.get(job.job_id)
+        if speed is None:
+            return
+        since = self._run_since.get(job.job_id, now)
+        dt = max(0.0, now - since)
+        if dt > 0:
+            job.advance(speed * dt)
+            self._run_since[job.job_id] = now
+
+    def _fail_node(self, failure: NodeFailure, now: float) -> None:
+        """Take a node down: evict its placements and requeue its jobs.
+
+        Evictions happen *before* the node is marked unavailable — the
+        capacity bookkeeping must still see the node's real capacity
+        while allocations are being released.
+        """
+        node = self._cluster.node(failure.node)
+        for app_id in list(self._state.apps_on(failure.node)):
+            count = self._state.instances(app_id).get(failure.node, 0)
+            if count:
+                self._state.remove(app_id, failure.node, count)
+            if app_id not in self._queue:
+                continue  # transactional instance: re-placed next cycle
+            job = self._queue.job(app_id)
+            if not job.is_incomplete:
+                continue
+            still_placed = bool(self._state.nodes_of(app_id))
+            if still_placed:
+                # A parallel job survives on its remaining instances at a
+                # proportionally reduced speed until the next cycle.
+                self._advance_job(job, now)
+                remaining_speed = min(
+                    self._state.cpu_of(app_id), job.max_speed
+                )
+                if remaining_speed > EPSILON:
+                    self._speeds[app_id] = remaining_speed
+                    self._run_since[app_id] = now
+                else:
+                    self._speeds.pop(app_id, None)
+                continue
+            if job.status is JobStatus.RUNNING:
+                self._advance_job(job, now)
+                self._speeds.pop(app_id, None)
+                self._run_since.pop(app_id, None)
+                if failure.lose_progress:
+                    job.cpu_consumed = 0.0
+                    job.status = JobStatus.NOT_STARTED
+                    job.node = None
+                else:
+                    job.status = JobStatus.SUSPENDED
+            elif job.status is JobStatus.SUSPENDED and failure.lose_progress:
+                if job.node == failure.node:
+                    job.cpu_consumed = 0.0
+                    job.status = JobStatus.NOT_STARTED
+                    job.node = None
+        node.available = False
+        if self.trace is not None:
+            self.trace.emit(
+                now, TraceEventKind.SUSPEND, failure.node,
+                event="node-failure", lose_progress=failure.lose_progress,
+            )
+
+    def _restore_node(self, node_name: str, now: float) -> None:
+        self._cluster.node(node_name).available = True
+        if self.trace is not None:
+            self.trace.emit(
+                now, TraceEventKind.RESUME, node_name, event="node-restore"
+            )
+
+    def _schedule_progress(self, job: Job, start: float, events: EventQueue) -> None:
+        """Schedule the job's next in-cycle progress event.
+
+        Within a control cycle allocations are constant, but a job's
+        *speed cap* changes at stage boundaries (§4.1: each stage has its
+        own ``ω^max``).  The next event is whichever comes first of the
+        stage boundary and the completion, if it lands inside the cycle.
+        """
+        speed = self._speeds.get(job.job_id)
+        if speed is None or speed <= EPSILON:
+            return
+        if job.profile.is_last_stage(job.cpu_consumed):
+            completion = start + job.remaining_work / speed
+            if completion <= self._cycle_end + EPSILON:
+                events.schedule(
+                    completion, (_COMPLETION, job.job_id),
+                    priority=PRIORITY_COMPLETION,
+                )
+            return
+        boundary = start + job.profile.work_to_stage_end(job.cpu_consumed) / speed
+        if boundary <= self._cycle_end + EPSILON:
+            events.schedule(
+                boundary, (_STAGE, job.job_id), priority=PRIORITY_COMPLETION
+            )
+
+    def _cross_stage_boundary(
+        self, job_id: str, now: float, events: EventQueue
+    ) -> None:
+        """The job finished a stage mid-cycle: re-apply the new stage's
+        speed cap (the allocation itself only changes at control points)
+        and schedule the next progress event."""
+        job = self._queue.job(job_id)
+        if job.status is not JobStatus.RUNNING:
+            return  # reconfigured away before the boundary
+        self._advance_job(job, now)
+        allocated = self._state.cpu_of(job.job_id)
+        speed = min(allocated, job.max_speed)
+        if speed <= EPSILON:
+            self._speeds.pop(job.job_id, None)
+            return
+        self._speeds[job.job_id] = speed
+        self._run_since[job.job_id] = now
+        self._schedule_progress(job, now, events)
+
+    def _control_cycle(self, now: float, events: EventQueue) -> None:
+        # 1. Bring all running jobs' progress up to date.
+        for job in self._queue.running():
+            self._advance_job(job, now)
+
+        # 2. Ask the policy for the next placement.
+        t0 = _wallclock.perf_counter()
+        new_state = self._policy.decide(self._state, now)
+        decision_seconds = _wallclock.perf_counter() - t0
+
+        # 3. Apply the placement diff as VM control actions.
+        changes, delays = self._apply_placement(new_state, now)
+
+        # 4. Refresh execution speeds and schedule in-cycle progress
+        #    events (stage boundaries and completions).
+        self._cycle_end = now + self._config.cycle_length
+        self._speeds = {}
+        self._state = new_state
+        for job in self._queue.running():
+            allocated = new_state.cpu_of(job.job_id)
+            speed = min(allocated, job.max_speed)
+            if speed <= EPSILON:
+                continue
+            self._speeds[job.job_id] = speed
+            start = now + delays.get(job.job_id, 0.0)
+            self._run_since[job.job_id] = start
+            self._schedule_progress(job, start, events)
+
+        # 5. Record the cycle sample.
+        self._record_cycle(new_state, now, changes, decision_seconds)
+        if self.trace is not None:
+            self.trace.emit(
+                now, TraceEventKind.CYCLE, "controller",
+                changes=changes,
+                running=len(self._speeds),
+                decision_ms=round(decision_seconds * 1e3, 2),
+            )
+
+        # 6. Book-keeping and the next cycle.
+        if self._config.prune_completed:
+            self._queue.prune_completed()
+        more_batch = bool(self._queue.incomplete()) or not self._arrivals_done
+        next_cycle = now + self._config.cycle_length
+        past_horizon = (
+            self._config.max_time is not None
+            and next_cycle > self._config.max_time + EPSILON
+        )
+        if more_batch and not past_horizon:
+            events.schedule(next_cycle, (_CYCLE, None), priority=PRIORITY_CYCLE)
+
+    # ------------------------------------------------------------------
+    # Placement application
+    # ------------------------------------------------------------------
+    def _apply_placement(
+        self, new_state: PlacementState, now: float
+    ) -> Tuple[int, Dict[str, float]]:
+        """Classify per-job placement changes and update job state.
+
+        Returns ``(change_count, per-job execution delays)``.  Change
+        semantics (and Figure 4's counting):
+
+        * queued job placed            -> BOOT (not a "change")
+        * running job unplaced         -> SUSPEND (1 change)
+        * suspended job, same node     -> RESUME (1 change)
+        * suspended job, other node    -> migrate + resume (1 change)
+        * running job, other node      -> live MIGRATE (1 change)
+        """
+        costs = self._config.cost_model
+        changes = 0
+        delays: Dict[str, float] = {}
+        for job in self._queue.incomplete():
+            old_set = set(self._state.nodes_of(job.job_id))
+            new_set = set(new_state.nodes_of(job.job_id))
+
+            if not new_set:
+                if job.status is JobStatus.RUNNING:
+                    job.status = JobStatus.SUSPENDED
+                    job.suspend_count += 1
+                    changes += 1
+                    self._speeds.pop(job.job_id, None)
+                    self._run_since.pop(job.job_id, None)
+                    # job.node keeps the suspension node for resume/migrate
+                    # classification next time it is placed.
+                    if self.trace is not None:
+                        self.trace.emit(
+                            now, TraceEventKind.SUSPEND, job.job_id,
+                            node=job.node,
+                        )
+                continue
+
+            primary = sorted(new_set)[0]
+            if job.status is JobStatus.NOT_STARTED:
+                job.status = JobStatus.RUNNING
+                job.start_time = now
+                job.node = primary
+                delays[job.job_id] = costs.boot_cost(job.memory_mb)
+                if self.trace is not None:
+                    self.trace.emit(
+                        now, TraceEventKind.BOOT, job.job_id, node=primary,
+                        delay=round(delays[job.job_id], 2),
+                    )
+            elif job.status is JobStatus.SUSPENDED:
+                if job.node in new_set:
+                    job.resume_count += 1
+                    delays[job.job_id] = costs.resume_cost(job.memory_mb)
+                    if self.trace is not None:
+                        self.trace.emit(
+                            now, TraceEventKind.RESUME, job.job_id,
+                            node=job.node,
+                            delay=round(delays[job.job_id], 2),
+                        )
+                else:
+                    job.migration_count += 1
+                    delays[job.job_id] = costs.migrate_cost(
+                        job.memory_mb
+                    ) + costs.resume_cost(job.memory_mb)
+                    if self.trace is not None:
+                        self.trace.emit(
+                            now, TraceEventKind.MIGRATE, job.job_id,
+                            source=job.node, node=primary,
+                            delay=round(delays[job.job_id], 2),
+                        )
+                job.status = JobStatus.RUNNING
+                job.node = primary if job.node not in new_set else job.node
+                changes += 1
+            elif job.status is JobStatus.RUNNING:
+                if old_set and old_set - new_set:
+                    # Losing nodes means (at least part of) the job moved:
+                    # a live migration.  Pure growth (new instances of a
+                    # parallel job booting on extra nodes) is dispatch,
+                    # not reconfiguration churn.
+                    job.migration_count += 1
+                    delays[job.job_id] = costs.migrate_cost(job.memory_mb)
+                    changes += 1
+                    if self.trace is not None:
+                        self.trace.emit(
+                            now, TraceEventKind.MIGRATE, job.job_id,
+                            source=sorted(old_set)[0], node=primary,
+                            delay=round(delays[job.job_id], 2),
+                        )
+                if job.node not in new_set:
+                    job.node = primary
+        return changes, delays
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _record_cycle(
+        self,
+        new_state: PlacementState,
+        now: float,
+        changes: int,
+        decision_seconds: float,
+    ) -> None:
+        incomplete = self._queue.incomplete()
+        batch_alloc = sum(
+            min(new_state.cpu_of(j.job_id), j.max_speed) for j in incomplete
+        )
+        if incomplete:
+            hypo = self._batch_model.hypothetical(now).average_utility(batch_alloc)
+        else:
+            hypo = float("nan")
+        txn_utilities: Dict[str, float] = {}
+        txn_allocations: Dict[str, float] = {}
+        for app in self._txn_apps:
+            allocated = new_state.cpu_of(app.app_id)
+            txn_allocations[app.app_id] = allocated
+            txn_utilities[app.app_id] = app.rpf_at(now).utility(allocated)
+        running = sum(1 for j in incomplete if j.status is JobStatus.RUNNING)
+        self.metrics.record_cycle(
+            CycleSample(
+                time=now,
+                batch_hypothetical_utility=hypo,
+                batch_allocation_mhz=batch_alloc,
+                txn_utilities=txn_utilities,
+                txn_allocations_mhz=txn_allocations,
+                running_jobs=running,
+                queued_jobs=len(incomplete) - running,
+                placement_changes=changes,
+                decision_seconds=decision_seconds,
+            )
+        )

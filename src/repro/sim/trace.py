@@ -1,0 +1,114 @@
+"""Structured simulation event trace.
+
+Debugging a placement controller means answering "what did the system do
+at t = 31,800 and why" — a metrics series is too coarse for that.  The
+trace records typed events (arrivals, placement actions, completions,
+cycle summaries) with bounded memory, and renders filtered views.
+
+Attach a :class:`SimulationTrace` to the simulator via
+:meth:`MixedWorkloadSimulator` composition (the simulator emits events if
+a trace is configured) or use it standalone from custom policies.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterable, List, Optional
+
+
+class TraceEventKind(enum.Enum):
+    ARRIVAL = "arrival"
+    BOOT = "boot"
+    SUSPEND = "suspend"
+    RESUME = "resume"
+    MIGRATE = "migrate"
+    COMPLETION = "completion"
+    CYCLE = "cycle"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped simulation event."""
+
+    time: float
+    kind: TraceEventKind
+    subject: str
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        detail = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time:>12.1f}s] {self.kind.value:<10} {self.subject:<24} {detail}".rstrip()
+
+
+class SimulationTrace:
+    """Bounded in-memory event log with filtered rendering."""
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._dropped = 0
+
+    def emit(
+        self,
+        time: float,
+        kind: TraceEventKind,
+        subject: str,
+        **detail: object,
+    ) -> None:
+        if len(self._events) == self._events.maxlen:
+            self._dropped += 1
+        self._events.append(TraceEvent(time, kind, subject, dict(detail)))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the capacity bound (oldest-first)."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(
+        self,
+        kinds: Optional[Iterable[TraceEventKind]] = None,
+        subject: Optional[str] = None,
+        start: float = float("-inf"),
+        end: float = float("inf"),
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> List[TraceEvent]:
+        """Events filtered by kind set, subject, time window, predicate."""
+        kind_set = set(kinds) if kinds is not None else None
+        out: List[TraceEvent] = []
+        for event in self._events:
+            if kind_set is not None and event.kind not in kind_set:
+                continue
+            if subject is not None and event.subject != subject:
+                continue
+            if not start <= event.time <= end:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            out.append(event)
+        return out
+
+    def history_of(self, subject: str) -> List[TraceEvent]:
+        """Everything that ever happened to one application/job."""
+        return self.events(subject=subject)
+
+    def counts(self) -> Dict[TraceEventKind, int]:
+        out: Dict[TraceEventKind, int] = {}
+        for event in self._events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def render(self, **filters) -> str:
+        """A text log of the (filtered) events."""
+        lines = [event.render() for event in self.events(**filters)]
+        if self._dropped:
+            lines.append(f"... ({self._dropped} older events dropped)")
+        return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Transactional (interactive web) workload substrate.
+
+Implements §3.1 and §3.3 of the paper: the queuing-theoretic response-time
+performance model, the relative performance function
+``u_m = (τ_m − t_m)/τ_m``, the request router (weighted load balancing
+with overload protection), the work profiler (regression-based per-request
+CPU demand estimation), and arrival-intensity traces.
+"""
+
+from repro.txn.queuing import (
+    ResponseTimeModel,
+    ProcessorSharingModel,
+    ErlangCModel,
+    calibrate_processor_sharing,
+)
+from repro.txn.rpf import TransactionalRPF
+from repro.txn.application import TransactionalApp
+from repro.txn.workload import (
+    ArrivalTrace,
+    ConstantTrace,
+    StepTrace,
+    PiecewiseTrace,
+    SinusoidTrace,
+)
+from repro.txn.router import RequestRouter, RoutingDecision
+from repro.txn.profiler import WorkProfiler, UtilizationSample
+from repro.txn.model import TransactionalWorkloadModel
+
+__all__ = [
+    "ResponseTimeModel",
+    "ProcessorSharingModel",
+    "ErlangCModel",
+    "calibrate_processor_sharing",
+    "TransactionalRPF",
+    "TransactionalApp",
+    "ArrivalTrace",
+    "ConstantTrace",
+    "StepTrace",
+    "PiecewiseTrace",
+    "SinusoidTrace",
+    "RequestRouter",
+    "RoutingDecision",
+    "WorkProfiler",
+    "UtilizationSample",
+    "TransactionalWorkloadModel",
+]

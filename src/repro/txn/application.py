@@ -1,0 +1,152 @@
+"""Transactional application descriptor.
+
+A transactional web application is served by a cluster of application
+server instances replicated across nodes (§3.1).  Each application
+carries:
+
+* a memory footprint per instance (the load-independent demand of §3.2),
+* an average per-request CPU demand (estimated online by the work
+  profiler in the real system),
+* a response-time goal ``τ_m``,
+* an arrival-intensity trace (what the request router observes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.txn.queuing import (
+    ErlangCModel,
+    ProcessorSharingModel,
+    ResponseTimeModel,
+    calibrate_erlang_c,
+    calibrate_processor_sharing,
+)
+from repro.txn.rpf import TransactionalRPF
+from repro.txn.workload import ArrivalTrace, ConstantTrace
+
+
+class TransactionalApp:
+    """One transactional web application under management."""
+
+    def __init__(
+        self,
+        app_id: str,
+        memory_mb: float,
+        demand_mcycles: float,
+        response_time_goal: float,
+        trace: ArrivalTrace,
+        single_thread_speed_mhz: float,
+        max_instances: Optional[int] = None,
+        model_type: str = "ps",
+    ) -> None:
+        if not app_id:
+            raise ConfigurationError("application id must be non-empty")
+        if memory_mb < 0:
+            raise ConfigurationError(f"memory must be >= 0, got {memory_mb}")
+        if demand_mcycles <= 0:
+            raise ConfigurationError(
+                f"per-request demand must be positive, got {demand_mcycles}"
+            )
+        if response_time_goal <= 0:
+            raise ConfigurationError(
+                f"response time goal must be positive, got {response_time_goal}"
+            )
+        if single_thread_speed_mhz <= 0:
+            raise ConfigurationError(
+                f"single-thread speed must be positive, got {single_thread_speed_mhz}"
+            )
+        self.app_id = app_id
+        self.memory_mb = memory_mb
+        self.demand_mcycles = demand_mcycles
+        self.response_time_goal = response_time_goal
+        self.trace = trace
+        self.single_thread_speed_mhz = single_thread_speed_mhz
+        self.max_instances = max_instances
+        if model_type not in ("ps", "erlang"):
+            raise ConfigurationError(
+                f"model_type must be 'ps' or 'erlang', got {model_type!r}"
+            )
+        #: Which queuing model backs the performance predictions:
+        #: ``"ps"`` (processor sharing with a hard service-time floor) or
+        #: ``"erlang"`` (M/M/c with a soft approach to the floor).
+        self.model_type = model_type
+
+    @classmethod
+    def calibrated(
+        cls,
+        app_id: str,
+        memory_mb: float,
+        max_utility: float,
+        saturation_cpu_mhz: float,
+        single_thread_speed_mhz: float,
+        min_response_time: float = 0.1,
+        max_instances: Optional[int] = None,
+        model_type: str = "erlang",
+    ) -> "TransactionalApp":
+        """Build an application from Experiment Three's two anchors:
+        its maximum achievable relative performance and the allocation at
+        which it saturates.
+
+        ``model_type="erlang"`` (default) gives the soft sub-saturation
+        degradation the paper's static-partition results require (see
+        :func:`~repro.txn.queuing.calibrate_erlang_c`);
+        ``model_type="ps"`` pins the offered load just under saturation
+        (see :func:`~repro.txn.queuing.calibrate_processor_sharing`)."""
+        if model_type == "erlang":
+            model, goal = calibrate_erlang_c(
+                max_utility=max_utility,
+                saturation_cpu_mhz=saturation_cpu_mhz,
+                single_thread_speed_mhz=single_thread_speed_mhz,
+                min_response_time=min_response_time,
+            )
+            arrival_rate = model.arrival_rate
+        else:
+            model, goal = calibrate_processor_sharing(
+                max_utility=max_utility,
+                saturation_cpu_mhz=saturation_cpu_mhz,
+                single_thread_speed_mhz=single_thread_speed_mhz,
+                min_response_time=min_response_time,
+            )
+            arrival_rate = model.arrival_rate
+        return cls(
+            app_id=app_id,
+            memory_mb=memory_mb,
+            demand_mcycles=min_response_time * single_thread_speed_mhz,
+            response_time_goal=goal,
+            trace=ConstantTrace(arrival_rate),
+            single_thread_speed_mhz=single_thread_speed_mhz,
+            max_instances=max_instances,
+            model_type=model_type,
+        )
+
+    # ------------------------------------------------------------------
+    # Performance model access
+    # ------------------------------------------------------------------
+    def arrival_rate(self, now: float) -> float:
+        """Arrival intensity at time ``now`` (req/s)."""
+        return self.trace.rate(now)
+
+    def model_at(self, now: float) -> ResponseTimeModel:
+        """The queuing model under the current arrival intensity."""
+        model_cls = ErlangCModel if self.model_type == "erlang" else ProcessorSharingModel
+        return model_cls(
+            arrival_rate=self.arrival_rate(now),
+            demand_mcycles=self.demand_mcycles,
+            single_thread_speed_mhz=self.single_thread_speed_mhz,
+        )
+
+    def rpf_at(self, now: float) -> TransactionalRPF:
+        """The RPF of the CPU allocation under the current intensity."""
+        return TransactionalRPF(self.model_at(now), self.response_time_goal)
+
+    def response_time(self, cpu_mhz: float, now: float) -> float:
+        """Modeled mean response time at a given allocation and time."""
+        return self.model_at(now).response_time(cpu_mhz)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TransactionalApp({self.app_id!r}, goal={self.response_time_goal:.3f}s, "
+            f"d={self.demand_mcycles:.1f}Mcy)"
+        )

@@ -1,0 +1,125 @@
+"""Work profiler: online estimation of per-request CPU demand.
+
+§3.1: "A separate component, called the work profiler, monitors resource
+utilization of nodes and (based on a regression model that combines the
+utilization values with throughput data) estimates an average CPU
+requirement of a single request to any application."
+
+The regression model: in an observation window on node ``n``,
+
+    used_cpu_n  =  Σ_m  throughput_{m,n} · d_m  +  noise
+
+where ``throughput_{m,n}`` is application ``m``'s request completion rate
+on the node and ``d_m`` the unknown per-request demand.  Collecting
+samples across nodes and windows gives an overdetermined linear system
+solved by non-negative least squares (demands cannot be negative; we use
+ordinary least squares followed by clipping and a refit over the active
+set, which is exact for this well-conditioned diagonal-dominant system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class UtilizationSample:
+    """One monitoring window on one node.
+
+    Attributes
+    ----------
+    throughput:
+        Requests/s completed per application during the window.
+    used_cpu_mhz:
+        CPU consumed on the node during the window (MHz, i.e. Mcycles/s
+        averaged over the window).
+    """
+
+    throughput: Mapping[str, float]
+    used_cpu_mhz: float
+
+
+class WorkProfiler:
+    """Least-squares estimator of per-request CPU demands.
+
+    Samples accumulate in a sliding window; estimates are recomputed on
+    demand.  The estimator is deliberately stateless between ``estimates``
+    calls — no Kalman-style smoothing — matching the simple regression the
+    paper's middleware uses.
+    """
+
+    def __init__(self, window: int = 256) -> None:
+        if window < 1:
+            raise ModelError(f"window must be >= 1, got {window}")
+        self._window = window
+        self._samples: List[UtilizationSample] = []
+
+    def observe(self, sample: UtilizationSample) -> None:
+        """Add one monitoring window; evicts beyond the sliding window."""
+        if sample.used_cpu_mhz < 0:
+            raise ModelError(f"negative used CPU: {sample.used_cpu_mhz}")
+        if any(v < 0 for v in sample.throughput.values()):
+            raise ModelError("negative throughput in sample")
+        self._samples.append(sample)
+        if len(self._samples) > self._window:
+            del self._samples[: len(self._samples) - self._window]
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._samples)
+
+    def app_ids(self) -> List[str]:
+        ids = set()
+        for s in self._samples:
+            ids.update(s.throughput)
+        return sorted(ids)
+
+    def estimates(self) -> Dict[str, float]:
+        """Per-request CPU demand estimates (Mcycles) per application.
+
+        Raises :class:`~repro.errors.ModelError` when no samples exist or
+        the system is degenerate (an application never observed with
+        nonzero throughput gets no estimate rather than a garbage one).
+        """
+        if not self._samples:
+            raise ModelError("no utilization samples observed")
+        apps = self.app_ids()
+        if not apps:
+            raise ModelError("samples contain no application throughput")
+        a = np.zeros((len(self._samples), len(apps)))
+        b = np.zeros(len(self._samples))
+        for i, s in enumerate(self._samples):
+            b[i] = s.used_cpu_mhz
+            for j, app in enumerate(apps):
+                a[i, j] = s.throughput.get(app, 0.0)
+
+        observed = a.sum(axis=0) > 0
+        estimates: Dict[str, float] = {}
+        active = list(np.nonzero(observed)[0])
+        if not active:
+            raise ModelError("all applications have zero observed throughput")
+
+        # OLS on the observed columns, clip negatives, refit the rest.
+        while active:
+            sol, *_ = np.linalg.lstsq(a[:, active], b, rcond=None)
+            negative = [idx for idx, v in zip(active, sol) if v < 0]
+            if not negative:
+                for idx, v in zip(active, sol):
+                    estimates[apps[idx]] = float(v)
+                break
+            active = [idx for idx in active if idx not in negative]
+        for j, app in enumerate(apps):
+            estimates.setdefault(app, 0.0)
+        return estimates
+
+    def estimate(self, app_id: str) -> float:
+        """Demand estimate for one application."""
+        est = self.estimates()
+        if app_id not in est:
+            raise ModelError(f"no estimate for application {app_id!r}")
+        return est[app_id]

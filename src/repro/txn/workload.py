@@ -1,0 +1,117 @@
+"""Arrival-intensity traces for transactional workloads.
+
+The controller operates on a short cycle precisely because "transactional
+workload intensity changes ... may happen frequently and unexpectedly"
+(§3.1).  A trace maps simulation time to a request arrival rate (req/s);
+the simulator samples it at every control cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Protocol, Sequence, Tuple, runtime_checkable
+
+from repro.errors import ConfigurationError
+
+
+@runtime_checkable
+class ArrivalTrace(Protocol):
+    """Request arrival intensity as a function of time."""
+
+    def rate(self, time: float) -> float:
+        """Arrival rate (req/s) at simulation time ``time``."""
+        ...
+
+
+class ConstantTrace:
+    """A constant arrival rate (Experiment Three keeps the transactional
+    workload constant throughout)."""
+
+    def __init__(self, rate: float) -> None:
+        if rate < 0:
+            raise ConfigurationError(f"rate must be >= 0, got {rate}")
+        self._rate = rate
+
+    def rate(self, time: float) -> float:
+        del time
+        return self._rate
+
+    def __repr__(self) -> str:
+        return f"ConstantTrace({self._rate:.2f}/s)"
+
+
+class StepTrace:
+    """A single step change at a given time (the introduction's "at time
+    t/2, the workload intensity for TA increases" scenario)."""
+
+    def __init__(self, before: float, after: float, step_time: float) -> None:
+        if before < 0 or after < 0:
+            raise ConfigurationError("rates must be >= 0")
+        self._before = before
+        self._after = after
+        self._step_time = step_time
+
+    def rate(self, time: float) -> float:
+        return self._after if time >= self._step_time else self._before
+
+    def __repr__(self) -> str:
+        return f"StepTrace({self._before}->{self._after} @ {self._step_time}s)"
+
+
+class PiecewiseTrace:
+    """Piecewise-constant rates over ``[t_i, t_{i+1})`` intervals."""
+
+    def __init__(self, breakpoints: Sequence[Tuple[float, float]]) -> None:
+        """``breakpoints`` is a sorted sequence of ``(start_time, rate)``;
+        the first segment extends back to ``-inf``, the last to ``+inf``."""
+        if not breakpoints:
+            raise ConfigurationError("need at least one breakpoint")
+        times = [b[0] for b in breakpoints]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ConfigurationError("breakpoint times must be strictly increasing")
+        if any(b[1] < 0 for b in breakpoints):
+            raise ConfigurationError("rates must be >= 0")
+        self._breakpoints: List[Tuple[float, float]] = [
+            (float(t), float(r)) for t, r in breakpoints
+        ]
+
+    def rate(self, time: float) -> float:
+        current = self._breakpoints[0][1]
+        for start, r in self._breakpoints:
+            if time >= start:
+                current = r
+            else:
+                break
+        return current
+
+    def __repr__(self) -> str:
+        return f"PiecewiseTrace({len(self._breakpoints)} segments)"
+
+
+class SinusoidTrace:
+    """A diurnal-style sinusoidal intensity: ``base + amplitude·sin(...)``,
+    clipped at zero."""
+
+    def __init__(
+        self, base: float, amplitude: float, period: float, phase: float = 0.0
+    ) -> None:
+        if base < 0 or amplitude < 0:
+            raise ConfigurationError("base and amplitude must be >= 0")
+        if period <= 0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        self._base = base
+        self._amplitude = amplitude
+        self._period = period
+        self._phase = phase
+
+    def rate(self, time: float) -> float:
+        value = self._base + self._amplitude * math.sin(
+            2.0 * math.pi * time / self._period + self._phase
+        )
+        return max(0.0, value)
+
+    def __repr__(self) -> str:
+        return (
+            f"SinusoidTrace(base={self._base}, amp={self._amplitude}, "
+            f"period={self._period}s)"
+        )

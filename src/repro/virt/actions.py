@@ -1,0 +1,103 @@
+"""Placement change actions.
+
+The controller reconfigures the system by starting, stopping, suspending,
+resuming and relocating application instances.  This module defines the
+action vocabulary and a helper to diff two placements into raw instance
+additions/removals.  Classifying a removal as *stop* versus *suspend* (or
+an addition as *boot* versus *resume*) requires workload knowledge (is the
+instance a batch job with remaining work?), so that classification is done
+by the schedulers, not here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.virt.costs import VirtualizationCostModel
+
+
+class ActionType(enum.Enum):
+    """The VM control operations available to the controller (§5)."""
+
+    BOOT = "boot"          #: start a fresh instance on a node
+    STOP = "stop"          #: stop an instance (discarding its state)
+    SUSPEND = "suspend"    #: suspend a running instance, keeping its state
+    RESUME = "resume"      #: resume a suspended instance on the same node
+    MIGRATE = "migrate"    #: move a (running or suspended) instance to another node
+
+
+#: Action types counted as "placement changes" in Experiment Two's Figure 4
+#: ("Number of jobs migrated, suspended, and moved and resumed").  Boots of
+#: fresh instances are normal dispatch, not reconfiguration churn.
+CHANGE_ACTIONS = frozenset({ActionType.SUSPEND, ActionType.RESUME, ActionType.MIGRATE})
+
+
+@dataclass(frozen=True)
+class PlacementAction:
+    """One control operation against one application instance.
+
+    ``duration`` is the wall-clock cost of the operation according to the
+    active :class:`~repro.virt.costs.VirtualizationCostModel`.
+    """
+
+    action: ActionType
+    app_id: str
+    node: str
+    source_node: Optional[str] = None
+    duration: float = 0.0
+
+    def __str__(self) -> str:
+        if self.action is ActionType.MIGRATE:
+            return (
+                f"{self.action.value} {self.app_id}: "
+                f"{self.source_node} -> {self.node} ({self.duration:.2f}s)"
+            )
+        return f"{self.action.value} {self.app_id} @ {self.node} ({self.duration:.2f}s)"
+
+
+def action_duration(
+    action: ActionType, footprint_mb: float, costs: VirtualizationCostModel
+) -> float:
+    """Duration of ``action`` on a VM with the given memory footprint."""
+    if action is ActionType.BOOT:
+        return costs.boot_cost(footprint_mb)
+    if action is ActionType.STOP:
+        return 0.0
+    if action is ActionType.SUSPEND:
+        return costs.suspend_cost(footprint_mb)
+    if action is ActionType.RESUME:
+        return costs.resume_cost(footprint_mb)
+    if action is ActionType.MIGRATE:
+        return costs.migrate_cost(footprint_mb)
+    raise AssertionError(f"unhandled action type: {action!r}")
+
+
+Placement = Mapping[str, Mapping[str, int]]
+
+
+def diff_placements(
+    old: Placement, new: Placement
+) -> Tuple[List[Tuple[str, str, int]], List[Tuple[str, str, int]]]:
+    """Diff two placements into per-(app, node) instance deltas.
+
+    Both placements map ``app_id -> {node_name: instance_count}``.
+
+    Returns ``(removals, additions)``; each entry is
+    ``(app_id, node_name, count)`` with ``count > 0``.  Entries are sorted
+    for determinism.
+    """
+    removals: List[Tuple[str, str, int]] = []
+    additions: List[Tuple[str, str, int]] = []
+    app_ids = set(old) | set(new)
+    for app_id in sorted(app_ids):
+        old_nodes: Dict[str, int] = dict(old.get(app_id, {}))
+        new_nodes: Dict[str, int] = dict(new.get(app_id, {}))
+        for node in sorted(set(old_nodes) | set(new_nodes)):
+            delta = new_nodes.get(node, 0) - old_nodes.get(node, 0)
+            if delta < 0:
+                removals.append((app_id, node, -delta))
+            elif delta > 0:
+                additions.append((app_id, node, delta))
+    return removals, additions

@@ -1,0 +1,171 @@
+"""Virtual-machine container state machine.
+
+A :class:`Container` wraps one application instance embedded in a VM and
+tracks the lifecycle the simulator drives: booting, running, suspending,
+suspended, resuming, migrating, stopped.  While a control operation is in
+flight the contained workload makes no progress and — except for the
+source side of a completed migration — the VM's resources remain reserved
+on its node(s).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.virt.actions import ActionType
+from repro.virt.costs import VirtualizationCostModel
+
+
+class ContainerState(enum.Enum):
+    """Lifecycle states of a VM container."""
+
+    BOOTING = "booting"
+    RUNNING = "running"
+    SUSPENDING = "suspending"
+    SUSPENDED = "suspended"
+    RESUMING = "resuming"
+    MIGRATING = "migrating"
+    STOPPED = "stopped"
+
+
+#: States in which the contained workload consumes CPU and makes progress.
+ACTIVE_STATES = frozenset({ContainerState.RUNNING})
+
+#: States in which the container occupies memory on its (target) node.
+PLACED_STATES = frozenset(
+    {
+        ContainerState.BOOTING,
+        ContainerState.RUNNING,
+        ContainerState.SUSPENDING,
+        ContainerState.SUSPENDED,
+        ContainerState.RESUMING,
+        ContainerState.MIGRATING,
+    }
+)
+
+
+@dataclass
+class Container:
+    """One VM instance of an application on (at most) one node.
+
+    The simulator calls :meth:`begin` when it issues a control operation
+    and :meth:`complete` when the operation's duration has elapsed.
+    """
+
+    app_id: str
+    footprint_mb: float
+    node: Optional[str] = None
+    state: ContainerState = ContainerState.STOPPED
+    #: Node the container is migrating to while ``state == MIGRATING``.
+    migration_target: Optional[str] = None
+    #: Simulation time at which the in-flight operation completes.
+    busy_until: float = field(default=0.0)
+
+    @property
+    def is_active(self) -> bool:
+        """True when the contained workload is executing."""
+        return self.state in ACTIVE_STATES
+
+    @property
+    def is_placed(self) -> bool:
+        """True when the container occupies memory on some node."""
+        return self.state in PLACED_STATES
+
+    @property
+    def in_transition(self) -> bool:
+        """True while a control operation is in flight."""
+        return self.state in (
+            ContainerState.BOOTING,
+            ContainerState.SUSPENDING,
+            ContainerState.RESUMING,
+            ContainerState.MIGRATING,
+        )
+
+    # ------------------------------------------------------------------
+    # Operation lifecycle
+    # ------------------------------------------------------------------
+    def begin(
+        self,
+        action: ActionType,
+        now: float,
+        costs: VirtualizationCostModel,
+        node: Optional[str] = None,
+    ) -> float:
+        """Start a control operation; returns its completion time.
+
+        ``node`` is the target node for BOOT and MIGRATE and must be
+        ``None`` for the other operations.
+        """
+        if self.in_transition:
+            raise SimulationError(
+                f"container {self.app_id} is {self.state.value}; cannot {action.value}"
+            )
+        if action is ActionType.BOOT:
+            if self.state is not ContainerState.STOPPED:
+                raise SimulationError(f"cannot boot {self.app_id} from {self.state.value}")
+            if node is None:
+                raise SimulationError("boot requires a target node")
+            self.node = node
+            self.state = ContainerState.BOOTING
+            duration = costs.boot_cost(self.footprint_mb)
+        elif action is ActionType.STOP:
+            if self.state not in (ContainerState.RUNNING, ContainerState.SUSPENDED):
+                raise SimulationError(f"cannot stop {self.app_id} from {self.state.value}")
+            self.state = ContainerState.STOPPED
+            self.node = None
+            return now
+        elif action is ActionType.SUSPEND:
+            if self.state is not ContainerState.RUNNING:
+                raise SimulationError(
+                    f"cannot suspend {self.app_id} from {self.state.value}"
+                )
+            self.state = ContainerState.SUSPENDING
+            duration = costs.suspend_cost(self.footprint_mb)
+        elif action is ActionType.RESUME:
+            if self.state is not ContainerState.SUSPENDED:
+                raise SimulationError(
+                    f"cannot resume {self.app_id} from {self.state.value}"
+                )
+            self.state = ContainerState.RESUMING
+            duration = costs.resume_cost(self.footprint_mb)
+        elif action is ActionType.MIGRATE:
+            if self.state not in (ContainerState.RUNNING, ContainerState.SUSPENDED):
+                raise SimulationError(
+                    f"cannot migrate {self.app_id} from {self.state.value}"
+                )
+            if node is None:
+                raise SimulationError("migrate requires a target node")
+            self.migration_target = node
+            self.state = ContainerState.MIGRATING
+            duration = costs.migrate_cost(self.footprint_mb)
+        else:  # pragma: no cover - exhaustive enum
+            raise AssertionError(f"unhandled action {action!r}")
+
+        self.busy_until = now + duration
+        return self.busy_until
+
+    def complete(self, now: float) -> None:
+        """Finish the in-flight operation (called at ``busy_until``)."""
+        if not self.in_transition:
+            raise SimulationError(
+                f"container {self.app_id} has no operation in flight"
+            )
+        if now + 1e-9 < self.busy_until:
+            raise SimulationError(
+                f"operation on {self.app_id} completes at {self.busy_until}, not {now}"
+            )
+        if self.state is ContainerState.BOOTING:
+            self.state = ContainerState.RUNNING
+        elif self.state is ContainerState.SUSPENDING:
+            self.state = ContainerState.SUSPENDED
+        elif self.state is ContainerState.RESUMING:
+            self.state = ContainerState.RUNNING
+        elif self.state is ContainerState.MIGRATING:
+            self.node = self.migration_target
+            self.migration_target = None
+            self.state = ContainerState.RUNNING
+        else:  # pragma: no cover - exhaustive
+            raise AssertionError(f"unhandled transition state {self.state!r}")

@@ -1,0 +1,26 @@
+"""Workload generators for the paper's experiments."""
+
+from repro.workloads.traces import read_job_trace, write_job_trace
+from repro.workloads.generators import (
+    JobClass,
+    MixedJobGenerator,
+    exponential_arrival_times,
+    experiment_one_jobs,
+    experiment_two_jobs,
+    EXPERIMENT_ONE_CLASS,
+    EXPERIMENT_TWO_CLASSES,
+    EXPERIMENT_TWO_GOAL_FACTORS,
+)
+
+__all__ = [
+    "read_job_trace",
+    "write_job_trace",
+    "JobClass",
+    "MixedJobGenerator",
+    "exponential_arrival_times",
+    "experiment_one_jobs",
+    "experiment_two_jobs",
+    "EXPERIMENT_ONE_CLASS",
+    "EXPERIMENT_TWO_CLASSES",
+    "EXPERIMENT_TWO_GOAL_FACTORS",
+]

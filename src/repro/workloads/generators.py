@@ -1,0 +1,169 @@
+"""Synthetic job streams matching the paper's experimental workloads.
+
+* **Experiment One** (§5.1, Table 2): 800 identical jobs — 68,640,000
+  Mcycles at a maximum speed of 3,900 MHz (17,600 s minimum execution
+  time), 4,320 MB of memory, relative goal factor 2.7 — submitted with
+  exponentially distributed inter-arrival times (mean 260 s).
+
+* **Experiment Two** (§5.2): jobs with mixed profiles.  Relative goal
+  factors 1.3 / 2.5 / 4.0 with probabilities 10% / 30% / 60%; (minimum
+  execution time, maximum speed) of (9,000 s, 3,900 MHz) /
+  (17,600 s, 1,560 MHz) / (600 s, 2,340 MHz) with probabilities
+  10% / 40% / 50%.  The paper does not state per-class memory; we reuse
+  Experiment One's 4,320 MB for every class (documented substitution —
+  it keeps memory, not CPU, the binding constraint, as in Experiment
+  One).
+
+All randomness flows through a seeded :class:`numpy.random.Generator`, so
+every experiment is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.batch.job import Job, JobProfile
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class JobClass:
+    """A job population template."""
+
+    name: str
+    min_execution_time: float       #: seconds at maximum speed
+    max_speed_mhz: float
+    memory_mb: float
+
+    @property
+    def work_mcycles(self) -> float:
+        return self.min_execution_time * self.max_speed_mhz
+
+    def profile(self) -> JobProfile:
+        return JobProfile.single_stage(
+            work_mcycles=self.work_mcycles,
+            max_speed_mhz=self.max_speed_mhz,
+            memory_mb=self.memory_mb,
+        )
+
+
+#: Table 2 of the paper.
+EXPERIMENT_ONE_CLASS = JobClass(
+    name="exp1",
+    min_execution_time=17_600.0,
+    max_speed_mhz=3_900.0,
+    memory_mb=4_320.0,
+)
+
+#: §5.2's three (min execution time, max speed) profiles and their weights.
+EXPERIMENT_TWO_CLASSES: Tuple[Tuple[JobClass, float], ...] = (
+    (JobClass("long-wide", 9_000.0, 3_900.0, 4_320.0), 0.10),
+    (JobClass("long-narrow", 17_600.0, 1_560.0, 4_320.0), 0.40),
+    (JobClass("short", 600.0, 2_340.0, 4_320.0), 0.50),
+)
+
+#: §5.2's relative goal factors and their weights.
+EXPERIMENT_TWO_GOAL_FACTORS: Tuple[Tuple[float, float], ...] = (
+    (1.3, 0.10),
+    (2.5, 0.30),
+    (4.0, 0.60),
+)
+
+
+def exponential_arrival_times(
+    count: int,
+    mean_interarrival: float,
+    rng: np.random.Generator,
+    start: float = 0.0,
+) -> List[float]:
+    """``count`` arrival times with exponential inter-arrival gaps."""
+    if count < 0:
+        raise ConfigurationError(f"count must be >= 0, got {count}")
+    if mean_interarrival <= 0:
+        raise ConfigurationError(
+            f"mean inter-arrival must be positive, got {mean_interarrival}"
+        )
+    gaps = rng.exponential(scale=mean_interarrival, size=count)
+    return list(start + np.cumsum(gaps))
+
+
+class MixedJobGenerator:
+    """Draws jobs from weighted (class, goal-factor) populations."""
+
+    def __init__(
+        self,
+        classes: Sequence[Tuple[JobClass, float]],
+        goal_factors: Sequence[Tuple[float, float]],
+        seed: int = 0,
+        id_prefix: str = "job",
+    ) -> None:
+        if not classes or not goal_factors:
+            raise ConfigurationError("need at least one class and one goal factor")
+        class_weights = np.array([w for _, w in classes], dtype=float)
+        factor_weights = np.array([w for _, w in goal_factors], dtype=float)
+        if (class_weights <= 0).any() or (factor_weights <= 0).any():
+            raise ConfigurationError("weights must be positive")
+        self._classes = [c for c, _ in classes]
+        self._class_p = class_weights / class_weights.sum()
+        self._factors = [f for f, _ in goal_factors]
+        self._factor_p = factor_weights / factor_weights.sum()
+        self._rng = np.random.default_rng(seed)
+        self._prefix = id_prefix
+        self._counter = 0
+
+    def generate(
+        self, count: int, mean_interarrival: float, start: float = 0.0
+    ) -> List[Job]:
+        """``count`` jobs with exponential inter-arrival times, sorted by
+        submission time."""
+        times = exponential_arrival_times(count, mean_interarrival, self._rng, start)
+        class_idx = self._rng.choice(len(self._classes), size=count, p=self._class_p)
+        factor_idx = self._rng.choice(len(self._factors), size=count, p=self._factor_p)
+        jobs: List[Job] = []
+        for t, ci, fi in zip(times, class_idx, factor_idx):
+            job_class = self._classes[ci]
+            self._counter += 1
+            jobs.append(
+                Job.with_goal_factor(
+                    job_id=f"{self._prefix}{self._counter:05d}-{job_class.name}",
+                    profile=job_class.profile(),
+                    submit_time=float(t),
+                    goal_factor=self._factors[fi],
+                )
+            )
+        return jobs
+
+
+def experiment_one_jobs(
+    count: int = 800,
+    mean_interarrival: float = 260.0,
+    seed: int = 0,
+    goal_factor: float = 2.7,
+    job_class: Optional[JobClass] = None,
+) -> List[Job]:
+    """The Experiment One stream: identical jobs, exponential arrivals."""
+    generator = MixedJobGenerator(
+        classes=[(job_class or EXPERIMENT_ONE_CLASS, 1.0)],
+        goal_factors=[(goal_factor, 1.0)],
+        seed=seed,
+        id_prefix="e1-",
+    )
+    return generator.generate(count, mean_interarrival)
+
+
+def experiment_two_jobs(
+    count: int = 800,
+    mean_interarrival: float = 200.0,
+    seed: int = 0,
+) -> List[Job]:
+    """The Experiment Two stream: mixed classes and goal factors."""
+    generator = MixedJobGenerator(
+        classes=EXPERIMENT_TWO_CLASSES,
+        goal_factors=EXPERIMENT_TWO_GOAL_FACTORS,
+        seed=seed,
+        id_prefix="e2-",
+    )
+    return generator.generate(count, mean_interarrival)

@@ -1,0 +1,127 @@
+"""Job-trace files: persist and replay workloads.
+
+Reproducibility beyond seeds: a generated (or production-derived) job
+stream can be written to a CSV trace and replayed byte-identically on
+any machine.  The schema is one job per row::
+
+    job_id,submit_time,work_mcycles,max_speed_mhz,memory_mb,
+    min_speed_mhz,completion_goal,desired_start,parallelism
+
+Multi-stage profiles are flattened as ``;``-separated stage tuples in an
+optional ``stages`` column (``work:max:min:memory``); when present it
+overrides the single-stage columns.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.batch.job import Job, JobProfile, JobStage
+from repro.errors import ConfigurationError
+
+PathLike = Union[str, Path]
+
+COLUMNS = (
+    "job_id",
+    "submit_time",
+    "work_mcycles",
+    "max_speed_mhz",
+    "memory_mb",
+    "min_speed_mhz",
+    "completion_goal",
+    "desired_start",
+    "parallelism",
+    "stages",
+)
+
+
+def _encode_stages(profile: JobProfile) -> str:
+    return ";".join(
+        f"{s.work_mcycles}:{s.max_speed_mhz}:{s.min_speed_mhz}:{s.memory_mb}"
+        for s in profile.stages
+    )
+
+
+def _decode_stages(text: str) -> JobProfile:
+    stages: List[JobStage] = []
+    for part in text.split(";"):
+        fields = part.split(":")
+        if len(fields) != 4:
+            raise ConfigurationError(f"malformed stage tuple: {part!r}")
+        work, max_speed, min_speed, memory = (float(x) for x in fields)
+        stages.append(
+            JobStage(
+                work_mcycles=work,
+                max_speed_mhz=max_speed,
+                min_speed_mhz=min_speed,
+                memory_mb=memory,
+            )
+        )
+    return JobProfile(stages)
+
+
+def write_job_trace(jobs: Sequence[Job], path: Optional[PathLike] = None) -> str:
+    """Serialize ``jobs`` as a CSV trace; returns the CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(COLUMNS))
+    writer.writeheader()
+    for job in sorted(jobs, key=lambda j: j.submit_time):
+        first = job.profile.stages[0]
+        writer.writerow(
+            {
+                "job_id": job.job_id,
+                "submit_time": job.submit_time,
+                "work_mcycles": job.profile.total_work,
+                "max_speed_mhz": first.max_speed_mhz,
+                "memory_mb": first.memory_mb,
+                "min_speed_mhz": first.min_speed_mhz,
+                "completion_goal": job.completion_goal,
+                "desired_start": job.desired_start,
+                "parallelism": job.parallelism,
+                "stages": _encode_stages(job.profile) if len(job.profile) > 1 else "",
+            }
+        )
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def read_job_trace(source: PathLike) -> List[Job]:
+    """Load a CSV trace (path or CSV text) back into fresh jobs."""
+    text = (
+        Path(source).read_text()
+        if isinstance(source, Path) or "\n" not in str(source)
+        else str(source)
+    )
+    reader = csv.DictReader(io.StringIO(text))
+    missing = set(COLUMNS[:-1]) - set(reader.fieldnames or ())
+    if missing:
+        raise ConfigurationError(f"trace is missing columns: {sorted(missing)}")
+    jobs: List[Job] = []
+    for row in reader:
+        stages_field = (row.get("stages") or "").strip()
+        if stages_field:
+            profile = _decode_stages(stages_field)
+        else:
+            profile = JobProfile.single_stage(
+                work_mcycles=float(row["work_mcycles"]),
+                max_speed_mhz=float(row["max_speed_mhz"]),
+                memory_mb=float(row["memory_mb"]),
+                min_speed_mhz=float(row["min_speed_mhz"]),
+            )
+        jobs.append(
+            Job(
+                job_id=row["job_id"],
+                profile=profile,
+                submit_time=float(row["submit_time"]),
+                completion_goal=float(row["completion_goal"]),
+                desired_start=float(row["desired_start"]),
+                parallelism=int(row["parallelism"]),
+            )
+        )
+    jobs.sort(key=lambda j: j.submit_time)
+    return jobs

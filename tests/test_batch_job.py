@@ -1,0 +1,171 @@
+"""Tests for the batch job model (profiles, goals, runtime state)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch.job import Job, JobProfile, JobStage, JobStatus
+from repro.errors import ConfigurationError
+
+from tests.conftest import make_job
+
+
+class TestJobStage:
+    def test_best_execution_time(self):
+        stage = JobStage(work_mcycles=68_640_000, max_speed_mhz=3900)
+        assert stage.best_execution_time == pytest.approx(17_600.0)
+
+    def test_rejects_non_positive_work(self):
+        with pytest.raises(ConfigurationError):
+            JobStage(work_mcycles=0, max_speed_mhz=100)
+
+    def test_rejects_non_positive_speed(self):
+        with pytest.raises(ConfigurationError):
+            JobStage(work_mcycles=10, max_speed_mhz=0)
+
+    def test_rejects_min_above_max(self):
+        with pytest.raises(ConfigurationError):
+            JobStage(work_mcycles=10, max_speed_mhz=100, min_speed_mhz=200)
+
+    def test_rejects_negative_memory(self):
+        with pytest.raises(ConfigurationError):
+            JobStage(work_mcycles=10, max_speed_mhz=100, memory_mb=-1)
+
+
+class TestJobProfile:
+    def multi(self) -> JobProfile:
+        return JobProfile(
+            [
+                JobStage(1000, 100, memory_mb=500),   # 10 s at max
+                JobStage(2000, 200, memory_mb=800),   # 10 s at max
+                JobStage(500, 50, memory_mb=300),     # 10 s at max
+            ]
+        )
+
+    def test_requires_a_stage(self):
+        with pytest.raises(ConfigurationError):
+            JobProfile([])
+
+    def test_totals(self):
+        p = self.multi()
+        assert p.total_work == 3500
+        assert p.best_execution_time == pytest.approx(30.0)
+        assert p.peak_memory_mb == 800
+
+    def test_stage_lookup_by_progress(self):
+        p = self.multi()
+        assert p.stage_index_at(0) == 0
+        assert p.stage_index_at(999) == 0
+        assert p.stage_index_at(1000) == 1
+        assert p.stage_index_at(2999) == 1
+        assert p.stage_index_at(3000) == 2
+        assert p.stage_index_at(10_000) == 2  # past the end: last stage
+
+    def test_stage_lookup_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            self.multi().stage_index_at(-1)
+
+    def test_remaining_work(self):
+        p = self.multi()
+        assert p.remaining_work(0) == 3500
+        assert p.remaining_work(1500) == 2000
+        assert p.remaining_work(9999) == 0
+
+    def test_remaining_best_time_from_partway(self):
+        p = self.multi()
+        # Halfway through stage 2 (progress 2000): 1000 left at 200 (5 s)
+        # plus stage 3 (10 s).
+        assert p.remaining_best_time(2000) == pytest.approx(15.0)
+
+    def test_remaining_best_time_complete(self):
+        assert self.multi().remaining_best_time(3500) == 0.0
+
+    def test_single_stage_helper(self):
+        p = JobProfile.single_stage(1000, 100, memory_mb=50)
+        assert len(p) == 1
+        assert p.total_work == 1000
+
+    @given(progress=st.floats(min_value=0, max_value=3500))
+    @settings(max_examples=100)
+    def test_remaining_time_decreases_with_progress(self, progress):
+        p = self.multi()
+        assert p.remaining_best_time(progress) <= p.best_execution_time + 1e-9
+
+
+class TestJobGoals:
+    def test_goal_factor_construction(self):
+        job = make_job(goal_factor=2.7, work=68_640_000, max_speed=3900)
+        assert job.completion_goal == pytest.approx(2.7 * 17_600)
+        assert job.relative_goal == pytest.approx(47_520)
+        assert job.goal_factor == pytest.approx(2.7)
+
+    def test_goal_factor_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_job(goal_factor=0.5)
+
+    def test_desired_start_defaults_to_submission(self):
+        job = make_job(submit=10.0)
+        assert job.desired_start == 10.0
+
+    def test_desired_start_before_submission_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Job(
+                job_id="x",
+                profile=JobProfile.single_stage(100, 10),
+                submit_time=10.0,
+                completion_goal=100.0,
+                desired_start=5.0,
+            )
+
+    def test_goal_before_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Job(
+                job_id="x",
+                profile=JobProfile.single_stage(100, 10),
+                submit_time=10.0,
+                completion_goal=10.0,
+            )
+
+
+class TestJobRuntime:
+    def test_initial_state(self):
+        job = make_job()
+        assert job.status is JobStatus.NOT_STARTED
+        assert job.is_incomplete and not job.is_complete
+        assert job.remaining_work == 4000
+        assert job.cpu_consumed == 0
+
+    def test_advance_accumulates_and_clamps(self):
+        job = make_job(work=1000)
+        job.advance(400)
+        assert job.remaining_work == 600
+        job.advance(10_000)
+        assert job.remaining_work == 0
+        assert job.cpu_consumed == 1000
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            make_job().advance(-1)
+
+    def test_current_stage_properties(self):
+        job = make_job(work=1000, max_speed=500, memory=750)
+        assert job.max_speed == 500
+        assert job.memory_mb == 750
+        assert job.min_speed == 0
+
+    def test_earliest_completion(self):
+        job = make_job(work=1000, max_speed=500)
+        assert job.earliest_completion(now=10.0) == pytest.approx(12.0)
+
+    def test_deadline_distance_and_met(self):
+        job = make_job(work=1000, max_speed=500, goal_factor=5)  # goal = 10
+        job.completion_time = 8.0
+        assert job.deadline_distance() == pytest.approx(2.0)
+        assert job.met_deadline()
+        job.completion_time = 12.0
+        assert job.deadline_distance() == pytest.approx(-2.0)
+        assert not job.met_deadline()
+
+    def test_deadline_distance_requires_completion(self):
+        with pytest.raises(ConfigurationError):
+            make_job().deadline_distance()

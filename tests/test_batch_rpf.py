@@ -1,0 +1,145 @@
+"""Tests for the batch RPF (equation (2)) and the per-job allocation RPF
+(equation (3))."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch.rpf import (
+    JobAllocationRPF,
+    completion_time_for_utility,
+    job_relative_performance,
+    make_allocation_rpf,
+)
+from repro.batch.job import JobStatus
+from repro.core.rpf import NEGATIVE_INFINITY_UTILITY
+from repro.errors import ModelError
+
+from tests.conftest import make_job
+
+
+class TestEquationTwo:
+    def test_completion_at_goal_is_zero(self):
+        job = make_job(work=1000, max_speed=500, goal_factor=5)  # goal=10
+        assert job_relative_performance(job, 10.0) == pytest.approx(0.0)
+
+    def test_early_completion_positive(self):
+        job = make_job(work=1000, max_speed=500, goal_factor=5)
+        # Completing at the best possible time (2 s): u = (10-2)/10 = 0.8
+        assert job_relative_performance(job, 2.0) == pytest.approx(0.8)
+
+    def test_late_completion_negative(self):
+        job = make_job(work=1000, max_speed=500, goal_factor=5)
+        assert job_relative_performance(job, 15.0) == pytest.approx(-0.5)
+
+    def test_inverse(self):
+        job = make_job(work=1000, max_speed=500, goal_factor=5)
+        for u in (-1.0, 0.0, 0.5, 0.8):
+            t = completion_time_for_utility(job, u)
+            assert job_relative_performance(job, t) == pytest.approx(u)
+
+    def test_experiment_one_plateau(self):
+        """Table 2's job achieves at most ~0.63 (paper: 0.63)."""
+        job = make_job(
+            work=68_640_000, max_speed=3900, memory=4320, goal_factor=2.7
+        )
+        best = job_relative_performance(job, job.earliest_completion(0.0))
+        assert best == pytest.approx((47_520 - 17_600) / 47_520, abs=1e-6)
+        assert best == pytest.approx(0.6296, abs=1e-3)
+
+
+class TestJobAllocationRPF:
+    def fresh(self) -> JobAllocationRPF:
+        # work=1000 @ max 500, goal=10 (factor 5), at t=0
+        return JobAllocationRPF(make_job(work=1000, max_speed=500, goal_factor=5), 0.0)
+
+    def test_max_utility_at_max_speed(self):
+        assert self.fresh().max_utility == pytest.approx(0.8)
+
+    def test_saturation_is_max_speed(self):
+        assert self.fresh().saturation_cpu == 500
+
+    def test_utility_clamps_above_max_speed(self):
+        rpf = self.fresh()
+        assert rpf.utility(500) == rpf.utility(5000) == pytest.approx(0.8)
+
+    def test_zero_allocation_is_floor(self):
+        assert self.fresh().utility(0) == NEGATIVE_INFINITY_UTILITY
+
+    def test_required_cpu_equation_three(self):
+        rpf = self.fresh()
+        # u=0 -> complete at goal t=10: speed = 1000/10 = 100
+        assert rpf.required_cpu(0.0) == pytest.approx(100.0)
+        # u=0.5 -> t=5: speed = 200
+        assert rpf.required_cpu(0.5) == pytest.approx(200.0)
+
+    def test_required_cpu_above_max_utility_is_infinite(self):
+        assert self.fresh().required_cpu(0.9) == math.inf
+
+    def test_partial_progress_reduces_demand(self):
+        job = make_job(work=1000, max_speed=500, goal_factor=5)
+        job.advance(500)
+        rpf = JobAllocationRPF(job, 1.0)
+        # 500 Mcycles left, goal at 10: u=0 needs 500/9
+        assert rpf.required_cpu(0.0) == pytest.approx(500 / 9)
+
+    def test_remaining_work_override(self):
+        job = make_job(work=1000, max_speed=500, goal_factor=5)
+        rpf = JobAllocationRPF(job, 0.0, remaining_work=500)
+        assert rpf.remaining_work == 500
+        assert rpf.max_utility == pytest.approx((10 - 1) / 10)
+
+    def test_completed_job_is_saturated(self):
+        job = make_job(work=1000, max_speed=500, goal_factor=5)
+        job.advance(1000)
+        rpf = JobAllocationRPF(job, 5.0)
+        assert rpf.max_utility == 1.0
+        assert rpf.utility(0) == 1.0
+        assert rpf.required_cpu(0.5) == 0.0
+
+    def test_waiting_erodes_max_utility(self):
+        """The queued-job erosion that drives LRPF ordering: each second
+        of queuing delay costs 1/relative_goal of achievable
+        performance."""
+        job = make_job(work=1000, max_speed=500, goal_factor=5)
+        early = JobAllocationRPF(job, 0.0).max_utility
+        late = JobAllocationRPF(job, 2.0).max_utility
+        assert late == pytest.approx(early - 2.0 / 10.0)
+
+    @given(
+        u1=st.floats(min_value=-5, max_value=0.79),
+        u2=st.floats(min_value=-5, max_value=0.79),
+    )
+    @settings(max_examples=150)
+    def test_required_cpu_monotone(self, u1, u2):
+        rpf = self.fresh()
+        lo, hi = min(u1, u2), max(u1, u2)
+        assert rpf.required_cpu(lo) <= rpf.required_cpu(hi) + 1e-9
+
+    @given(u=st.floats(min_value=-5, max_value=0.79))
+    @settings(max_examples=150)
+    def test_roundtrip(self, u):
+        rpf = self.fresh()
+        cpu = rpf.required_cpu(u)
+        assert rpf.utility(cpu) == pytest.approx(u, abs=1e-6)
+
+    @given(cpu=st.floats(min_value=1.0, max_value=2000.0))
+    @settings(max_examples=150)
+    def test_utility_bounded(self, cpu):
+        rpf = self.fresh()
+        assert NEGATIVE_INFINITY_UTILITY <= rpf.utility(cpu) <= rpf.max_utility + 1e-12
+
+
+class TestFactory:
+    def test_make_allocation_rpf(self):
+        rpf = make_allocation_rpf(make_job(), 0.0)
+        assert rpf.job_id == "j1"
+
+    def test_rejects_completed_job(self):
+        job = make_job(work=100)
+        job.advance(100)
+        job.status = JobStatus.COMPLETED
+        with pytest.raises(ModelError):
+            make_allocation_rpf(job, 0.0)

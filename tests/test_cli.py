@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_exp1_flags(self):
+        args = build_parser().parse_args(
+            ["exp1", "--scale", "tiny", "--seed", "3", "--chart"]
+        )
+        assert args.scale == "tiny"
+        assert args.seed == 3
+        assert args.chart
+
+    def test_exp2_interarrivals(self):
+        args = build_parser().parse_args(["exp2", "--interarrivals", "400", "50"])
+        assert args.interarrivals == [400.0, 50.0]
+
+    def test_ablations_default_all(self):
+        args = build_parser().parse_args(["ablations"])
+        assert args.study == "all"
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["exp1", "--scale", "galactic"])
+
+
+class TestExecution:
+    def test_illustrative_runs(self, capsys):
+        assert main(["illustrative"]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario S1" in out
+        assert "Scenario S2" in out
+
+    def test_exp1_tiny_with_export(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        path = tmp_path / "m.json"
+        assert main(["exp1", "--export-json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "placement changes: 0" in out
+        assert path.exists()
+
+    def test_ablation_sampling_runs(self, capsys):
+        assert main(["ablations", "sampling"]) == 0
+        assert "A1" in capsys.readouterr().out
+
+    def test_workload_generation(self, capsys, tmp_path):
+        path = tmp_path / "trace.csv"
+        assert main([
+            "workload", "exp1", "--count", "5", "--seed", "2",
+            "--out", str(path),
+        ]) == 0
+        assert "5 jobs written" in capsys.readouterr().out
+        from repro.workloads.traces import read_job_trace
+
+        assert len(read_job_trace(path)) == 5
+
+    def test_workload_to_stdout(self, capsys):
+        assert main(["workload", "exp2", "--count", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("job_id,")
+        assert out.count("\n") == 4  # header + 3 rows (+ final newline)
+
+    def test_plan_command(self, capsys, tmp_path):
+        path = tmp_path / "trace.csv"
+        main(["workload", "exp2", "--count", "8", "--interarrival", "400",
+              "--out", str(path)])
+        capsys.readouterr()
+        assert main([
+            "plan", str(path), "--max-nodes", "8", "--target", "0.8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "minimum nodes" in out

@@ -1,0 +1,113 @@
+"""Tests for the cluster substrate."""
+
+import pytest
+
+from repro.cluster import Cluster, Node, NodeSpec
+from repro.errors import ConfigurationError, PlacementError
+
+
+class TestNodeSpec:
+    def test_defaults_single_processor(self):
+        spec = NodeSpec(cpu_capacity=1000, memory_capacity=2000)
+        assert spec.cpu_per_processor == 1000
+        assert spec.processor_count == 1
+
+    def test_multi_processor(self):
+        spec = NodeSpec(
+            cpu_capacity=4 * 3900, memory_capacity=16 * 1024, cpu_per_processor=3900
+        )
+        assert spec.processor_count == 4
+
+    def test_rejects_non_positive_cpu(self):
+        with pytest.raises(ConfigurationError):
+            NodeSpec(cpu_capacity=0, memory_capacity=100)
+
+    def test_rejects_non_positive_memory(self):
+        with pytest.raises(ConfigurationError):
+            NodeSpec(cpu_capacity=100, memory_capacity=0)
+
+    def test_rejects_per_processor_above_capacity(self):
+        with pytest.raises(ConfigurationError):
+            NodeSpec(cpu_capacity=100, memory_capacity=100, cpu_per_processor=200)
+
+
+class TestNode:
+    def test_accessors(self):
+        node = Node("n0", NodeSpec(1000, 2000))
+        assert node.cpu_capacity == 1000
+        assert node.memory_capacity == 2000
+        assert node.cpu_per_processor == 1000
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            Node("", NodeSpec(1000, 2000))
+
+    def test_equality_and_hash_by_name(self):
+        a = Node("n0", NodeSpec(1000, 2000))
+        b = Node("n0", NodeSpec(5000, 9000))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != "n0"  # not equal to non-Node
+
+    def test_labels_default_empty(self):
+        node = Node("n0", NodeSpec(1000, 2000))
+        assert node.labels == {}
+
+
+class TestCluster:
+    def test_homogeneous_matches_experiment_one(self):
+        cluster = Cluster.homogeneous(
+            25, cpu_capacity=4 * 3900, memory_capacity=16 * 1024, cpu_per_processor=3900
+        )
+        assert len(cluster) == 25
+        assert cluster.total_cpu_capacity == 25 * 4 * 3900
+        assert cluster.total_memory_capacity == 25 * 16 * 1024
+
+    def test_homogeneous_rejects_zero_count(self):
+        with pytest.raises(ConfigurationError):
+            Cluster.homogeneous(0, cpu_capacity=100, memory_capacity=100)
+
+    def test_node_names_are_ordered_and_unique(self):
+        cluster = Cluster.homogeneous(12, cpu_capacity=100, memory_capacity=100)
+        names = cluster.node_names
+        assert names == sorted(names)
+        assert len(set(names)) == 12
+
+    def test_duplicate_node_rejected(self):
+        cluster = Cluster([Node("a", NodeSpec(1, 1))])
+        with pytest.raises(PlacementError):
+            cluster.add_node(Node("a", NodeSpec(2, 2)))
+
+    def test_lookup(self):
+        cluster = Cluster.homogeneous(3, cpu_capacity=100, memory_capacity=100)
+        name = cluster.node_names[1]
+        assert cluster.node(name).name == name
+        assert cluster.get("missing") is None
+        with pytest.raises(PlacementError):
+            cluster.node("missing")
+        assert name in cluster
+        assert "missing" not in cluster
+
+    def test_iteration_order(self):
+        cluster = Cluster.homogeneous(5, cpu_capacity=100, memory_capacity=100)
+        assert [n.name for n in cluster] == cluster.node_names
+
+    def test_subcluster(self):
+        cluster = Cluster.homogeneous(5, cpu_capacity=100, memory_capacity=100)
+        sub = cluster.subcluster(cluster.node_names[:2])
+        assert len(sub) == 2
+        assert sub.total_cpu_capacity == 200
+
+    def test_partition_matches_experiment_three(self):
+        cluster = Cluster.homogeneous(25, cpu_capacity=100, memory_capacity=100)
+        txn, batch = cluster.partition(9)
+        assert len(txn) == 9
+        assert len(batch) == 16
+        assert set(txn.node_names).isdisjoint(batch.node_names)
+
+    def test_partition_rejects_degenerate_splits(self):
+        cluster = Cluster.homogeneous(4, cpu_capacity=100, memory_capacity=100)
+        with pytest.raises(ConfigurationError):
+            cluster.partition(0)
+        with pytest.raises(ConfigurationError):
+            cluster.partition(4)

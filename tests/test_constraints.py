@@ -1,0 +1,101 @@
+"""Tests for placement constraints."""
+
+import pytest
+
+from repro.core.constraints import (
+    AntiCollocation,
+    Collocation,
+    ConstraintSet,
+    MaxInstancesPerNode,
+    PinToNodes,
+)
+from repro.core.placement import PlacementState
+
+
+@pytest.fixture
+def state(small_cluster):
+    return PlacementState(small_cluster)
+
+
+class TestPinToNodes:
+    def test_allows_only_pinned_nodes(self, state):
+        pin = PinToNodes("a", ["node0", "node1"])
+        assert pin.allows(state, "a", "node0")
+        assert not pin.allows(state, "a", "node2")
+
+    def test_ignores_other_apps(self, state):
+        pin = PinToNodes("a", ["node0"])
+        assert pin.allows(state, "b", "node3")
+
+
+class TestAntiCollocation:
+    def test_blocks_shared_node(self, state):
+        rule = AntiCollocation("a", "b")
+        state.place("b", "node0", 100)
+        assert not rule.allows(state, "a", "node0")
+        assert rule.allows(state, "a", "node1")
+
+    def test_symmetric(self, state):
+        rule = AntiCollocation("a", "b")
+        state.place("a", "node0", 100)
+        assert not rule.allows(state, "b", "node0")
+
+    def test_ignores_unrelated_apps(self, state):
+        rule = AntiCollocation("a", "b")
+        state.place("a", "node0", 100)
+        assert rule.allows(state, "c", "node0")
+
+
+class TestCollocation:
+    def test_dependent_requires_anchor(self, state):
+        rule = Collocation(dependent="cache", anchor="svc")
+        assert not rule.allows(state, "cache", "node0")
+        state.place("svc", "node0", 100)
+        assert rule.allows(state, "cache", "node0")
+        assert not rule.allows(state, "cache", "node1")
+
+    def test_anchor_unconstrained(self, state):
+        rule = Collocation(dependent="cache", anchor="svc")
+        assert rule.allows(state, "svc", "node3")
+
+    def test_unrelated_apps_unconstrained(self, state):
+        rule = Collocation(dependent="cache", anchor="svc")
+        assert rule.allows(state, "other", "node0")
+
+    def test_self_collocation_rejected(self):
+        with pytest.raises(ValueError):
+            Collocation("a", "a")
+
+
+class TestMaxInstancesPerNode:
+    def test_default_limit_one(self, state):
+        rule = MaxInstancesPerNode("a")
+        assert rule.allows(state, "a", "node0")
+        state.place("a", "node0", 100)
+        assert not rule.allows(state, "a", "node0")
+        assert rule.allows(state, "a", "node1")
+
+    def test_custom_limit(self, state):
+        rule = MaxInstancesPerNode("a", limit=2)
+        state.place("a", "node0", 100)
+        assert rule.allows(state, "a", "node0")
+        state.place("a", "node0", 100)
+        assert not rule.allows(state, "a", "node0")
+
+
+class TestConstraintSet:
+    def test_conjunction(self, state):
+        rules = ConstraintSet([PinToNodes("a", ["node0"]), MaxInstancesPerNode("a")])
+        assert rules.allows(state, "a", "node0")
+        state.place("a", "node0", 100)
+        assert not rules.allows(state, "a", "node0")  # limit
+        assert not rules.allows(state, "a", "node1")  # pin
+
+    def test_empty_set_allows_everything(self, state):
+        assert ConstraintSet().allows(state, "anything", "node0")
+
+    def test_add_and_len(self, state):
+        rules = ConstraintSet()
+        rules.add(PinToNodes("a", ["node0"]))
+        assert len(rules) == 1
+        assert list(rules)

@@ -1,0 +1,136 @@
+"""Tests for metric export and text plotting."""
+
+import json
+import math
+
+import pytest
+
+from repro.batch.job import JobStatus
+from repro.experiments.plotting import (
+    ascii_chart,
+    bar_chart,
+    figure2_chart,
+    figure6_chart,
+    figure7_chart,
+)
+from repro.sim.export import (
+    completions_to_csv,
+    cycles_to_csv,
+    load_metrics_json,
+    metrics_to_json,
+)
+from repro.sim.metrics import CycleSample, MetricsRecorder
+
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def metrics():
+    m = MetricsRecorder()
+    m.record_cycle(
+        CycleSample(
+            time=0.0,
+            batch_hypothetical_utility=float("nan"),
+            batch_allocation_mhz=0.0,
+        )
+    )
+    m.record_cycle(
+        CycleSample(
+            time=600.0,
+            batch_hypothetical_utility=0.6,
+            batch_allocation_mhz=7800.0,
+            txn_utilities={"web": 0.5},
+            txn_allocations_mhz={"web": 4000.0},
+            running_jobs=2,
+            queued_jobs=1,
+            placement_changes=1,
+            decision_seconds=0.01,
+        )
+    )
+    job = make_job("a", work=1000, max_speed=500, goal_factor=5)
+    job.advance(1000)
+    job.status = JobStatus.COMPLETED
+    job.completion_time = 8.0
+    m.record_completion(job)
+    return m
+
+
+class TestCsvExport:
+    def test_cycles_csv_shape(self, metrics):
+        text = cycles_to_csv(metrics)
+        lines = text.strip().splitlines()
+        assert len(lines) == 3  # header + 2 cycles
+        header = lines[0].split(",")
+        assert "time" in header
+        assert "txn_utility::web" in header
+
+    def test_cycles_csv_written_to_disk(self, metrics, tmp_path):
+        path = tmp_path / "cycles.csv"
+        cycles_to_csv(metrics, path)
+        assert path.read_text().startswith("time,")
+
+    def test_completions_csv(self, metrics):
+        text = completions_to_csv(metrics)
+        lines = text.strip().splitlines()
+        assert len(lines) == 2
+        assert "job_id" in lines[0]
+        assert lines[1].startswith("a,")
+
+
+class TestJsonExport:
+    def test_roundtrip(self, metrics, tmp_path):
+        path = tmp_path / "metrics.json"
+        metrics_to_json(metrics, path)
+        doc = load_metrics_json(path)
+        assert doc["summary"]["completions"] == 1
+        assert doc["summary"]["total_placement_changes"] == 1
+        assert len(doc["cycles"]) == 2
+        assert doc["cycles"][1]["txn_utility::web"] == 0.5
+
+    def test_nan_becomes_null(self, metrics):
+        doc = json.loads(metrics_to_json(metrics))
+        assert doc["cycles"][0]["batch_hypothetical_utility"] is None
+
+    def test_text_returned_without_path(self, metrics):
+        text = metrics_to_json(metrics)
+        assert json.loads(text)["summary"]["cycles"] == 2
+
+
+class TestAsciiChart:
+    def test_renders_points_and_axes(self):
+        series = [(0.0, 0.0), (10.0, 1.0)]
+        chart = ascii_chart([series], ["demo"], width=20, height=5, title="T")
+        assert "T" in chart
+        assert "* demo" in chart
+        assert "1.000" in chart and "0.000" in chart
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart([[]], ["x"], title="nothing")
+
+    def test_nan_and_inf_filtered(self):
+        series = [(0.0, float("nan")), (1.0, math.inf), (2.0, 0.5)]
+        chart = ascii_chart([series], ["x"], width=10, height=4)
+        assert "0.500" in chart
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_chart([[(0.0, 1.0), (5.0, 1.0)]], ["flat"], width=12, height=4)
+        assert "flat" in chart
+
+    def test_figure_helpers(self):
+        hypo = [(0.0, 0.6), (600.0, 0.5)]
+        comp = [(300.0, 0.55)]
+        assert "Figure 2" in figure2_chart(hypo, comp)
+        assert "Figure 6" in figure6_chart(hypo, comp, "APC")
+        allocations = [(0.0, 100.0, 50.0), (600.0, 80.0, 70.0)]
+        assert "Figure 7" in figure7_chart(allocations, "APC")
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        chart = bar_chart([("FCFS", 40.0), ("APC", 80.0)], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart([], title="t")

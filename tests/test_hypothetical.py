@@ -1,0 +1,188 @@
+"""Tests for the hypothetical relative performance (§4.2, W/V matrices)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch.hypothetical import DEFAULT_UTILITY_LEVELS, HypotheticalRPF
+from repro.batch.rpf import JobAllocationRPF
+from repro.core.rpf import NEGATIVE_INFINITY_UTILITY
+from repro.errors import ConfigurationError
+
+from tests.conftest import make_job
+
+
+def rpfs_for(jobs, now=0.0):
+    return [JobAllocationRPF(j, now) for j in jobs]
+
+
+def two_identical_jobs():
+    return [
+        make_job("a", work=1000, max_speed=500, goal_factor=5),
+        make_job("b", work=1000, max_speed=500, goal_factor=5),
+    ]
+
+
+class TestConstruction:
+    def test_levels_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            HypotheticalRPF([], levels=[0.0, 0.0, 1.0])
+
+    def test_levels_must_end_at_one(self):
+        with pytest.raises(ConfigurationError):
+            HypotheticalRPF([], levels=[0.0, 0.5])
+
+    def test_needs_two_levels(self):
+        with pytest.raises(ConfigurationError):
+            HypotheticalRPF([], levels=[1.0])
+
+    def test_default_levels_span_the_scale(self):
+        assert DEFAULT_UTILITY_LEVELS[0] == NEGATIVE_INFINITY_UTILITY
+        assert DEFAULT_UTILITY_LEVELS[-1] == 1.0
+
+    def test_empty_job_set(self):
+        h = HypotheticalRPF([])
+        assert len(h) == 0
+        assert h.max_aggregate_demand == 0.0
+        assert h.job_utilities(1000) == {}
+        assert np.isnan(h.average_utility(1000))
+
+
+class TestWMatrix:
+    def test_w_rows_nondecreasing_in_level(self):
+        h = HypotheticalRPF(rpfs_for(two_identical_jobs()))
+        w = h.w_matrix
+        assert (np.diff(w, axis=0) >= -1e-9).all()
+
+    def test_w_clamped_at_max_speed(self):
+        h = HypotheticalRPF(rpfs_for(two_identical_jobs()))
+        assert (h.w_matrix <= 500 + 1e-9).all()
+
+    def test_v_clamped_at_u_max(self):
+        jobs = two_identical_jobs()
+        h = HypotheticalRPF(rpfs_for(jobs))
+        u_max = JobAllocationRPF(jobs[0], 0.0).max_utility
+        assert (h.v_matrix <= u_max + 1e-9).all()
+
+    def test_equation_three_entry(self):
+        """W at level u equals α_rem/(t(u) − t_now)."""
+        job = make_job("a", work=1000, max_speed=500, goal_factor=5)
+        h = HypotheticalRPF([JobAllocationRPF(job, 0.0)], levels=[-1.0, 0.0, 1.0])
+        # u=0 -> t=10 -> speed 100; u=-1 -> t=20 -> speed 50
+        assert h.w_matrix[1, 0] == pytest.approx(100.0)
+        assert h.w_matrix[0, 0] == pytest.approx(50.0)
+        # u=1 unreachable -> clamped to max speed
+        assert h.w_matrix[2, 0] == pytest.approx(500.0)
+
+    def test_completed_jobs_demand_nothing(self):
+        job = make_job("a", work=1000, max_speed=500, goal_factor=5)
+        job.advance(1000)
+        h = HypotheticalRPF([JobAllocationRPF(job, 0.0)])
+        assert h.max_aggregate_demand == 0.0
+        assert h.job_utilities(0.0)["a"] == 1.0
+
+
+class TestEqualizedLevel:
+    def test_plentiful_capacity_gives_max_utilities(self):
+        jobs = two_identical_jobs()
+        h = HypotheticalRPF(rpfs_for(jobs))
+        utilities = h.job_utilities(10_000)
+        for j in jobs:
+            assert utilities[j.job_id] == pytest.approx(
+                JobAllocationRPF(j, 0.0).max_utility, abs=1e-6
+            )
+
+    def test_zero_capacity_floors(self):
+        h = HypotheticalRPF(rpfs_for(two_identical_jobs()))
+        utilities = h.job_utilities(0.0)
+        for u in utilities.values():
+            assert u == pytest.approx(NEGATIVE_INFINITY_UTILITY, abs=1e-3)
+
+    def test_identical_jobs_get_equal_utilities(self):
+        h = HypotheticalRPF(rpfs_for(two_identical_jobs()))
+        utilities = h.job_utilities(300.0)
+        vals = list(utilities.values())
+        assert vals[0] == pytest.approx(vals[1], abs=1e-6)
+
+    def test_exact_level_demand_matches_aggregate(self):
+        h = HypotheticalRPF(rpfs_for(two_identical_jobs()))
+        aggregate = 300.0
+        level = h.equalized_level(aggregate)
+        assert h.aggregate_demand_at(level) == pytest.approx(aggregate, rel=1e-6)
+
+    def test_aggregate_required_matches_w_sums_at_levels(self):
+        h = HypotheticalRPF(rpfs_for(two_identical_jobs()))
+        sums = h.aggregate_demands
+        for level, total in zip(h.levels, sums):
+            assert h.aggregate_required(level) == pytest.approx(total)
+
+    @given(agg=st.floats(min_value=0, max_value=2000))
+    @settings(max_examples=100)
+    def test_utilities_monotone_in_aggregate(self, agg):
+        h = HypotheticalRPF(rpfs_for(two_identical_jobs()))
+        u_lo = h.utilities_array(agg)
+        u_hi = h.utilities_array(agg + 50)
+        assert (u_hi >= u_lo - 1e-9).all()
+
+    @given(agg=st.floats(min_value=0, max_value=2000))
+    @settings(max_examples=100)
+    def test_utilities_bounded(self, agg):
+        jobs = two_identical_jobs()
+        h = HypotheticalRPF(rpfs_for(jobs))
+        u = h.utilities_array(agg)
+        u_max = JobAllocationRPF(jobs[0], 0.0).max_utility
+        assert (u >= NEGATIVE_INFINITY_UTILITY - 1e-9).all()
+        assert (u <= u_max + 1e-9).all()
+
+
+class TestInterpolationApproximation:
+    """The paper's equation-(6) interpolation versus the exact solve."""
+
+    def test_interpolated_speeds_sum_to_aggregate(self):
+        h = HypotheticalRPF(rpfs_for(two_identical_jobs()))
+        for agg in (100.0, 300.0, 700.0):
+            speeds = h.job_speeds(agg)
+            assert speeds.sum() == pytest.approx(agg, rel=1e-6)
+
+    def test_interpolation_close_to_exact(self):
+        h = HypotheticalRPF(rpfs_for(two_identical_jobs()))
+        for agg in (100.0, 300.0, 700.0):
+            approx = h.utilities_array(agg, method="interpolate")
+            exact = h.utilities_array(agg, method="exact")
+            assert np.abs(approx - exact).max() < 0.1
+
+    def test_above_max_demand_both_methods_agree(self):
+        h = HypotheticalRPF(rpfs_for(two_identical_jobs()))
+        agg = h.max_aggregate_demand + 100
+        approx = h.utilities_array(agg, method="interpolate")
+        exact = h.utilities_array(agg, method="exact")
+        assert np.allclose(approx, exact, atol=1e-9)
+
+    def test_unknown_method_rejected(self):
+        h = HypotheticalRPF(rpfs_for(two_identical_jobs()))
+        with pytest.raises(ConfigurationError):
+            h.utilities_array(100.0, method="nope")
+
+
+class TestPredictionCoupling:
+    """Performance predictions for jobs are made in relation to other
+    jobs (§4): adding work to the system lowers everyone's prediction."""
+
+    def test_more_jobs_lower_shared_utilities(self):
+        jobs = two_identical_jobs()
+        h2 = HypotheticalRPF(rpfs_for(jobs))
+        crowd = jobs + [make_job("c", work=1000, max_speed=500, goal_factor=5)]
+        h3 = HypotheticalRPF(rpfs_for(crowd))
+        agg = 400.0
+        assert h3.job_utilities(agg)["a"] < h2.job_utilities(agg)["a"]
+
+    def test_urgent_job_dominates_demand(self):
+        relaxed = make_job("slack", work=1000, max_speed=500, goal_factor=8)
+        urgent = make_job("tight", work=1000, max_speed=500, goal_factor=1.2)
+        h = HypotheticalRPF(rpfs_for([relaxed, urgent]))
+        # At a level near the urgent job's maximum, the urgent job demands
+        # (nearly) its full speed while the relaxed one demands little.
+        level = JobAllocationRPF(urgent, 0.0).max_utility - 0.01
+        demands = h.demand_at(level)
+        assert demands[1] > demands[0]

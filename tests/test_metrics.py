@@ -1,0 +1,118 @@
+"""Tests for the metric recorders."""
+
+import math
+
+import pytest
+
+from repro.batch.job import JobStatus
+from repro.sim.metrics import CycleSample, JobCompletionRecord, MetricsRecorder
+
+from tests.conftest import make_job
+
+
+def completed_job(job_id="a", completion=8.0, goal_factor=5.0):
+    job = make_job(job_id, work=1000, max_speed=500, goal_factor=goal_factor)
+    job.advance(1000)
+    job.status = JobStatus.COMPLETED
+    job.completion_time = completion
+    return job
+
+
+class TestJobCompletionRecord:
+    def test_from_job(self):
+        record = JobCompletionRecord.from_job(completed_job())
+        assert record.job_id == "a"
+        assert record.deadline_distance == pytest.approx(2.0)
+        assert record.met_deadline
+        assert record.relative_performance == pytest.approx(0.2)
+        assert record.goal_factor == pytest.approx(5.0)
+
+    def test_requires_completion(self):
+        with pytest.raises(ValueError):
+            JobCompletionRecord.from_job(make_job())
+
+
+class TestMetricsRecorder:
+    def test_deadline_satisfaction(self):
+        m = MetricsRecorder()
+        m.record_completion(completed_job("a", completion=8.0))
+        m.record_completion(completed_job("b", completion=20.0))
+        assert m.deadline_satisfaction_rate() == pytest.approx(0.5)
+
+    def test_satisfaction_nan_when_empty(self):
+        assert math.isnan(MetricsRecorder().deadline_satisfaction_rate())
+
+    def test_total_placement_changes_sums_cycles(self):
+        m = MetricsRecorder()
+        for changes in (0, 2, 3):
+            m.record_cycle(
+                CycleSample(
+                    time=0.0,
+                    batch_hypothetical_utility=0.5,
+                    batch_allocation_mhz=0.0,
+                    placement_changes=changes,
+                )
+            )
+        assert m.total_placement_changes() == 5
+
+    def test_distances_grouped_by_goal_factor(self):
+        m = MetricsRecorder()
+        m.record_completion(completed_job("a", completion=8.0, goal_factor=5.0))
+        m.record_completion(completed_job("b", completion=9.0, goal_factor=5.0))
+        m.record_completion(completed_job("c", completion=3.0, goal_factor=2.0))
+        groups = m.distances_by_goal_factor()
+        assert set(groups) == {5.0, 2.0}
+        assert len(groups[5.0]) == 2
+
+    def test_distance_summary(self):
+        m = MetricsRecorder()
+        m.record_completion(completed_job("a", completion=8.0, goal_factor=5.0))
+        m.record_completion(completed_job("b", completion=12.0, goal_factor=5.0))
+        summary = m.distance_summary()[5.0]
+        assert summary["count"] == 2
+        assert summary["min"] == pytest.approx(-2.0)
+        assert summary["max"] == pytest.approx(2.0)
+        assert summary["mean"] == pytest.approx(0.0)
+        assert summary["spread"] == pytest.approx(4.0)
+
+    def test_series_accessors(self):
+        m = MetricsRecorder()
+        m.record_cycle(
+            CycleSample(
+                time=1.0,
+                batch_hypothetical_utility=0.6,
+                batch_allocation_mhz=100.0,
+                txn_utilities={"web": 0.4},
+                txn_allocations_mhz={"web": 50.0},
+            )
+        )
+        m.record_completion(completed_job())
+        assert m.hypothetical_utility_series() == [(1.0, 0.6)]
+        assert m.completion_utility_series() == [(8.0, pytest.approx(0.2))]
+        assert m.allocation_series() == [(1.0, 50.0, 100.0)]
+        assert m.txn_utility_series() == [(1.0, 0.4)]
+        assert m.txn_utility_series("web") == [(1.0, 0.4)]
+        assert m.txn_utility_series("other") == []
+
+    def test_mean_decision_seconds(self):
+        m = MetricsRecorder()
+        assert math.isnan(m.mean_decision_seconds())
+        for d in (0.1, 0.3):
+            m.record_cycle(
+                CycleSample(
+                    time=0.0,
+                    batch_hypothetical_utility=0.0,
+                    batch_allocation_mhz=0.0,
+                    decision_seconds=d,
+                )
+            )
+        assert m.mean_decision_seconds() == pytest.approx(0.2)
+
+    def test_cycle_sample_txn_aggregate(self):
+        s = CycleSample(
+            time=0.0,
+            batch_hypothetical_utility=0.0,
+            batch_allocation_mhz=0.0,
+            txn_allocations_mhz={"a": 10.0, "b": 5.0},
+        )
+        assert s.txn_allocation_mhz == 15.0

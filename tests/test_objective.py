@@ -1,0 +1,108 @@
+"""Tests for the maxmin-extension utility-vector objective."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.objective import PlacementScore, UtilityVector
+
+
+class TestUtilityVector:
+    def test_sorted_ascending(self):
+        v = UtilityVector([0.5, -0.2, 0.1])
+        assert v.values == (-0.2, 0.1, 0.5)
+
+    def test_worst_is_minimum(self):
+        assert UtilityVector([0.5, -0.2, 0.1]).worst == -0.2
+
+    def test_worst_of_empty_is_infinite(self):
+        assert UtilityVector([]).worst == float("inf")
+
+    def test_of_mapping(self):
+        v = UtilityVector.of({"a": 0.3, "b": -0.1})
+        assert v.values == (-0.1, 0.3)
+
+    def test_maxmin_prefers_higher_minimum(self):
+        # The introduction's example: spreading violations beats
+        # concentrating them.
+        concentrated = UtilityVector([1.0, 1.0, -1.0])
+        spread = UtilityVector([-0.33, -0.16, 0.5])
+        assert spread > concentrated
+
+    def test_lexicographic_beyond_the_minimum(self):
+        # Equal minimum: the second-lowest decides (the paper's
+        # "continue improving the relative performance of other
+        # applications" extension).
+        a = UtilityVector([0.1, 0.2, 0.9])
+        b = UtilityVector([0.1, 0.5, 0.6])
+        assert b > a
+
+    def test_equality_within_tolerance(self):
+        a = UtilityVector([0.1, 0.2])
+        b = UtilityVector([0.1 + 1e-8, 0.2 - 1e-8])
+        assert a == b
+
+    def test_custom_tolerance_makes_near_ties_equal(self):
+        a = UtilityVector([0.100, 0.2], tolerance=0.01)
+        b = UtilityVector([0.105, 0.2], tolerance=0.01)
+        assert a == b
+        assert not a < b
+
+    def test_tolerance_uses_max_of_both(self):
+        fine = UtilityVector([0.100, 0.2])
+        coarse = UtilityVector([0.105, 0.2], tolerance=0.01)
+        assert fine == coarse
+
+    def test_differing_lengths_not_equal(self):
+        assert UtilityVector([0.1]) != UtilityVector([0.1, 0.2])
+
+    def test_shorter_prefix_equal_is_less(self):
+        assert UtilityVector([0.1]) < UtilityVector([0.1, 0.2])
+
+    def test_comparison_with_non_vector(self):
+        assert UtilityVector([0.1]) != "x"
+
+    @given(st.lists(st.floats(min_value=-50, max_value=1), min_size=1, max_size=6))
+    def test_total_order_reflexive(self, values):
+        v = UtilityVector(values)
+        w = UtilityVector(list(values))
+        assert v == w
+        assert not v < w
+        assert v >= w
+
+    @given(
+        st.lists(st.floats(min_value=-50, max_value=1), min_size=3, max_size=3),
+        st.lists(st.floats(min_value=-50, max_value=1), min_size=3, max_size=3),
+    )
+    def test_antisymmetry(self, xs, ys):
+        a, b = UtilityVector(xs), UtilityVector(ys)
+        assert not (a < b and b < a)
+
+    @given(
+        st.lists(st.floats(min_value=-50, max_value=1), min_size=3, max_size=3),
+        st.floats(min_value=0.001, max_value=0.5),
+    )
+    def test_raising_any_element_never_decreases(self, xs, delta):
+        a = UtilityVector(xs)
+        raised = UtilityVector([xs[0] + delta] + xs[1:])
+        assert raised >= a
+
+
+class TestPlacementScore:
+    def test_vector_dominates(self):
+        better = PlacementScore(UtilityVector([0.5, 0.5]), num_changes=10)
+        worse = PlacementScore(UtilityVector([0.1, 0.9]), num_changes=0)
+        assert better > worse
+
+    def test_ties_broken_by_fewer_changes(self):
+        """Scenario 1 of the illustrative example: equal utilities, no
+        placement changes wins."""
+        no_change = PlacementScore(UtilityVector([0.7, 0.7]), num_changes=0)
+        change = PlacementScore(UtilityVector([0.7, 0.7]), num_changes=1)
+        assert no_change > change
+
+    def test_equality(self):
+        a = PlacementScore(UtilityVector([0.1]), 2)
+        b = PlacementScore(UtilityVector([0.1]), 2)
+        assert a == b
+        assert a != "x"

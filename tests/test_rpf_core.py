@@ -1,0 +1,124 @@
+"""Tests and property-based tests for the core RPF machinery."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rpf import (
+    LinearRPF,
+    NEGATIVE_INFINITY_UTILITY,
+    PiecewiseLinearRPF,
+    RelativePerformanceFunction,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPiecewiseLinearRPF:
+    def make(self) -> PiecewiseLinearRPF:
+        return PiecewiseLinearRPF([(0, -1.0), (100, 0.0), (200, 0.5), (400, 0.5)])
+
+    def test_requires_two_points(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseLinearRPF([(0, 0.0)])
+
+    def test_rejects_decreasing_cpu(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseLinearRPF([(10, 0.0), (5, 0.5)])
+
+    def test_rejects_decreasing_utility(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseLinearRPF([(0, 0.5), (10, 0.0)])
+
+    def test_rejects_negative_cpu(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseLinearRPF([(-1, 0.0), (10, 0.5)])
+
+    def test_interpolates_between_points(self):
+        rpf = self.make()
+        assert rpf.utility(50) == pytest.approx(-0.5)
+        assert rpf.utility(150) == pytest.approx(0.25)
+
+    def test_clamps_outside_range(self):
+        rpf = self.make()
+        assert rpf.utility(0) == -1.0
+        assert rpf.utility(1e9) == 0.5
+
+    def test_max_utility_and_saturation(self):
+        rpf = self.make()
+        assert rpf.max_utility == 0.5
+        # saturation is the *smallest* allocation achieving max utility,
+        # before the flat tail
+        assert rpf.saturation_cpu == 200
+
+    def test_required_cpu_inverse(self):
+        rpf = self.make()
+        assert rpf.required_cpu(0.0) == pytest.approx(100)
+        assert rpf.required_cpu(0.25) == pytest.approx(150)
+
+    def test_required_cpu_above_max_is_infinite(self):
+        assert self.make().required_cpu(0.9) == math.inf
+
+    def test_protocol_conformance(self):
+        assert isinstance(self.make(), RelativePerformanceFunction)
+
+    @given(
+        cpu=st.floats(min_value=0.0, max_value=500.0),
+        cpu2=st.floats(min_value=0.0, max_value=500.0),
+    )
+    def test_monotone_in_allocation(self, cpu, cpu2):
+        rpf = self.make()
+        lo, hi = min(cpu, cpu2), max(cpu, cpu2)
+        assert rpf.utility(lo) <= rpf.utility(hi) + 1e-9
+
+    @given(u=st.floats(min_value=-1.0, max_value=0.5))
+    def test_roundtrip_required_then_utility(self, u):
+        """utility(required_cpu(u)) >= u up to float noise."""
+        rpf = self.make()
+        cpu = rpf.required_cpu(u)
+        assert rpf.utility(cpu) >= u - 1e-6
+
+
+class TestLinearRPF:
+    def test_basic_shape(self):
+        rpf = LinearRPF(slope=0.01, intercept=-1.0, max_utility=1.0)
+        assert rpf.utility(0) == -1.0
+        assert rpf.utility(100) == pytest.approx(0.0)
+        assert rpf.utility(1e9) == 1.0
+
+    def test_saturation(self):
+        rpf = LinearRPF(slope=0.01, intercept=-1.0, max_utility=1.0)
+        assert rpf.saturation_cpu == pytest.approx(200.0)
+        assert rpf.utility(rpf.saturation_cpu) == pytest.approx(1.0)
+
+    def test_required_cpu(self):
+        rpf = LinearRPF(slope=0.01, intercept=-1.0, max_utility=1.0)
+        assert rpf.required_cpu(0.0) == pytest.approx(100.0)
+        assert rpf.required_cpu(-2.0) == 0.0
+        assert rpf.required_cpu(1.5) == math.inf
+
+    def test_rejects_non_positive_slope(self):
+        with pytest.raises(ConfigurationError):
+            LinearRPF(slope=0.0, intercept=0.0)
+
+    def test_rejects_max_below_intercept(self):
+        with pytest.raises(ConfigurationError):
+            LinearRPF(slope=1.0, intercept=0.5, max_utility=0.0)
+
+    @given(
+        slope=st.floats(min_value=1e-4, max_value=10.0),
+        intercept=st.floats(min_value=-5.0, max_value=0.0),
+        u=st.floats(min_value=-4.9, max_value=0.99),
+    )
+    @settings(max_examples=200)
+    def test_inverse_roundtrip(self, slope, intercept, u):
+        rpf = LinearRPF(slope=slope, intercept=intercept, max_utility=1.0)
+        if u <= intercept:
+            return
+        cpu = rpf.required_cpu(u)
+        assert rpf.utility(cpu) == pytest.approx(u, abs=1e-6)
+
+
+def test_negative_infinity_utility_is_very_negative():
+    assert NEGATIVE_INFINITY_UTILITY <= -10.0

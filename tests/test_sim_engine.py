@@ -1,0 +1,94 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import (
+    EventQueue,
+    PRIORITY_ARRIVAL,
+    PRIORITY_COMPLETION,
+    PRIORITY_CYCLE,
+)
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        q = EventQueue()
+        q.schedule(3.0, "c")
+        q.schedule(1.0, "a")
+        q.schedule(2.0, "b")
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_clock_advances(self):
+        q = EventQueue()
+        q.schedule(5.0, "x")
+        assert q.now == 0.0
+        q.pop()
+        assert q.now == 5.0
+
+    def test_fifo_among_equal_time_and_priority(self):
+        q = EventQueue()
+        q.schedule(1.0, "first")
+        q.schedule(1.0, "second")
+        assert q.pop()[1] == "first"
+        assert q.pop()[1] == "second"
+
+    def test_priority_order_at_equal_time(self):
+        q = EventQueue()
+        q.schedule(1.0, "cycle", priority=PRIORITY_CYCLE)
+        q.schedule(1.0, "arrival", priority=PRIORITY_ARRIVAL)
+        q.schedule(1.0, "completion", priority=PRIORITY_COMPLETION)
+        assert [q.pop()[1] for _ in range(3)] == ["completion", "arrival", "cycle"]
+
+    def test_cancellation(self):
+        q = EventQueue()
+        handle = q.schedule(1.0, "dead")
+        q.schedule(2.0, "alive")
+        handle.cancel()
+        assert q.pop()[1] == "alive"
+
+    def test_len_and_bool_ignore_cancelled(self):
+        q = EventQueue()
+        h = q.schedule(1.0, "x")
+        assert len(q) == 1 and q
+        h.cancel()
+        assert len(q) == 0 and not q
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        h = q.schedule(1.0, "x")
+        q.schedule(2.0, "y")
+        h.cancel()
+        assert q.peek_time() == 2.0
+
+    def test_peek_empty_is_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_scheduling_into_past_rejected(self):
+        q = EventQueue()
+        q.schedule(5.0, "x")
+        q.pop()
+        with pytest.raises(SimulationError):
+            q.schedule(4.0, "y")
+
+    def test_schedule_at_current_time_allowed(self):
+        q = EventQueue()
+        q.schedule(5.0, "x")
+        q.pop()
+        q.schedule(5.0, "y")
+        assert q.pop() == (5.0, "y")
+
+    @given(times=st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=40))
+    @settings(max_examples=100)
+    def test_pops_are_monotone(self, times):
+        q = EventQueue()
+        for t in times:
+            q.schedule(t, t)
+        popped = [q.pop()[0] for _ in range(len(times))]
+        assert popped == sorted(popped)

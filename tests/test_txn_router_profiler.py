@@ -1,0 +1,144 @@
+"""Tests for the request router and the work profiler."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ModelError
+from repro.txn.profiler import UtilizationSample, WorkProfiler
+from repro.txn.router import RequestRouter
+
+
+class TestRequestRouter:
+    def test_proportional_split(self):
+        router = RequestRouter(max_utilization=1.0)
+        decision = router.route(
+            arrival_rate=30.0,
+            demand_mcycles=10.0,
+            instance_speeds={"n1": 2000.0, "n2": 1000.0},
+            single_thread_speed_mhz=1000.0,
+        )
+        assert decision.admitted["n1"] == pytest.approx(20.0)
+        assert decision.admitted["n2"] == pytest.approx(10.0)
+        assert decision.shed_rate == pytest.approx(0.0)
+
+    def test_no_instances_sheds_everything(self):
+        router = RequestRouter()
+        decision = router.route(10.0, 5.0, {}, 1000.0)
+        assert decision.shed_rate == 10.0
+        assert decision.mean_response_time == math.inf
+
+    def test_no_traffic_no_instances_is_quiet(self):
+        router = RequestRouter()
+        decision = router.route(0.0, 5.0, {}, 1000.0)
+        assert decision.shed_rate == 0.0
+        assert decision.mean_response_time == pytest.approx(0.005)
+
+    def test_overload_protection_caps_admission(self):
+        router = RequestRouter(max_utilization=0.5)
+        # One instance at 1000 MHz; demand 10 Mcycles: cap = 0.5*1000/10 = 50/s
+        decision = router.route(100.0, 10.0, {"n1": 1000.0}, 1000.0)
+        assert decision.admitted["n1"] == pytest.approx(50.0)
+        assert decision.shed_rate == pytest.approx(50.0)
+
+    def test_mean_response_time_weighted(self):
+        router = RequestRouter(max_utilization=1.0)
+        decision = router.route(10.0, 10.0, {"n1": 500.0, "n2": 500.0}, 1000.0)
+        # Symmetric instances: mean equals per-instance response time.
+        assert decision.mean_response_time > 0
+        assert decision.admitted_rate == pytest.approx(10.0)
+
+    def test_utilization_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            RequestRouter(max_utilization=0.0)
+        with pytest.raises(ConfigurationError):
+            RequestRouter(max_utilization=1.5)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RequestRouter().route(-1.0, 10.0, {"n1": 100.0}, 1000.0)
+
+    @given(
+        rate=st.floats(min_value=0, max_value=500),
+        s1=st.floats(min_value=0, max_value=5000),
+        s2=st.floats(min_value=0, max_value=5000),
+    )
+    @settings(max_examples=100)
+    def test_conservation(self, rate, s1, s2):
+        """Admitted plus shed always equals offered."""
+        router = RequestRouter(max_utilization=0.9)
+        decision = router.route(rate, 10.0, {"n1": s1, "n2": s2}, 1000.0)
+        assert decision.admitted_rate + decision.shed_rate == pytest.approx(
+            rate, abs=1e-6
+        )
+
+
+class TestWorkProfiler:
+    def test_recovers_single_app_demand(self):
+        profiler = WorkProfiler()
+        for throughput in (10.0, 20.0, 40.0):
+            profiler.observe(
+                UtilizationSample({"web": throughput}, used_cpu_mhz=throughput * 39.0)
+            )
+        assert profiler.estimate("web") == pytest.approx(39.0)
+
+    def test_recovers_two_app_demands(self):
+        profiler = WorkProfiler()
+        # web: 39 Mcycles/req, api: 80 Mcycles/req
+        samples = [
+            ({"web": 10.0, "api": 5.0}, 10 * 39 + 5 * 80),
+            ({"web": 20.0, "api": 1.0}, 20 * 39 + 1 * 80),
+            ({"web": 5.0, "api": 9.0}, 5 * 39 + 9 * 80),
+        ]
+        for tp, cpu in samples:
+            profiler.observe(UtilizationSample(tp, cpu))
+        estimates = profiler.estimates()
+        assert estimates["web"] == pytest.approx(39.0, rel=1e-6)
+        assert estimates["api"] == pytest.approx(80.0, rel=1e-6)
+
+    def test_noise_tolerated(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        profiler = WorkProfiler()
+        for _ in range(64):
+            tp = float(rng.uniform(1, 50))
+            profiler.observe(
+                UtilizationSample({"web": tp}, tp * 39.0 + rng.normal(0, 5.0))
+            )
+        assert profiler.estimate("web") == pytest.approx(39.0, rel=0.05)
+
+    def test_sliding_window_evicts(self):
+        profiler = WorkProfiler(window=4)
+        for i in range(10):
+            profiler.observe(UtilizationSample({"web": 1.0}, 39.0))
+        assert profiler.sample_count == 4
+
+    def test_no_samples_raises(self):
+        with pytest.raises(ModelError):
+            WorkProfiler().estimates()
+
+    def test_unobserved_app_gets_zero(self):
+        profiler = WorkProfiler()
+        profiler.observe(UtilizationSample({"web": 10.0, "idle": 0.0}, 390.0))
+        estimates = profiler.estimates()
+        assert estimates["idle"] == 0.0
+
+    def test_negative_sample_rejected(self):
+        profiler = WorkProfiler()
+        with pytest.raises(ModelError):
+            profiler.observe(UtilizationSample({"web": -1.0}, 10.0))
+        with pytest.raises(ModelError):
+            profiler.observe(UtilizationSample({"web": 1.0}, -10.0))
+
+    def test_window_validation(self):
+        with pytest.raises(ModelError):
+            WorkProfiler(window=0)
+
+    def test_unknown_app_estimate_raises(self):
+        profiler = WorkProfiler()
+        profiler.observe(UtilizationSample({"web": 10.0}, 390.0))
+        with pytest.raises(ModelError):
+            profiler.estimate("nope")

@@ -1,0 +1,197 @@
+"""Tests for the transactional RPF (equation (1)), applications and
+arrival traces."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rpf import NEGATIVE_INFINITY_UTILITY
+from repro.errors import ConfigurationError
+from repro.txn.application import TransactionalApp
+from repro.txn.queuing import ProcessorSharingModel
+from repro.txn.rpf import TransactionalRPF
+from repro.txn.workload import (
+    ConstantTrace,
+    PiecewiseTrace,
+    SinusoidTrace,
+    StepTrace,
+)
+
+
+def make_rpf(rate=100.0, demand=39.0, sigma=3900.0, goal=0.1) -> TransactionalRPF:
+    return TransactionalRPF(ProcessorSharingModel(rate, demand, sigma), goal)
+
+
+class TestTransactionalRPF:
+    def test_zero_at_goal(self):
+        rpf = make_rpf()
+        cpu = rpf.required_cpu(0.0)
+        assert rpf.utility(cpu) == pytest.approx(0.0, abs=1e-9)
+
+    def test_equation_one(self):
+        rpf = make_rpf(goal=0.1)
+        assert rpf.utility_of_response_time(0.05) == pytest.approx(0.5)
+        assert rpf.utility_of_response_time(0.2) == pytest.approx(-1.0)
+
+    def test_unstable_allocation_is_floor(self):
+        rpf = make_rpf()
+        assert rpf.utility(100.0) == NEGATIVE_INFINITY_UTILITY
+
+    def test_plateau(self):
+        rpf = make_rpf(goal=0.1)
+        # t_min = 0.01 => u_max = 0.9; more CPU does not help.
+        assert rpf.max_utility == pytest.approx(0.9)
+        assert rpf.utility(1e9) == pytest.approx(0.9)
+
+    def test_required_cpu_above_max_infinite(self):
+        assert make_rpf().required_cpu(0.95) == math.inf
+
+    def test_rejects_non_positive_goal(self):
+        with pytest.raises(ConfigurationError):
+            make_rpf(goal=0.0)
+
+    @given(u=st.floats(min_value=-3.0, max_value=0.89))
+    @settings(max_examples=150)
+    def test_roundtrip(self, u):
+        rpf = make_rpf(goal=0.1)
+        cpu = rpf.required_cpu(u)
+        assert rpf.utility(cpu) >= u - 1e-6
+
+    @given(
+        c1=st.floats(min_value=4000, max_value=1e6),
+        c2=st.floats(min_value=4000, max_value=1e6),
+    )
+    @settings(max_examples=100)
+    def test_monotone(self, c1, c2):
+        rpf = make_rpf()
+        lo, hi = min(c1, c2), max(c1, c2)
+        assert rpf.utility(lo) <= rpf.utility(hi) + 1e-9
+
+
+class TestTraces:
+    def test_constant(self):
+        assert ConstantTrace(5.0).rate(123.0) == 5.0
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ConstantTrace(-1.0)
+
+    def test_step(self):
+        trace = StepTrace(before=10.0, after=20.0, step_time=100.0)
+        assert trace.rate(99.9) == 10.0
+        assert trace.rate(100.0) == 20.0
+
+    def test_piecewise(self):
+        trace = PiecewiseTrace([(0.0, 1.0), (10.0, 2.0), (20.0, 3.0)])
+        assert trace.rate(-5) == 1.0
+        assert trace.rate(5) == 1.0
+        assert trace.rate(15) == 2.0
+        assert trace.rate(25) == 3.0
+
+    def test_piecewise_validation(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseTrace([])
+        with pytest.raises(ConfigurationError):
+            PiecewiseTrace([(0.0, 1.0), (0.0, 2.0)])
+        with pytest.raises(ConfigurationError):
+            PiecewiseTrace([(0.0, -1.0)])
+
+    def test_sinusoid_clips_at_zero(self):
+        trace = SinusoidTrace(base=1.0, amplitude=5.0, period=100.0)
+        rates = [trace.rate(t) for t in range(0, 100, 5)]
+        assert min(rates) == 0.0
+        assert max(rates) <= 6.0
+
+    def test_sinusoid_validation(self):
+        with pytest.raises(ConfigurationError):
+            SinusoidTrace(base=-1, amplitude=1, period=10)
+        with pytest.raises(ConfigurationError):
+            SinusoidTrace(base=1, amplitude=1, period=0)
+
+
+class TestTransactionalApp:
+    def make(self) -> TransactionalApp:
+        return TransactionalApp(
+            app_id="web",
+            memory_mb=500.0,
+            demand_mcycles=39.0,
+            response_time_goal=0.1,
+            trace=StepTrace(100.0, 200.0, 50.0),
+            single_thread_speed_mhz=3900.0,
+        )
+
+    def test_model_follows_trace(self):
+        app = self.make()
+        assert app.arrival_rate(0.0) == 100.0
+        assert app.arrival_rate(60.0) == 200.0
+        assert app.model_at(60.0).offered_load == pytest.approx(7800.0)
+
+    def test_rpf_tracks_intensity(self):
+        app = self.make()
+        cpu = 10_000.0
+        # Double the load -> worse utility at the same allocation.
+        assert app.rpf_at(60.0).utility(cpu) < app.rpf_at(0.0).utility(cpu)
+
+    def test_response_time_accessor(self):
+        app = self.make()
+        assert app.response_time(8000.0, 0.0) == pytest.approx(
+            app.model_at(0.0).response_time(8000.0)
+        )
+
+    def test_calibrated_ps_matches_anchors_exactly(self):
+        app = TransactionalApp.calibrated(
+            app_id="tx",
+            memory_mb=100.0,
+            max_utility=0.66,
+            saturation_cpu_mhz=130_000.0,
+            single_thread_speed_mhz=3900.0,
+            model_type="ps",
+        )
+        rpf = app.rpf_at(0.0)
+        assert rpf.max_utility == pytest.approx(0.66)
+        assert rpf.saturation_cpu == pytest.approx(130_000.0)
+        assert rpf.utility(130_000.0) == pytest.approx(0.66)
+        assert rpf.utility(1e9) == pytest.approx(0.66)
+
+    def test_calibrated_erlang_soft_saturation(self):
+        """The default Erlang-C calibration: ~0.66 plateau near 130,000
+        MHz, *gradual* degradation below it (the paper's static 6-node
+        partition sits at a degraded-but-stable ~0.5)."""
+        app = TransactionalApp.calibrated(
+            app_id="tx",
+            memory_mb=100.0,
+            max_utility=0.66,
+            saturation_cpu_mhz=130_000.0,
+            single_thread_speed_mhz=3900.0,
+        )
+        assert app.model_type == "erlang"
+        rpf = app.rpf_at(0.0)
+        assert rpf.utility(130_000.0) == pytest.approx(0.66, abs=0.01)
+        assert rpf.utility(1e9) == pytest.approx(0.66)
+        # 6 paper nodes = 93,600 MHz: degraded but far from catastrophic.
+        assert 0.3 < rpf.utility(93_600.0) < 0.6
+
+    def test_calibrated_rejects_unknown_model(self):
+        with pytest.raises(ConfigurationError):
+            TransactionalApp.calibrated(
+                app_id="tx",
+                memory_mb=100.0,
+                max_utility=0.66,
+                saturation_cpu_mhz=130_000.0,
+                single_thread_speed_mhz=3900.0,
+                model_type="fancy",
+            )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TransactionalApp("", 1, 1, 1, ConstantTrace(1), 1)
+        with pytest.raises(ConfigurationError):
+            TransactionalApp("a", -1, 1, 1, ConstantTrace(1), 1)
+        with pytest.raises(ConfigurationError):
+            TransactionalApp("a", 1, 0, 1, ConstantTrace(1), 1)
+        with pytest.raises(ConfigurationError):
+            TransactionalApp("a", 1, 1, 0, ConstantTrace(1), 1)
+        with pytest.raises(ConfigurationError):
+            TransactionalApp("a", 1, 1, 1, ConstantTrace(1), 0)

@@ -1,0 +1,69 @@
+"""Tests for unit helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestWorkArithmetic:
+    def test_work_done_is_speed_times_time(self):
+        assert units.work_done(3900.0, 17600.0) == pytest.approx(68_640_000.0)
+
+    def test_time_to_complete_inverts_work_done(self):
+        work = units.work_done(1560.0, 123.0)
+        assert units.time_to_complete(work, 1560.0) == pytest.approx(123.0)
+
+    def test_time_to_complete_zero_speed_is_infinite(self):
+        assert units.time_to_complete(100.0, 0.0) == math.inf
+
+    def test_time_to_complete_negative_speed_is_infinite(self):
+        assert units.time_to_complete(100.0, -5.0) == math.inf
+
+
+class TestApproxComparisons:
+    def test_approx_equal_within_epsilon(self):
+        assert units.approx_equal(1.0, 1.0 + units.EPSILON / 2)
+
+    def test_approx_equal_beyond_epsilon(self):
+        assert not units.approx_equal(1.0, 1.0 + 10 * units.EPSILON)
+
+    def test_approx_leq_allows_tiny_overshoot(self):
+        assert units.approx_leq(1.0 + units.EPSILON / 2, 1.0)
+
+    def test_approx_leq_rejects_real_overshoot(self):
+        assert not units.approx_leq(1.1, 1.0)
+
+    def test_approx_geq_symmetry(self):
+        assert units.approx_geq(1.0, 1.0 + units.EPSILON / 2)
+        assert not units.approx_geq(1.0, 1.1)
+
+
+class TestClamp:
+    def test_clamp_inside_range(self):
+        assert units.clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_clamp_below(self):
+        assert units.clamp(-1.0, 0.0, 1.0) == 0.0
+
+    def test_clamp_above(self):
+        assert units.clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_clamp_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            units.clamp(0.5, 1.0, 0.0)
+
+
+class TestIdentityHelpers:
+    def test_identity_helpers_return_floats(self):
+        assert units.mhz(3900) == 3900.0
+        assert units.mcycles(10) == 10.0
+        assert units.megabytes(4320) == 4320.0
+        assert units.seconds(600) == 600.0
+
+    def test_named_constants(self):
+        assert units.GHZ == 1000.0
+        assert units.GB == 1024.0
+        assert units.HOUR == 3600.0
+        assert units.MINUTE == 60.0

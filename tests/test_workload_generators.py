@@ -1,0 +1,120 @@
+"""Tests for the experiment workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.generators import (
+    EXPERIMENT_ONE_CLASS,
+    EXPERIMENT_TWO_CLASSES,
+    EXPERIMENT_TWO_GOAL_FACTORS,
+    JobClass,
+    MixedJobGenerator,
+    experiment_one_jobs,
+    experiment_two_jobs,
+    exponential_arrival_times,
+)
+
+
+class TestJobClass:
+    def test_work_derived_from_time_and_speed(self):
+        assert EXPERIMENT_ONE_CLASS.work_mcycles == pytest.approx(68_640_000)
+
+    def test_profile(self):
+        profile = EXPERIMENT_ONE_CLASS.profile()
+        assert profile.best_execution_time == pytest.approx(17_600)
+        assert profile.peak_memory_mb == 4320
+
+
+class TestArrivalTimes:
+    def test_count_and_monotonicity(self):
+        rng = np.random.default_rng(1)
+        times = exponential_arrival_times(100, 260.0, rng)
+        assert len(times) == 100
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_mean_converges(self):
+        rng = np.random.default_rng(1)
+        times = exponential_arrival_times(5000, 260.0, rng)
+        gaps = np.diff([0.0] + times)
+        assert np.mean(gaps) == pytest.approx(260.0, rel=0.05)
+
+    def test_start_offset(self):
+        rng = np.random.default_rng(1)
+        times = exponential_arrival_times(10, 1.0, rng, start=1000.0)
+        assert all(t > 1000.0 for t in times)
+
+    def test_validation(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ConfigurationError):
+            exponential_arrival_times(-1, 1.0, rng)
+        with pytest.raises(ConfigurationError):
+            exponential_arrival_times(1, 0.0, rng)
+
+
+class TestExperimentOneJobs:
+    def test_properties_match_table_two(self):
+        jobs = experiment_one_jobs(count=10, seed=0)
+        for job in jobs:
+            assert job.profile.total_work == pytest.approx(68_640_000)
+            assert job.max_speed == 3900
+            assert job.memory_mb == 4320
+            assert job.goal_factor == pytest.approx(2.7)
+            assert job.relative_goal == pytest.approx(47_520)
+
+    def test_reproducible(self):
+        a = experiment_one_jobs(count=5, seed=42)
+        b = experiment_one_jobs(count=5, seed=42)
+        assert [j.submit_time for j in a] == [j.submit_time for j in b]
+
+    def test_different_seeds_differ(self):
+        a = experiment_one_jobs(count=5, seed=1)
+        b = experiment_one_jobs(count=5, seed=2)
+        assert [j.submit_time for j in a] != [j.submit_time for j in b]
+
+
+class TestExperimentTwoJobs:
+    def test_class_mix_matches_weights(self):
+        jobs = experiment_two_jobs(count=3000, seed=0)
+        by_class = {}
+        for job in jobs:
+            name = job.job_id.split("-")[-1]
+            by_class[name] = by_class.get(name, 0) + 1
+        total = len(jobs)
+        assert by_class["wide"] / total == pytest.approx(0.10, abs=0.03)
+        assert by_class["narrow"] / total == pytest.approx(0.40, abs=0.04)
+        assert by_class["short"] / total == pytest.approx(0.50, abs=0.04)
+
+    def test_goal_factor_mix(self):
+        jobs = experiment_two_jobs(count=3000, seed=0)
+        factors = [round(j.goal_factor, 1) for j in jobs]
+        assert factors.count(1.3) / len(factors) == pytest.approx(0.10, abs=0.03)
+        assert factors.count(2.5) / len(factors) == pytest.approx(0.30, abs=0.04)
+        assert factors.count(4.0) / len(factors) == pytest.approx(0.60, abs=0.04)
+
+    def test_submission_sorted(self):
+        jobs = experiment_two_jobs(count=100, seed=0)
+        times = [j.submit_time for j in jobs]
+        assert times == sorted(times)
+
+
+class TestMixedJobGenerator:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MixedJobGenerator([], [(1.3, 1.0)])
+        with pytest.raises(ConfigurationError):
+            MixedJobGenerator(list(EXPERIMENT_TWO_CLASSES), [])
+        with pytest.raises(ConfigurationError):
+            MixedJobGenerator(
+                [(JobClass("x", 1, 1, 1), -1.0)], list(EXPERIMENT_TWO_GOAL_FACTORS)
+            )
+
+    def test_ids_are_unique_across_batches(self):
+        gen = MixedJobGenerator(
+            list(EXPERIMENT_TWO_CLASSES), list(EXPERIMENT_TWO_GOAL_FACTORS), seed=0
+        )
+        first = gen.generate(10, 100.0)
+        second = gen.generate(10, 100.0)
+        ids = [j.job_id for j in first + second]
+        assert len(set(ids)) == 20

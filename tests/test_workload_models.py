@@ -1,0 +1,148 @@
+"""Tests for the WorkloadModel adapters (batch and transactional)."""
+
+import pytest
+
+from repro.batch.job import JobStatus
+from repro.batch.model import BatchWorkloadModel
+from repro.batch.queue import JobQueue
+from repro.core.workload import WorkloadModel
+from repro.errors import ConfigurationError
+from repro.txn.application import TransactionalApp
+from repro.txn.model import TransactionalWorkloadModel
+from repro.txn.workload import ConstantTrace
+
+from tests.conftest import make_job
+
+
+class TestBatchWorkloadModel:
+    def test_protocol(self):
+        assert isinstance(BatchWorkloadModel(JobQueue()), WorkloadModel)
+
+    def test_app_specs_reflect_current_stage(self):
+        queue = JobQueue()
+        job = make_job("j", work=1000, max_speed=500, memory=750)
+        queue.submit(job)
+        model = BatchWorkloadModel(queue)
+        spec = model.app_specs(0.0)["j"]
+        assert spec.demand.memory_mb == 750
+        assert spec.demand.max_cpu_per_instance_mhz == 500
+        assert not spec.demand.divisible
+        assert spec.demand.max_instances == 1
+
+    def test_completed_jobs_excluded(self):
+        queue = JobQueue()
+        job = make_job("j", work=1000)
+        queue.submit(job)
+        job.advance(1000)
+        job.status = JobStatus.COMPLETED
+        model = BatchWorkloadModel(queue)
+        assert model.app_specs(0.0) == {}
+        assert model.evaluate({}, 0.0, 1.0) == {}
+
+    def test_queue_window_limits_candidates(self):
+        queue = JobQueue()
+        for i in range(5):
+            queue.submit(make_job(f"j{i}"))
+        queue.job("j0").status = JobStatus.RUNNING
+        model = BatchWorkloadModel(queue, queue_window=2)
+        candidates = model.placement_candidates(0.0)
+        # Running job always a candidate; only 2 of the 4 waiting ones.
+        assert "j0" in candidates
+        assert len(candidates) == 3
+        assert candidates == ["j0", "j1", "j2"]
+
+    def test_evaluate_job_completing_within_cycle(self):
+        queue = JobQueue()
+        job = make_job("j", work=1000, max_speed=500, goal_factor=5)  # goal 10
+        queue.submit(job)
+        model = BatchWorkloadModel(queue)
+        # At 500 MHz the job finishes in 2 s, well inside a 10 s cycle:
+        # predicted utility = (10-2)/10 = 0.8.
+        utilities = model.evaluate({"j": 500.0}, 0.0, 10.0)
+        assert utilities["j"] == pytest.approx(0.8)
+
+    def test_evaluate_advances_work_and_assumes_persistent_aggregate(self):
+        queue = JobQueue()
+        job = make_job("j", work=10_000, max_speed=500, goal_factor=5)
+        queue.submit(job)
+        model = BatchWorkloadModel(queue)
+        # Runs at 500 for one 10 s cycle (5000 done), then continues at
+        # aggregate 500: completes at t = 20, goal is 100:
+        # u = (100 - 20)/100 = 0.8.
+        utilities = model.evaluate({"j": 500.0}, 0.0, 10.0)
+        assert utilities["j"] == pytest.approx(0.8, abs=1e-3)
+
+    def test_evaluate_unplaced_job_shares_future_aggregate(self):
+        queue = JobQueue()
+        running = make_job("run", work=10_000, max_speed=500, goal_factor=5)
+        waiting = make_job("wait", work=10_000, max_speed=500, goal_factor=5)
+        queue.submit(running)
+        queue.submit(waiting)
+        model = BatchWorkloadModel(queue)
+        utilities = model.evaluate({"run": 500.0}, 0.0, 10.0)
+        # The waiting job shares the assumed future aggregate of 500 MHz,
+        # so both predictions are finite and the runner's is at least as
+        # good.
+        assert utilities["wait"] < utilities["run"] + 1e-9
+        assert utilities["wait"] > -10
+
+    def test_invalid_prediction_method(self):
+        with pytest.raises(ValueError):
+            BatchWorkloadModel(JobQueue(), prediction_method="magic")
+
+    def test_average_hypothetical_utility(self):
+        queue = JobQueue()
+        queue.submit(make_job("j", work=1000, max_speed=500, goal_factor=5))
+        model = BatchWorkloadModel(queue)
+        # Plenty of aggregate: equals the job's max achievable (0.8).
+        assert model.average_hypothetical_utility(0.0, 1e6) == pytest.approx(0.8)
+
+
+class TestTransactionalWorkloadModel:
+    def make_app(self, app_id="web"):
+        return TransactionalApp(
+            app_id=app_id,
+            memory_mb=200,
+            demand_mcycles=10.0,
+            response_time_goal=0.1,
+            trace=ConstantTrace(30.0),
+            single_thread_speed_mhz=1000.0,
+        )
+
+    def test_protocol(self):
+        assert isinstance(TransactionalWorkloadModel(), WorkloadModel)
+
+    def test_specs_are_divisible_unbounded(self):
+        model = TransactionalWorkloadModel([self.make_app()])
+        spec = model.app_specs(0.0)["web"]
+        assert spec.demand.divisible
+        assert spec.demand.max_instances is None
+        assert spec.demand.memory_mb == 200
+
+    def test_duplicate_app_rejected(self):
+        model = TransactionalWorkloadModel([self.make_app()])
+        with pytest.raises(ConfigurationError):
+            model.add_app(self.make_app())
+
+    def test_remove_app(self):
+        model = TransactionalWorkloadModel([self.make_app()])
+        model.remove_app("web")
+        assert "web" not in model
+        with pytest.raises(ConfigurationError):
+            model.remove_app("web")
+
+    def test_evaluate_uses_rpf(self):
+        app = self.make_app()
+        model = TransactionalWorkloadModel([app])
+        utilities = model.evaluate({"web": 800.0}, 0.0, 60.0)
+        assert utilities["web"] == pytest.approx(app.rpf_at(0.0).utility(800.0))
+
+    def test_unallocated_app_gets_floor(self):
+        model = TransactionalWorkloadModel([self.make_app()])
+        utilities = model.evaluate({}, 0.0, 60.0)
+        assert utilities["web"] < -10
+
+    def test_candidates_are_all_apps(self):
+        model = TransactionalWorkloadModel([self.make_app("a"), self.make_app("b")])
+        assert set(model.placement_candidates(0.0)) == {"a", "b"}
+        assert len(model) == 2

@@ -1,0 +1,77 @@
+"""Tests for job-trace serialization."""
+
+import pytest
+
+from repro.batch.job import Job, JobProfile, JobStage
+from repro.errors import ConfigurationError
+from repro.workloads.generators import experiment_two_jobs
+from repro.workloads.traces import read_job_trace, write_job_trace
+
+from tests.conftest import make_job
+
+
+class TestRoundtrip:
+    def test_single_stage_roundtrip(self, tmp_path):
+        jobs = [make_job("a", submit=3.0), make_job("b", submit=1.0)]
+        path = tmp_path / "trace.csv"
+        write_job_trace(jobs, path)
+        loaded = read_job_trace(path)
+        assert [j.job_id for j in loaded] == ["b", "a"]  # sorted by submit
+        original = {j.job_id: j for j in jobs}
+        for job in loaded:
+            src = original[job.job_id]
+            assert job.submit_time == src.submit_time
+            assert job.completion_goal == src.completion_goal
+            assert job.profile.total_work == src.profile.total_work
+            assert job.max_speed == src.max_speed
+            assert job.memory_mb == src.memory_mb
+            assert job.parallelism == src.parallelism
+            assert job.cpu_consumed == 0.0  # fresh runtime state
+
+    def test_multistage_roundtrip(self):
+        profile = JobProfile(
+            [
+                JobStage(1000, 100, min_speed_mhz=10, memory_mb=500),
+                JobStage(2000, 200, memory_mb=800),
+            ]
+        )
+        job = Job.with_goal_factor("m", profile, submit_time=0.0, goal_factor=2.0)
+        loaded = read_job_trace(write_job_trace([job]))
+        assert len(loaded[0].profile) == 2
+        assert loaded[0].profile.stages[0].min_speed_mhz == 10
+        assert loaded[0].profile.stages[1].memory_mb == 800
+
+    def test_parallel_job_roundtrip(self):
+        profile = JobProfile.single_stage(4000, 1000, memory_mb=400)
+        job = Job.with_goal_factor(
+            "p", profile, submit_time=0.0, goal_factor=2.0, parallelism=4
+        )
+        loaded = read_job_trace(write_job_trace([job]))
+        assert loaded[0].parallelism == 4
+        assert loaded[0].completion_goal == job.completion_goal
+
+    def test_generated_workload_roundtrip(self, tmp_path):
+        jobs = experiment_two_jobs(count=40, seed=5)
+        path = tmp_path / "e2.csv"
+        write_job_trace(jobs, path)
+        loaded = read_job_trace(path)
+        assert len(loaded) == 40
+        assert [j.job_id for j in loaded] == [j.job_id for j in jobs]
+        for a, b in zip(jobs, loaded):
+            assert b.goal_factor == pytest.approx(a.goal_factor)
+
+    def test_text_source_accepted(self):
+        text = write_job_trace([make_job("x")])
+        assert read_job_trace(text)[0].job_id == "x"
+
+    def test_missing_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            read_job_trace("job_id,submit_time\nx,0\n")
+
+    def test_malformed_stage_rejected(self):
+        text = write_job_trace([make_job("x")])
+        corrupted = text.replace("\nx,", "\nx,").rstrip() + "\n"
+        rows = corrupted.splitlines()
+        rows[1] = rows[1].rsplit(",", 1)[0] + ",1:2:3"  # bad stage tuple
+        with pytest.raises(ConfigurationError):
+            read_job_trace("\n".join(rows) + "\n")
