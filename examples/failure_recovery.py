@@ -8,6 +8,13 @@ controller spreads out again.  A second run uses a graceful drain
 (progress preserved) for comparison, and the structured simulation trace
 reconstructs one affected job's full story.
 
+A final pair of scenarios turns on the fallible actuator
+(:class:`~repro.virt.faults.ActionFaultModel`): a live migration that
+fails transiently and succeeds on retry, and one that fails every
+attempt — the reconciler abandons it, the job finishes on its source
+node, and the next control cycle simply re-plans from the actual
+placement.
+
 Run with::
 
     python examples/failure_recovery.py
@@ -16,6 +23,7 @@ Run with::
 from __future__ import annotations
 
 from repro import (
+    ActionFaultModel,
     APCConfig,
     APCPolicy,
     ApplicationPlacementController,
@@ -23,9 +31,11 @@ from repro import (
     Cluster,
     JobQueue,
     MixedWorkloadSimulator,
+    PlacementState,
+    RetryPolicy,
     SimulationConfig,
 )
-from repro.sim import NodeFailure, SimulationTrace
+from repro.sim import NodeFailure, ScriptedPolicy, SimulationTrace, TraceEventKind
 from repro.virt.costs import FREE_COST_MODEL
 from repro.workloads.generators import JobClass, MixedJobGenerator
 
@@ -81,6 +91,82 @@ def run(lose_progress: bool):
     return metrics, trace
 
 
+def pin(job_id: str, node: str):
+    """A scripted-policy step placing one job alone on one node."""
+
+    def step(current: PlacementState, now: float) -> PlacementState:
+        state = PlacementState(current.cluster)
+        state.place(job_id, node, 750.0)
+        state.set_cpu(job_id, node, 1_000.0)
+        return state
+
+    return step
+
+
+def run_flaky_migration(failure_probability: float, seed: int):
+    """Boot one job on node0, then ask for a node0 -> node1 migration at
+    the t = 600 s cycle under an unreliable migration actuator."""
+    from repro.batch.job import Job
+
+    cluster = Cluster.homogeneous(2, cpu_capacity=1_000.0, memory_capacity=2_000.0)
+    job = Job.with_goal_factor(
+        job_id="job0",
+        profile=JobClass("batch", 2_000.0, 1_000.0, 750.0).profile(),
+        submit_time=0.0,
+        goal_factor=10.0,
+    )
+    queue = JobQueue()
+    batch = BatchWorkloadModel(queue)
+    # Two scripted decisions (boot on node0, migrate to node1); every
+    # later cycle re-plans from whatever placement actually exists.
+    policy = ScriptedPolicy([pin("job0", "node0"), pin("job0", "node1")])
+    trace = SimulationTrace()
+    sim = MixedWorkloadSimulator(
+        cluster,
+        policy,
+        queue,
+        arrivals=[job],
+        batch_model=batch,
+        config=SimulationConfig(
+            cycle_length=600.0,
+            fault_model=ActionFaultModel.flaky_migrations(
+                failure_probability, seed=seed
+            ),
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=10.0),
+        ),
+        trace=trace,
+    )
+    metrics = sim.run()
+    return job, metrics, trace
+
+
+FAULT_EVENT_KINDS = (
+    TraceEventKind.ACTION_FAILED,
+    TraceEventKind.ACTION_RETRIED,
+    TraceEventKind.ACTION_STALLED,
+    TraceEventKind.ACTION_ABANDONED,
+    TraceEventKind.MIGRATE,
+)
+
+
+def show_flaky_run(title: str, failure_probability: float, seed: int) -> None:
+    job, metrics, trace = run_flaky_migration(failure_probability, seed)
+    faults = metrics.faults
+    print(f"\n=== flaky migration: {title} ===")
+    print(f"migrate attempts: {faults.attempts.get('migrate', 0)}, "
+          f"failures: {faults.failures.get('migrate', 0)}, "
+          f"retries: {faults.retries.get('migrate', 0)}, "
+          f"abandoned: {faults.abandoned.get('migrate', 0)}")
+    record = metrics.completions[0]
+    print(f"job completed at {record.completion_time:,.1f}s on {job.node} "
+          f"(migrations committed: {record.migration_count})")
+    mean_lag = faults.mean_time_to_reconcile()
+    if mean_lag == mean_lag:  # not NaN
+        print(f"time from first attempt to success: {mean_lag:,.1f}s")
+    for event in trace.events(kinds=FAULT_EVENT_KINDS):
+        print(f"  {event.render()}")
+
+
 def main() -> None:
     for lose_progress in (True, False):
         mode = "abrupt crash (progress lost)" if lose_progress else "graceful drain"
@@ -112,6 +198,17 @@ def main() -> None:
             for event in trace.history_of(victim):
                 print(f"  {event.render()}")
         del failure_events
+
+    # Fallible actuator: a transient migration failure is retried with
+    # backoff and lands on the second attempt...
+    show_flaky_run("transient failure, retry succeeds",
+                   failure_probability=0.7, seed=1)
+    # ...while a hard failure exhausts the attempt budget.  The action
+    # is abandoned, the job finishes on its source node, and the next
+    # control cycle re-plans from the placement that actually exists —
+    # no crash, no capacity leak.
+    show_flaky_run("hard failure, abandoned and absorbed",
+                   failure_probability=1.0, seed=1)
 
 
 if __name__ == "__main__":

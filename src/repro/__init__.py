@@ -75,10 +75,18 @@ from repro.sim import (
     FCFSPolicy,
     MetricsRecorder,
     MixedWorkloadSimulator,
+    NodeFailure,
     PartitionedPolicy,
     SimulationConfig,
 )
-from repro.virt import PAPER_COST_MODEL, FREE_COST_MODEL, VirtualizationCostModel
+from repro.virt import (
+    ActionFaultModel,
+    FaultSpec,
+    FREE_COST_MODEL,
+    PAPER_COST_MODEL,
+    RetryPolicy,
+    VirtualizationCostModel,
+)
 
 __version__ = "1.0.0"
 
@@ -111,8 +119,12 @@ __all__ = [
     "FCFSPolicy",
     "MetricsRecorder",
     "MixedWorkloadSimulator",
+    "NodeFailure",
     "PartitionedPolicy",
     "SimulationConfig",
+    "ActionFaultModel",
+    "FaultSpec",
+    "RetryPolicy",
     "PAPER_COST_MODEL",
     "FREE_COST_MODEL",
     "VirtualizationCostModel",

@@ -197,6 +197,89 @@ def cmd_plan(args) -> int:
     return 0
 
 
+def _bad_flaky_node(entry: str) -> int:
+    print(f"--flaky-node expects NAME=MULTIPLIER, got {entry!r}",
+          file=sys.stderr)
+    return 2
+
+
+def cmd_faults(args) -> int:
+    from repro.errors import ConfigurationError
+    from repro.experiments.experiment1 import run_experiment_one
+    from repro.sim.monitoring import ActuatorHealthMonitor
+    from repro.virt.actions import ActionType
+    from repro.virt.faults import ActionFaultModel, FaultSpec, RetryPolicy
+
+    scale = _resolve_scale(args)
+    flakiness = {}
+    for entry in args.flaky_node:
+        name, sep, mult = entry.partition("=")
+        if not sep:
+            return _bad_flaky_node(entry)
+        try:
+            flakiness[name] = float(mult)
+        except ValueError:
+            return _bad_flaky_node(entry)
+    actions = (
+        list(ActionType) if args.action == "all" else [ActionType(args.action)]
+    )
+    try:
+        spec = FaultSpec(
+            failure_probability=args.fail_prob,
+            stall_probability=args.stall_prob,
+            stall_duration_mean=args.stall_mean,
+        )
+        model = ActionFaultModel(
+            specs={a: spec for a in actions},
+            node_flakiness=flakiness,
+            seed=args.seed,
+        )
+        retry = RetryPolicy(
+            max_attempts=args.max_attempts, base_delay=args.base_delay
+        )
+    except ConfigurationError as exc:
+        print(f"invalid fault configuration: {exc}", file=sys.stderr)
+        return 2
+    result = run_experiment_one(
+        scale=scale,
+        seed=args.seed,
+        fault_model=model,
+        retry_policy=retry,
+        action_timeout=args.timeout,
+    )
+    faults = result.metrics.faults
+    print(f"scale: {scale.name} ({scale.nodes} nodes, {scale.job_count} jobs)")
+    print(f"fault model: {args.action} actions, "
+          f"fail={percent(args.fail_prob)} stall={percent(args.stall_prob)}")
+    print(f"deadline satisfaction: {percent(result.deadline_satisfaction)}")
+    print(f"placement changes: {result.placement_changes}")
+    print()
+    actions_seen = sorted(set(faults.attempts) | set(faults.failures))
+    rows = [
+        [
+            action,
+            faults.attempts.get(action, 0),
+            faults.successes.get(action, 0),
+            faults.failures.get(action, 0),
+            faults.retries.get(action, 0),
+            faults.abandoned.get(action, 0),
+            faults.superseded.get(action, 0),
+        ]
+        for action in actions_seen
+    ]
+    print(format_table(
+        ["action", "attempts", "ok", "failed", "retried", "abandoned",
+         "superseded"],
+        rows,
+    ))
+    if faults.reconcile_times:
+        print(f"mean time to reconcile: "
+              f"{faults.mean_time_to_reconcile():,.1f}s "
+              f"over {len(faults.reconcile_times)} recovered actions")
+    print(ActuatorHealthMonitor(faults).report().render())
+    return 0
+
+
 def cmd_ablations(args) -> int:
     from repro.experiments import ablations
 
@@ -290,6 +373,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-nodes", type=int, default=64)
     p.add_argument("--policy", choices=["APC", "FCFS"], default="APC")
     p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser(
+        "faults",
+        help="Experiment One under a fallible actuator (fault injection)",
+    )
+    _add_common(p)
+    p.add_argument("--fail-prob", type=float, default=0.1,
+                   help="per-attempt immediate failure probability")
+    p.add_argument("--stall-prob", type=float, default=0.0,
+                   help="per-attempt stall probability")
+    p.add_argument("--stall-mean", type=float, default=60.0,
+                   help="mean stall duration (s)")
+    p.add_argument(
+        "--action",
+        choices=["boot", "suspend", "resume", "migrate", "all"],
+        default="all",
+        help="which action type(s) the fault model targets",
+    )
+    p.add_argument("--max-attempts", type=int, default=3,
+                   help="attempt budget per action before abandoning")
+    p.add_argument("--base-delay", type=float, default=10.0,
+                   help="base retry backoff (s)")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="stall detection timeout (s)")
+    p.add_argument(
+        "--flaky-node", metavar="NAME=MULT", action="append", default=[],
+        help="flakiness multiplier for one node (repeatable)",
+    )
+    p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("ablations", help="design-choice studies")
     _add_common(p)

@@ -178,6 +178,7 @@ class ApplicationPlacementController:
 
         state = current.copy()
         self._prune_vanished(state, specs)
+        self._prune_unavailable(state)
         self._refresh_demands(state, specs)
         baseline = state.as_matrix()
 
@@ -286,6 +287,25 @@ class ApplicationPlacementController:
             if app_id not in specs:
                 for node, count in state.instances(app_id).items():
                     state.remove(app_id, node, count)
+
+    @staticmethod
+    def _prune_unavailable(state: PlacementState) -> None:
+        """Drop instances stranded on unavailable nodes.
+
+        The simulator evicts placements when a node fails, but the
+        controller defends in depth: planning must start from capacity
+        that actually exists, however the state it was handed came to be
+        (a failed actuator action's fallback, an externally maintained
+        placement, ...).  Dropped applications become candidates again
+        this same cycle.
+        """
+        for node in state.cluster:
+            if node.available:
+                continue
+            for app_id in list(state.apps_on(node.name)):
+                count = state.instances(app_id).get(node.name, 0)
+                if count:
+                    state.remove(app_id, node.name, count)
 
     @staticmethod
     def _refresh_demands(

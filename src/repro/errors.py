@@ -35,3 +35,21 @@ class ModelError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
+
+
+class ActionFailedError(SimulationError):
+    """A placement action could not be committed against the cluster.
+
+    Raised by the reconciliation machinery when a sampled-successful
+    action cannot actually be applied (for example, the destination node
+    lost capacity to a concurrent outage).  The simulator converts it
+    into a failed attempt and drives the retry/abandon state machine;
+    it only propagates to callers using the machinery directly.
+    """
+
+    def __init__(self, action: str, app_id: str, node: str, reason: str) -> None:
+        super().__init__(f"{action} of {app_id!r} on {node!r} failed: {reason}")
+        self.action = action
+        self.app_id = app_id
+        self.node = node
+        self.reason = reason

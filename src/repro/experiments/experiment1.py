@@ -27,6 +27,7 @@ from repro.experiments.common import PAPER_CONTROL_CYCLE, Scale, scale_from_env
 from repro.sim.metrics import MetricsRecorder
 from repro.sim.policies import APCPolicy
 from repro.sim.simulator import MixedWorkloadSimulator, SimulationConfig
+from repro.virt.faults import ActionFaultModel, RetryPolicy
 from repro.workloads.generators import experiment_one_jobs
 
 #: Table 2 / §5.1 constants.
@@ -121,11 +122,16 @@ def run_experiment_one(
     cycle_length: float = PAPER_CONTROL_CYCLE,
     seed: int = 0,
     job_count: Optional[int] = None,
+    fault_model: Optional[ActionFaultModel] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    action_timeout: float = 120.0,
 ) -> ExperimentOneResult:
     """Run Experiment One at the given scale.
 
     ``interarrival`` is in *paper* terms; it is stretched by the scale's
-    multiplier so per-node load matches the paper.
+    multiplier so per-node load matches the paper.  ``fault_model`` (and
+    the retry knobs) turn on the fallible-actuator extension — the same
+    experiment under an unreliable actuation path.
     """
     scale = scale or scale_from_env()
     cluster = scale.cluster()
@@ -147,7 +153,12 @@ def run_experiment_one(
         queue,
         arrivals=jobs,
         batch_model=batch,
-        config=SimulationConfig(cycle_length=cycle_length),
+        config=SimulationConfig(
+            cycle_length=cycle_length,
+            fault_model=fault_model,
+            retry_policy=retry_policy or RetryPolicy(),
+            action_timeout=action_timeout,
+        ),
     )
     metrics = sim.run()
     return ExperimentOneResult(

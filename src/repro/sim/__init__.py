@@ -10,6 +10,7 @@ management policy runs on a fixed control cycle.
 
 from repro.sim.engine import EventQueue, ScheduledEvent
 from repro.sim.metrics import (
+    ActionFaultStats,
     MetricsRecorder,
     CycleSample,
     JobCompletionRecord,
@@ -21,10 +22,14 @@ from repro.sim.policies import (
     EDFPolicy,
     LRPFPolicy,
     PartitionedPolicy,
+    ScriptedPolicy,
 )
+from repro.sim.reconcile import Decision, Directive, PendingAction, Reconciler
 from repro.sim.simulator import MixedWorkloadSimulator, NodeFailure, SimulationConfig
 from repro.sim.trace import SimulationTrace, TraceEvent, TraceEventKind
 from repro.sim.monitoring import (
+    ActuatorHealthMonitor,
+    ActuatorHealthReport,
     MonitoredTransactionalModel,
     MonitoringPolicyWrapper,
     MonitoringReport,
@@ -39,6 +44,7 @@ from repro.sim.export import (
 __all__ = [
     "EventQueue",
     "ScheduledEvent",
+    "ActionFaultStats",
     "MetricsRecorder",
     "CycleSample",
     "JobCompletionRecord",
@@ -48,12 +54,19 @@ __all__ = [
     "EDFPolicy",
     "LRPFPolicy",
     "PartitionedPolicy",
+    "ScriptedPolicy",
+    "Decision",
+    "Directive",
+    "PendingAction",
+    "Reconciler",
     "MixedWorkloadSimulator",
     "NodeFailure",
     "SimulationConfig",
     "SimulationTrace",
     "TraceEvent",
     "TraceEventKind",
+    "ActuatorHealthMonitor",
+    "ActuatorHealthReport",
     "MonitoredTransactionalModel",
     "MonitoringPolicyWrapper",
     "MonitoringReport",

@@ -34,19 +34,40 @@ class ScheduledEvent:
     seq: int
     payload: Any = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Back-reference for O(1) live-count maintenance; detached (set to
+    #: ``None``) once the event leaves its queue, which also makes
+    #: cancelling an already-delivered event a harmless no-op.
+    _queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
-        """Mark the event as cancelled; it will be skipped when popped."""
+        """Mark the event as cancelled; it will be skipped when popped.
+
+        Idempotent, and a no-op on events that already fired.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._on_cancel()
+            self._queue = None
 
 
 class EventQueue:
-    """Min-heap of :class:`ScheduledEvent` with lazy cancellation."""
+    """Min-heap of :class:`ScheduledEvent` with lazy cancellation.
+
+    Cancelled entries stay in the heap until they surface (or until a
+    compaction sweep): a live-event counter keeps ``len()`` / ``bool()``
+    O(1), and the heap is rebuilt without dead entries whenever they
+    outnumber the live ones — so a cancellation-heavy workload (every
+    reconfiguration invalidates completion events) cannot degrade pops.
+    """
 
     def __init__(self) -> None:
         self._heap: list = []
         self._counter = itertools.count()
         self._now = 0.0
+        self._live = 0        # non-cancelled events in the heap
+        self._dead = 0        # cancelled events still in the heap
 
     @property
     def now(self) -> float:
@@ -54,10 +75,10 @@ class EventQueue:
         return self._now
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return any(not e.cancelled for e in self._heap)
+        return self._live > 0
 
     def schedule(
         self, time: float, payload: Any, priority: int = PRIORITY_COMPLETION
@@ -74,7 +95,9 @@ class EventQueue:
         event = ScheduledEvent(
             time=time, priority=priority, seq=next(self._counter), payload=payload
         )
+        event._queue = self
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def peek_time(self) -> Optional[float]:
@@ -93,9 +116,25 @@ class EventQueue:
         if not self._heap:
             raise SimulationError("event queue is empty")
         event = heapq.heappop(self._heap)
+        event._queue = None
+        self._live -= 1
         self._now = event.time
         return event.time, event.payload
+
+    def _on_cancel(self) -> None:
+        """A live in-heap event was cancelled (called from the handle)."""
+        self._live -= 1
+        self._dead += 1
+        if self._dead > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify the survivors."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
 
     def _drop_cancelled_head(self) -> None:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._dead -= 1

@@ -20,6 +20,109 @@ from repro.batch.rpf import job_relative_performance
 
 
 @dataclass
+class ActionFaultStats:
+    """Per-action-type accounting of the fallible-actuator extension.
+
+    Every counter is keyed by the action type's string value (``boot``,
+    ``suspend``, ``resume``, ``migrate``).  An *attempt* is one issuance
+    against the actuator; a *failure* is an attempt that errored
+    (immediately or via stall timeout); a *retry* is a re-issuance
+    scheduled by the reconciliation loop; *abandoned* counts actions
+    given up after exhausting retries; *superseded* counts in-flight
+    actions cancelled because a new control cycle re-planned from the
+    actual placement.
+    """
+
+    attempts: Dict[str, int] = field(default_factory=dict)
+    successes: Dict[str, int] = field(default_factory=dict)
+    failures: Dict[str, int] = field(default_factory=dict)
+    stalls: Dict[str, int] = field(default_factory=dict)
+    retries: Dict[str, int] = field(default_factory=dict)
+    abandoned: Dict[str, int] = field(default_factory=dict)
+    superseded: Dict[str, int] = field(default_factory=dict)
+    #: Seconds from first attempt to eventual success, for every action
+    #: that needed more than one attempt (desired/actual convergence lag).
+    reconcile_times: List[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Recording (driven by the simulator's reconciler)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bump(counter: Dict[str, int], action: str) -> None:
+        counter[action] = counter.get(action, 0) + 1
+
+    def record_attempt(self, action: str) -> None:
+        self._bump(self.attempts, action)
+
+    def record_success(self, action: str, time_to_reconcile: float = 0.0) -> None:
+        self._bump(self.successes, action)
+        if time_to_reconcile > 0.0:
+            self.reconcile_times.append(time_to_reconcile)
+
+    def record_failure(self, action: str) -> None:
+        self._bump(self.failures, action)
+
+    def record_stall(self, action: str) -> None:
+        self._bump(self.stalls, action)
+
+    def record_retry(self, action: str) -> None:
+        self._bump(self.retries, action)
+
+    def record_abandon(self, action: str) -> None:
+        self._bump(self.abandoned, action)
+
+    def record_superseded(self, action: str) -> None:
+        self._bump(self.superseded, action)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def total(self, counter: Dict[str, int]) -> int:
+        return sum(counter.values())
+
+    @property
+    def total_attempts(self) -> int:
+        return self.total(self.attempts)
+
+    @property
+    def total_failures(self) -> int:
+        return self.total(self.failures)
+
+    @property
+    def total_abandoned(self) -> int:
+        return self.total(self.abandoned)
+
+    def failure_rate(self, action: Optional[str] = None) -> float:
+        """Failures / attempts, overall or for one action type."""
+        if action is None:
+            attempts, failures = self.total_attempts, self.total_failures
+        else:
+            attempts = self.attempts.get(action, 0)
+            failures = self.failures.get(action, 0)
+        if attempts == 0:
+            return float("nan")
+        return failures / attempts
+
+    def mean_time_to_reconcile(self) -> float:
+        """Mean seconds from first attempt to success (multi-attempt only)."""
+        if not self.reconcile_times:
+            return float("nan")
+        return sum(self.reconcile_times) / len(self.reconcile_times)
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        """Plain-dict snapshot (JSON export, reports)."""
+        return {
+            "attempts": dict(self.attempts),
+            "successes": dict(self.successes),
+            "failures": dict(self.failures),
+            "stalls": dict(self.stalls),
+            "retries": dict(self.retries),
+            "abandoned": dict(self.abandoned),
+            "superseded": dict(self.superseded),
+        }
+
+
+@dataclass
 class CycleSample:
     """System state captured at the start of one control cycle."""
 
@@ -93,6 +196,9 @@ class MetricsRecorder:
     def __init__(self) -> None:
         self.cycles: List[CycleSample] = []
         self.completions: List[JobCompletionRecord] = []
+        #: Fallible-actuator accounting (all zeros when fault injection
+        #: is off — the default).
+        self.faults = ActionFaultStats()
 
     # ------------------------------------------------------------------
     # Recording

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.placement import PlacementState
 from repro.errors import ConfigurationError, ModelError
+from repro.sim.metrics import ActionFaultStats
 from repro.txn.application import TransactionalApp
 from repro.txn.model import TransactionalWorkloadModel
 from repro.txn.profiler import UtilizationSample, WorkProfiler
@@ -190,6 +191,92 @@ class MonitoredTransactionalModel(TransactionalWorkloadModel):
             .utility(allocations.get(app.app_id, 0.0))
             for app in self.apps
         }
+
+
+@dataclass(frozen=True)
+class ActuatorHealthReport:
+    """One judgement of the actuation path's health."""
+
+    healthy: bool
+    #: Failure rate per action type (failures / attempts).
+    failure_rates: Dict[str, float]
+    #: Action types whose failure rate crossed the threshold.
+    unhealthy_actions: List[str]
+    #: Actions given up after exhausting retries.
+    abandoned: int
+    #: Mean seconds from first attempt to eventual success
+    #: (NaN when every action succeeded first try).
+    mean_time_to_reconcile: float
+
+    def render(self) -> str:
+        status = "healthy" if self.healthy else "DEGRADED"
+        parts = [f"actuator {status}"]
+        for action in sorted(self.failure_rates):
+            rate = self.failure_rates[action]
+            flag = " !" if action in self.unhealthy_actions else ""
+            parts.append(f"{action}={rate:.0%}{flag}")
+        if self.abandoned:
+            parts.append(f"abandoned={self.abandoned}")
+        return " ".join(parts)
+
+
+class ActuatorHealthMonitor:
+    """Judges actuator health from the fallible-action counters.
+
+    Operators care about one question: is the actuation path keeping up
+    (failures are transient and retries absorb them) or degrading
+    (abandonments accumulate, reconciliation lags)?  This monitor reduces
+    :class:`~repro.sim.metrics.ActionFaultStats` to that judgement.
+
+    The actuator is *degraded* when any action type's failure rate
+    crosses ``failure_rate_threshold`` (rates are only trusted once the
+    action has ``min_attempts`` attempts) or when more than
+    ``max_abandoned`` actions have been given up entirely.
+    """
+
+    def __init__(
+        self,
+        stats: "ActionFaultStats",
+        failure_rate_threshold: float = 0.5,
+        min_attempts: int = 5,
+        max_abandoned: int = 0,
+    ) -> None:
+        if not 0.0 < failure_rate_threshold <= 1.0:
+            raise ConfigurationError(
+                f"failure rate threshold must be in (0, 1], "
+                f"got {failure_rate_threshold}"
+            )
+        if min_attempts < 1:
+            raise ConfigurationError(
+                f"min attempts must be >= 1, got {min_attempts}"
+            )
+        if max_abandoned < 0:
+            raise ConfigurationError(
+                f"max abandoned must be >= 0, got {max_abandoned}"
+            )
+        self._stats = stats
+        self._threshold = failure_rate_threshold
+        self._min_attempts = min_attempts
+        self._max_abandoned = max_abandoned
+
+    def report(self) -> ActuatorHealthReport:
+        stats = self._stats
+        rates: Dict[str, float] = {}
+        unhealthy: List[str] = []
+        for action, attempts in sorted(stats.attempts.items()):
+            rate = stats.failure_rate(action)
+            rates[action] = rate
+            if attempts >= self._min_attempts and rate > self._threshold:
+                unhealthy.append(action)
+        abandoned = stats.total_abandoned
+        healthy = not unhealthy and abandoned <= self._max_abandoned
+        return ActuatorHealthReport(
+            healthy=healthy,
+            failure_rates=rates,
+            unhealthy_actions=unhealthy,
+            abandoned=abandoned,
+            mean_time_to_reconcile=stats.mean_time_to_reconcile(),
+        )
 
 
 class MonitoringPolicyWrapper:

@@ -67,6 +67,29 @@ def _build_batch_state(
     return state
 
 
+class ScriptedPolicy:
+    """Replays a scripted sequence of placement decisions.
+
+    A deterministic harness for tests and examples: control cycle ``i``
+    calls ``steps[i](current, now)``; once the script is exhausted the
+    policy echoes the current placement (an identity decision), which —
+    combined with the fault-injection extension — means "accept whatever
+    the cluster actually looks like".
+    """
+
+    def __init__(self, steps: Sequence) -> None:
+        self.name = "Scripted"
+        self._steps = list(steps)
+        self._next = 0
+
+    def decide(self, current: PlacementState, now: float) -> PlacementState:
+        if self._next < len(self._steps):
+            step = self._steps[self._next]
+            self._next += 1
+            return step(current, now)
+        return current.copy()
+
+
 class FCFSPolicy:
     """First-Come First-Served, non-preemptive, first-fit (§5.2)."""
 

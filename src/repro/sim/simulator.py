@@ -34,19 +34,29 @@ from repro.batch.model import BatchWorkloadModel
 from repro.batch.queue import JobQueue
 from repro.cluster import Cluster
 from repro.core.placement import PlacementState
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import (
+    ActionFailedError,
+    CapacityError,
+    ConfigurationError,
+    PlacementError,
+    SimulationError,
+)
 from repro.sim.engine import (
     EventQueue,
     PRIORITY_ARRIVAL,
     PRIORITY_COMPLETION,
     PRIORITY_CYCLE,
+    ScheduledEvent,
 )
 from repro.sim.metrics import CycleSample, MetricsRecorder
 from repro.sim.policies import PlacementPolicy
+from repro.sim.reconcile import Decision, Directive, PendingAction, Reconciler
 from repro.sim.trace import SimulationTrace, TraceEventKind
 from repro.txn.application import TransactionalApp
 from repro.units import EPSILON
+from repro.virt.actions import ActionType, CHANGE_ACTIONS
 from repro.virt.costs import PAPER_COST_MODEL, VirtualizationCostModel
+from repro.virt.faults import ActionFaultModel, RetryPolicy
 
 
 @dataclass
@@ -67,6 +77,18 @@ class SimulationConfig:
         controller's working set small (metrics keep their own records).
     failures:
         Injected node outages (failure-injection extension).
+    fault_model:
+        Per-action fault injection
+        (:class:`~repro.virt.faults.ActionFaultModel`).  ``None`` (the
+        default) keeps the classic infallible actuator: no RNG is ever
+        consulted and results are bit-identical to a build without the
+        extension.
+    retry_policy:
+        Backoff schedule for re-issuing failed actions (only consulted
+        when a fault model is active).
+    action_timeout:
+        Patience for stalled actions (s): a stall exceeding this is
+        detected as a failure when the timeout event fires.
     """
 
     cycle_length: float = 600.0
@@ -74,6 +96,9 @@ class SimulationConfig:
     cost_model: VirtualizationCostModel = field(default_factory=lambda: PAPER_COST_MODEL)
     prune_completed: bool = True
     failures: Sequence["NodeFailure"] = ()
+    fault_model: Optional[ActionFaultModel] = None
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    action_timeout: float = 120.0
 
     def __post_init__(self) -> None:
         if self.cycle_length <= 0:
@@ -82,6 +107,10 @@ class SimulationConfig:
             )
         if self.max_time is not None and self.max_time <= 0:
             raise ConfigurationError(f"max time must be positive, got {self.max_time}")
+        if self.action_timeout <= 0:
+            raise ConfigurationError(
+                f"action timeout must be positive, got {self.action_timeout}"
+            )
         self.failures = tuple(self.failures)
 
 
@@ -118,6 +147,8 @@ _COMPLETION = "completion"
 _STAGE = "stage"
 _FAIL = "fail"
 _RESTORE = "restore"
+_RETRY = "retry"
+_STALL_TIMEOUT = "stall-timeout"
 
 
 class MixedWorkloadSimulator:
@@ -151,6 +182,20 @@ class MixedWorkloadSimulator:
         self._pending_arrival: Optional[Job] = None
         self._arrivals_done = False
         self._cycle_end = 0.0
+        #: Live in-cycle progress event per job, so mid-cycle
+        #: reconfigurations (the fallible-actuator extension) can
+        #: invalidate a completion computed under a superseded speed.
+        self._progress_events: Dict[str, ScheduledEvent] = {}
+        #: Overlapping-outage reference counts per node: a node is
+        #: available again only when every outage window covering it
+        #: has ended.
+        self._down_count: Dict[str, int] = {}
+        #: Reconciliation loop for fallible placement actions (built at
+        #: run time iff the config carries an active fault model).
+        self._reconciler: Optional[Reconciler] = None
+        #: Placement changes committed by mid-cycle retries, credited to
+        #: the next cycle sample.
+        self._deferred_changes = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -167,6 +212,16 @@ class MixedWorkloadSimulator:
     def run(self) -> MetricsRecorder:
         """Run to completion and return the metrics recorder."""
         events = EventQueue()
+        fault_model = self._config.fault_model
+        if fault_model is not None and fault_model.enabled:
+            # A fresh sampler per run: re-running the same configuration
+            # replays the same seeded fault/jitter stream.
+            self._reconciler = Reconciler(
+                fault_model.sampler(),
+                self._config.retry_policy,
+                self._config.action_timeout,
+                self.metrics.faults,
+            )
         self._schedule_next_arrival(events, 0.0)
         for failure in self._config.failures:
             if failure.node not in self._cluster:
@@ -202,6 +257,10 @@ class MixedWorkloadSimulator:
                 self._fail_node(payload, now)
             elif kind == _RESTORE:
                 self._restore_node(payload, now)
+            elif kind == _RETRY:
+                self._retry_pending(payload, now, events)
+            elif kind == _STALL_TIMEOUT:
+                self._stall_timed_out(payload, now, events)
             elif kind == _CYCLE:
                 self._control_cycle(now, events)
             else:  # pragma: no cover - defensive
@@ -223,6 +282,7 @@ class MixedWorkloadSimulator:
         events.schedule(job.submit_time, (_ARRIVAL, job), priority=PRIORITY_ARRIVAL)
 
     def _complete_job(self, job_id: str, now: float) -> None:
+        self._progress_events.pop(job_id, None)  # this event just fired
         job = self._queue.job(job_id)
         if job.status is not JobStatus.RUNNING:
             return  # stale event that escaped cancellation
@@ -258,7 +318,13 @@ class MixedWorkloadSimulator:
         Evictions happen *before* the node is marked unavailable — the
         capacity bookkeeping must still see the node's real capacity
         while allocations are being released.
+
+        Outage windows may overlap (or abut): a reference count per node
+        tracks how many windows currently cover it, and the node comes
+        back only when the *last* one ends.  For an already-down node
+        the eviction sweep below is naturally a no-op.
         """
+        self._down_count[failure.node] = self._down_count.get(failure.node, 0) + 1
         node = self._cluster.node(failure.node)
         for app_id in list(self._state.apps_on(failure.node)):
             count = self._state.instances(app_id).get(failure.node, 0)
@@ -306,6 +372,10 @@ class MixedWorkloadSimulator:
             )
 
     def _restore_node(self, node_name: str, now: float) -> None:
+        remaining = self._down_count.get(node_name, 1) - 1
+        self._down_count[node_name] = remaining
+        if remaining > 0:
+            return  # another outage window still covers this node
         self._cluster.node(node_name).available = True
         if self.trace is not None:
             self.trace.emit(
@@ -320,22 +390,29 @@ class MixedWorkloadSimulator:
         own ``ω^max``).  The next event is whichever comes first of the
         stage boundary and the completion, if it lands inside the cycle.
         """
+        self._cancel_progress(job.job_id)
         speed = self._speeds.get(job.job_id)
         if speed is None or speed <= EPSILON:
             return
         if job.profile.is_last_stage(job.cpu_consumed):
             completion = start + job.remaining_work / speed
             if completion <= self._cycle_end + EPSILON:
-                events.schedule(
+                self._progress_events[job.job_id] = events.schedule(
                     completion, (_COMPLETION, job.job_id),
                     priority=PRIORITY_COMPLETION,
                 )
             return
         boundary = start + job.profile.work_to_stage_end(job.cpu_consumed) / speed
         if boundary <= self._cycle_end + EPSILON:
-            events.schedule(
+            self._progress_events[job.job_id] = events.schedule(
                 boundary, (_STAGE, job.job_id), priority=PRIORITY_COMPLETION
             )
+
+    def _cancel_progress(self, job_id: str) -> None:
+        """Invalidate the job's pending in-cycle progress event, if any."""
+        handle = self._progress_events.pop(job_id, None)
+        if handle is not None:
+            handle.cancel()
 
     def _cross_stage_boundary(
         self, job_id: str, now: float, events: EventQueue
@@ -343,6 +420,7 @@ class MixedWorkloadSimulator:
         """The job finished a stage mid-cycle: re-apply the new stage's
         speed cap (the allocation itself only changes at control points)
         and schedule the next progress event."""
+        self._progress_events.pop(job_id, None)  # this event just fired
         job = self._queue.job(job_id)
         if job.status is not JobStatus.RUNNING:
             return  # reconfigured away before the boundary
@@ -357,6 +435,10 @@ class MixedWorkloadSimulator:
         self._schedule_progress(job, now, events)
 
     def _control_cycle(self, now: float, events: EventQueue) -> None:
+        # 0. Settle in-flight fallible actions: the new cycle supersedes
+        #    pending retries/stalls and plans from the *actual* placement.
+        self._resolve_in_flight(now)
+
         # 1. Bring all running jobs' progress up to date.
         for job in self._queue.running():
             self._advance_job(job, now)
@@ -366,16 +448,30 @@ class MixedWorkloadSimulator:
         new_state = self._policy.decide(self._state, now)
         decision_seconds = _wallclock.perf_counter() - t0
 
-        # 3. Apply the placement diff as VM control actions.
-        changes, delays = self._apply_placement(new_state, now)
+        # 3. Apply the placement diff as VM control actions.  With a
+        #    fault model active, each action may fail or stall; the
+        #    *effective* state patches failures out of the desired one.
+        if self._reconciler is not None:
+            changes, delays, effective = self._apply_placement_fallible(
+                new_state, now, events
+            )
+        else:
+            changes, delays = self._apply_placement(new_state, now)
+            effective = new_state
+        changes += self._deferred_changes
+        self._deferred_changes = 0
 
         # 4. Refresh execution speeds and schedule in-cycle progress
-        #    events (stage boundaries and completions).
+        #    events (stage boundaries and completions).  Jobs frozen by
+        #    a stalled action do not execute until it resolves.
         self._cycle_end = now + self._config.cycle_length
         self._speeds = {}
-        self._state = new_state
+        self._state = effective
+        frozen = self._frozen_apps()
         for job in self._queue.running():
-            allocated = new_state.cpu_of(job.job_id)
+            if job.job_id in frozen:
+                continue
+            allocated = effective.cpu_of(job.job_id)
             speed = min(allocated, job.max_speed)
             if speed <= EPSILON:
                 continue
@@ -385,7 +481,7 @@ class MixedWorkloadSimulator:
             self._schedule_progress(job, start, events)
 
         # 5. Record the cycle sample.
-        self._record_cycle(new_state, now, changes, decision_seconds)
+        self._record_cycle(effective, now, changes, decision_seconds)
         if self.trace is not None:
             self.trace.emit(
                 now, TraceEventKind.CYCLE, "controller",
@@ -499,6 +595,468 @@ class MixedWorkloadSimulator:
                 if job.node not in new_set:
                     job.node = primary
         return changes, delays
+
+    # ------------------------------------------------------------------
+    # Fallible placement application (fault-injection extension)
+    # ------------------------------------------------------------------
+    def _frozen_apps(self) -> set:
+        """Apps frozen mid-action by a stalled attempt (no execution)."""
+        if self._reconciler is None:
+            return set()
+        return {
+            app_id
+            for app_id, pending in self._reconciler.pending.items()
+            if pending.holding
+        }
+
+    def _apply_placement_fallible(
+        self, new_state: PlacementState, now: float, events: EventQueue
+    ) -> Tuple[int, Dict[str, float], PlacementState]:
+        """Like :meth:`_apply_placement`, but every action attempt is
+        sampled against the fault model.
+
+        Returns ``(change_count, per-job delays, effective state)``.  The
+        effective state starts as a copy of the desired one and is
+        patched for every failed action: the instance goes back exactly
+        where it was, so capacity is never double-counted and the next
+        cycle's policy plans from what the cluster actually looks like.
+        """
+        costs = self._config.cost_model
+        changes = 0
+        delays: Dict[str, float] = {}
+        actual = new_state.copy()
+        for job in self._queue.incomplete():
+            old_set = set(self._state.nodes_of(job.job_id))
+            new_set = set(new_state.nodes_of(job.job_id))
+
+            # Classification mirrors _apply_placement exactly.
+            if not new_set:
+                if job.status is not JobStatus.RUNNING:
+                    continue
+                action = ActionType.SUSPEND
+                base = costs.suspend_cost(job.memory_mb)
+            elif job.status is JobStatus.NOT_STARTED:
+                action = ActionType.BOOT
+                base = costs.boot_cost(job.memory_mb)
+            elif job.status is JobStatus.SUSPENDED:
+                if job.node in new_set:
+                    action = ActionType.RESUME
+                    base = costs.resume_cost(job.memory_mb)
+                else:
+                    action = ActionType.MIGRATE
+                    base = costs.migrate_cost(job.memory_mb) + costs.resume_cost(
+                        job.memory_mb
+                    )
+            elif job.status is JobStatus.RUNNING and old_set and old_set - new_set:
+                action = ActionType.MIGRATE
+                base = costs.migrate_cost(job.memory_mb)
+            else:
+                # Pure growth (or no-op): dispatch, never a fallible action.
+                if new_set and job.node not in new_set:
+                    job.node = sorted(new_set)[0]
+                continue
+
+            pending = PendingAction(
+                action=action,
+                app_id=job.job_id,
+                dest_nodes={
+                    n: new_state.instances(job.job_id).get(n, 0) for n in new_set
+                },
+                dest_cpu={n: new_state.cpu_on(job.job_id, n) for n in new_set},
+                prior_nodes={
+                    n: self._state.instances(job.job_id).get(n, 0) for n in old_set
+                },
+                prior_cpu={n: self._state.cpu_on(job.job_id, n) for n in old_set},
+                prior_status=job.status,
+                prior_node_attr=job.node,
+                memory_mb=job.memory_mb,
+                base_delay=base,
+                issued_at=now,
+            )
+            directive = self._reconciler.attempt(pending, now)
+            if directive.decision is Decision.COMMIT:
+                self._commit_transition(
+                    job, pending, now, pending.base_delay + directive.extra_delay,
+                    delays,
+                )
+                if action in CHANGE_ACTIONS:
+                    changes += 1
+            elif directive.decision is Decision.STALL:
+                self._begin_stall(pending, job, directive, now, events)
+            else:
+                # Failed outright: the instance stays where it was.
+                self._emit_fault(
+                    TraceEventKind.ACTION_FAILED, pending, now, reason="fault"
+                )
+                if not self._revert_in(actual, job, pending, now):
+                    changes += 1  # degraded to a forced suspension
+                self._dispatch_followup(pending, directive, now, events)
+        return changes, delays, actual
+
+    def _commit_transition(
+        self,
+        job: Job,
+        pending: PendingAction,
+        now: float,
+        delay: float,
+        delays: Dict[str, float],
+    ) -> None:
+        """Apply the job-state effects of a successfully committed action
+        (the placement itself is already in the target state)."""
+        action = pending.action
+        if action is ActionType.SUSPEND:
+            job.status = JobStatus.SUSPENDED
+            job.suspend_count += 1
+            self._speeds.pop(job.job_id, None)
+            self._run_since.pop(job.job_id, None)
+            self._cancel_progress(job.job_id)
+            if self.trace is not None:
+                self.trace.emit(
+                    now, TraceEventKind.SUSPEND, job.job_id, node=job.node
+                )
+            return
+        primary = pending.primary_node
+        delays[job.job_id] = delay
+        if action is ActionType.BOOT:
+            job.status = JobStatus.RUNNING
+            job.start_time = now
+            job.node = primary
+            if self.trace is not None:
+                self.trace.emit(
+                    now, TraceEventKind.BOOT, job.job_id, node=primary,
+                    delay=round(delay, 2),
+                )
+        elif action is ActionType.RESUME:
+            job.resume_count += 1
+            job.status = JobStatus.RUNNING
+            if self.trace is not None:
+                self.trace.emit(
+                    now, TraceEventKind.RESUME, job.job_id, node=job.node,
+                    delay=round(delay, 2),
+                )
+        elif pending.prior_status is JobStatus.SUSPENDED:
+            # Migrate + resume of a suspended instance.
+            job.migration_count += 1
+            job.status = JobStatus.RUNNING
+            if self.trace is not None:
+                self.trace.emit(
+                    now, TraceEventKind.MIGRATE, job.job_id,
+                    source=job.node, node=primary, delay=round(delay, 2),
+                )
+            job.node = primary
+        else:
+            # Live migration of a running instance.
+            job.migration_count += 1
+            if self.trace is not None:
+                source = (
+                    sorted(pending.prior_nodes)[0]
+                    if pending.prior_nodes else job.node
+                )
+                self.trace.emit(
+                    now, TraceEventKind.MIGRATE, job.job_id,
+                    source=source, node=primary, delay=round(delay, 2),
+                )
+            if job.node not in pending.dest_nodes:
+                job.node = primary
+
+    def _revert_in(
+        self,
+        state: PlacementState,
+        job: Job,
+        pending: PendingAction,
+        now: float,
+    ) -> bool:
+        """Put the instance back where it was before the failed action.
+
+        Mutates ``state``: removes whatever the action claimed at the
+        destination and restores the prior placement and CPU shares.
+        Returns ``False`` when the fallback slot has meanwhile been given
+        away (or its node died) and the job had to be force-suspended
+        instead — progress is kept, and the next cycle re-plans it.
+        """
+        app_id = job.job_id
+        for node in sorted(pending.dest_nodes):
+            have = state.instances(app_id).get(node, 0)
+            if have:
+                state.remove(app_id, node, min(have, pending.dest_nodes[node]))
+        placed = []
+        try:
+            for node in sorted(pending.prior_nodes):
+                count = pending.prior_nodes[node]
+                if count <= 0:
+                    continue
+                if not self._cluster.node(node).available:
+                    raise CapacityError(f"fallback node {node} is down")
+                state.place(app_id, node, pending.memory_mb, count)
+                placed.append((node, count))
+        except (CapacityError, PlacementError):
+            for node, count in placed:
+                state.remove(app_id, node, count)
+            if pending.prior_status is JobStatus.RUNNING:
+                job.status = JobStatus.SUSPENDED
+                job.suspend_count += 1
+                self._speeds.pop(app_id, None)
+                self._run_since.pop(app_id, None)
+                self._cancel_progress(app_id)
+                if self.trace is not None:
+                    self.trace.emit(
+                        now, TraceEventKind.SUSPEND, app_id,
+                        node=pending.prior_node_attr, reason="fallback-lost",
+                    )
+            return False
+        for node in sorted(pending.prior_cpu):
+            cpu = pending.prior_cpu[node]
+            if cpu <= EPSILON:
+                continue
+            grant = min(cpu, state.cpu_available(node) + state.cpu_on(app_id, node))
+            state.set_cpu(app_id, node, grant)
+        return True
+
+    def _begin_stall(
+        self,
+        pending: PendingAction,
+        job: Job,
+        directive: Directive,
+        now: float,
+        events: EventQueue,
+    ) -> None:
+        """The action is in flight but not converging: the destination
+        resources stay claimed, the instance is frozen (it neither
+        executes nor fails) until the stall timeout fires."""
+        pending.holding = True
+        self._speeds.pop(job.job_id, None)
+        self._run_since.pop(job.job_id, None)
+        self._cancel_progress(job.job_id)
+        pending.event_handle = events.schedule(
+            directive.at, (_STALL_TIMEOUT, pending), priority=PRIORITY_ARRIVAL
+        )
+        self._emit_fault(
+            TraceEventKind.ACTION_STALLED, pending, now,
+            timeout_at=round(directive.at, 1),
+        )
+
+    def _dispatch_followup(
+        self,
+        pending: PendingAction,
+        directive: Directive,
+        now: float,
+        events: EventQueue,
+    ) -> None:
+        """Schedule (or close out) the aftermath of a failed attempt."""
+        if directive.decision is Decision.RETRY:
+            self._emit_fault(
+                TraceEventKind.ACTION_RETRIED, pending, now,
+                retry_at=round(directive.at, 1),
+            )
+            pending.event_handle = events.schedule(
+                directive.at, (_RETRY, pending), priority=PRIORITY_ARRIVAL
+            )
+        else:
+            self._emit_fault(TraceEventKind.ACTION_ABANDONED, pending, now)
+
+    def _retry_pending(
+        self, pending: PendingAction, now: float, events: EventQueue
+    ) -> None:
+        """A scheduled retry fired: re-attempt the action mid-cycle."""
+        rec = self._reconciler
+        if rec is None or rec.pending.get(pending.app_id) is not pending:
+            return  # superseded by a newer control cycle
+        pending.event_handle = None
+        job = (
+            self._queue.job(pending.app_id)
+            if pending.app_id in self._queue else None
+        )
+        if job is None or job.status is not pending.prior_status:
+            # The world changed under us (completion, node outage, ...):
+            # the retry no longer applies.
+            rec.supersede(pending, now)
+            return
+        directive = rec.attempt(pending, now)
+        if directive.decision is Decision.COMMIT:
+            self._commit_retry(pending, job, directive.extra_delay, now, events)
+        elif directive.decision is Decision.STALL:
+            try:
+                self._claim_destination(pending, job)
+            except ActionFailedError as exc:
+                self._destination_lost(pending, now, events, exc.reason)
+            else:
+                self._begin_stall(pending, job, directive, now, events)
+        else:
+            self._emit_fault(
+                TraceEventKind.ACTION_FAILED, pending, now, reason="fault"
+            )
+            self._dispatch_followup(pending, directive, now, events)
+
+    def _commit_retry(
+        self,
+        pending: PendingAction,
+        job: Job,
+        extra_delay: float,
+        now: float,
+        events: EventQueue,
+    ) -> None:
+        """A retried action finally succeeded: move the instance in the
+        live state and restart execution under the new placement."""
+        try:
+            self._claim_destination(pending, job)
+        except ActionFailedError as exc:
+            self._destination_lost(pending, now, events, exc.reason)
+            return
+        self._advance_job(job, now)  # credit progress made on the fallback
+        delays: Dict[str, float] = {}
+        self._commit_transition(
+            job, pending, now, pending.base_delay + extra_delay, delays
+        )
+        if pending.action in CHANGE_ACTIONS:
+            self._deferred_changes += 1
+        if job.status is not JobStatus.RUNNING:
+            return  # committed suspend: nothing left to schedule
+        speed = min(self._state.cpu_of(job.job_id), job.max_speed)
+        if speed <= EPSILON:
+            self._speeds.pop(job.job_id, None)
+            self._run_since.pop(job.job_id, None)
+            self._cancel_progress(job.job_id)
+            return
+        start = now + delays.get(job.job_id, 0.0)
+        self._speeds[job.job_id] = speed
+        self._run_since[job.job_id] = start
+        self._schedule_progress(job, start, events)
+
+    def _claim_destination(self, pending: PendingAction, job: Job) -> None:
+        """Move the instance from its fallback to the action's destination
+        in the live state.
+
+        On capacity loss (the slot was given away mid-backoff, or the
+        destination node died) everything is rolled back and
+        :class:`~repro.errors.ActionFailedError` is raised.
+        """
+        app_id = job.job_id
+        state = self._state
+        for node in sorted(pending.prior_nodes):
+            have = state.instances(app_id).get(node, 0)
+            if have:
+                state.remove(app_id, node, min(have, pending.prior_nodes[node]))
+        placed = []
+        try:
+            for node in sorted(pending.dest_nodes):
+                count = pending.dest_nodes[node]
+                if count <= 0:
+                    continue
+                if not self._cluster.node(node).available:
+                    raise CapacityError(f"destination node {node} is down")
+                state.place(app_id, node, pending.memory_mb, count)
+                placed.append((node, count))
+        except (CapacityError, PlacementError) as exc:
+            for node, count in placed:
+                state.remove(app_id, node, count)
+            # Re-place the fallback we just released; it must fit because
+            # we freed exactly those slots a moment ago.
+            for node in sorted(pending.prior_nodes):
+                count = pending.prior_nodes[node]
+                if count > 0:
+                    state.place(app_id, node, pending.memory_mb, count)
+            for node in sorted(pending.prior_cpu):
+                cpu = pending.prior_cpu[node]
+                if cpu > EPSILON:
+                    grant = min(
+                        cpu,
+                        state.cpu_available(node) + state.cpu_on(app_id, node),
+                    )
+                    state.set_cpu(app_id, node, grant)
+            raise ActionFailedError(
+                pending.action_name, app_id, pending.target_node, str(exc)
+            ) from exc
+        for node in sorted(pending.dest_cpu):
+            cpu = pending.dest_cpu[node]
+            if cpu <= EPSILON:
+                continue
+            grant = min(cpu, state.cpu_available(node) + state.cpu_on(app_id, node))
+            state.set_cpu(app_id, node, grant)
+
+    def _destination_lost(
+        self,
+        pending: PendingAction,
+        now: float,
+        events: EventQueue,
+        reason: str,
+    ) -> None:
+        """An attempt sampled OK but its destination could not actually be
+        claimed (capacity gone, node down): treat it as one more failure."""
+        directive = self._reconciler.force_failure(pending, now)
+        self._emit_fault(
+            TraceEventKind.ACTION_FAILED, pending, now,
+            reason=f"destination-lost: {reason}",
+        )
+        self._dispatch_followup(pending, directive, now, events)
+
+    def _stall_timed_out(
+        self, pending: PendingAction, now: float, events: EventQueue
+    ) -> None:
+        """A stalled action exceeded the timeout: release the destination,
+        put the instance back, and retry or abandon."""
+        rec = self._reconciler
+        if rec is None or rec.pending.get(pending.app_id) is not pending:
+            return  # superseded by a newer control cycle
+        pending.event_handle = None
+        pending.holding = False
+        job = (
+            self._queue.job(pending.app_id)
+            if pending.app_id in self._queue else None
+        )
+        if job is None or job.status is not pending.prior_status:
+            rec.supersede(pending, now)
+            return
+        directive = rec.on_stall_timeout(pending, now)
+        self._emit_fault(
+            TraceEventKind.ACTION_FAILED, pending, now, reason="stall-timeout"
+        )
+        reverted = self._revert_in(self._state, job, pending, now)
+        if reverted and job.status is JobStatus.RUNNING:
+            # Resume execution on the fallback nodes while waiting.
+            speed = min(self._state.cpu_of(job.job_id), job.max_speed)
+            if speed > EPSILON:
+                self._speeds[job.job_id] = speed
+                self._run_since[job.job_id] = now
+                self._schedule_progress(job, now, events)
+        self._dispatch_followup(pending, directive, now, events)
+
+    def _resolve_in_flight(self, now: float) -> None:
+        """A new control cycle starts: cancel every pending retry/stall
+        and settle their resources so the policy plans from the actual
+        placement (in-flight actions are *superseded*, not failed)."""
+        rec = self._reconciler
+        if rec is None or not rec.pending:
+            return
+        for pending in list(rec.pending.values()):
+            if pending.event_handle is not None:
+                pending.event_handle.cancel()
+                pending.event_handle = None
+            if pending.holding:
+                pending.holding = False
+                job = (
+                    self._queue.job(pending.app_id)
+                    if pending.app_id in self._queue else None
+                )
+                if job is not None and job.status is pending.prior_status:
+                    self._revert_in(self._state, job, pending, now)
+            rec.supersede(pending, now)
+
+    def _emit_fault(
+        self,
+        kind: TraceEventKind,
+        pending: PendingAction,
+        now: float,
+        **detail: object,
+    ) -> None:
+        if self.trace is None:
+            return
+        self.trace.emit(
+            now, kind, pending.app_id,
+            action=pending.action_name,
+            attempt=pending.attempts,
+            node=pending.target_node,
+            **detail,
+        )
 
     # ------------------------------------------------------------------
     # Metrics

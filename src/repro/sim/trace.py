@@ -26,6 +26,13 @@ class TraceEventKind(enum.Enum):
     MIGRATE = "migrate"
     COMPLETION = "completion"
     CYCLE = "cycle"
+    #: Fallible-actuator events (fault-injection extension): an action
+    #: attempt failed, a retry was scheduled, a stalled action is holding
+    #: resources, or the reconciler gave up on the action entirely.
+    ACTION_FAILED = "action_failed"
+    ACTION_RETRIED = "action_retried"
+    ACTION_STALLED = "action_stalled"
+    ACTION_ABANDONED = "action_abandoned"
 
 
 @dataclass(frozen=True)

@@ -23,6 +23,13 @@ from repro.virt.actions import (
     diff_placements,
 )
 from repro.virt.container import Container, ContainerState
+from repro.virt.faults import (
+    ActionFaultModel,
+    FaultOutcome,
+    FaultSampler,
+    FaultSpec,
+    RetryPolicy,
+)
 
 __all__ = [
     "VirtualizationCostModel",
@@ -33,4 +40,9 @@ __all__ = [
     "diff_placements",
     "Container",
     "ContainerState",
+    "ActionFaultModel",
+    "FaultOutcome",
+    "FaultSampler",
+    "FaultSpec",
+    "RetryPolicy",
 ]

@@ -14,6 +14,7 @@ from repro.sim.simulator import (
     NodeFailure,
     SimulationConfig,
 )
+from repro.sim.trace import SimulationTrace, TraceEventKind
 from repro.txn.application import TransactionalApp
 from repro.txn.workload import ConstantTrace
 from repro.virt.costs import FREE_COST_MODEL
@@ -21,7 +22,7 @@ from repro.virt.costs import FREE_COST_MODEL
 from tests.conftest import make_job
 
 
-def run_sim(jobs, failures, policy_name="APC", nodes=2, cycle=10.0):
+def run_sim(jobs, failures, policy_name="APC", nodes=2, cycle=10.0, trace=None):
     cluster = Cluster.homogeneous(nodes, cpu_capacity=1000, memory_capacity=2000)
     queue = JobQueue()
     batch = BatchWorkloadModel(queue)
@@ -39,8 +40,16 @@ def run_sim(jobs, failures, policy_name="APC", nodes=2, cycle=10.0):
         config=SimulationConfig(
             cycle_length=cycle, cost_model=FREE_COST_MODEL, failures=failures
         ),
+        trace=trace,
     )
     return sim, sim.run()
+
+
+def node_restores(trace, node):
+    return trace.events(
+        kinds=[TraceEventKind.RESUME], subject=node,
+        predicate=lambda e: e.detail.get("event") == "node-restore",
+    )
 
 
 class TestNodeFailureValidation:
@@ -127,6 +136,71 @@ class TestCrashSemantics:
         assert cluster.total_cpu_capacity == 1000.0
         node.available = True
         assert node.cpu_capacity == 1000.0
+
+
+class TestOverlappingOutageWindows:
+    def test_nested_window_end_does_not_restore_node(self):
+        # Outer window covers t=5..19; a nested one covers t=6..9.  The
+        # nested window ending must NOT bring the node back at t=9 — the
+        # job can only restart at the t=20 cycle (first after t=19).
+        job = make_job("j", work=5000, max_speed=500, memory=750,
+                       submit=0.0, goal_factor=40)
+        failures = [
+            NodeFailure("node0", fail_time=5.0, duration=14.0),
+            NodeFailure("node0", fail_time=6.0, duration=3.0),
+        ]
+        trace = SimulationTrace()
+        sim, metrics = run_sim([job], failures, nodes=1, trace=trace)
+        record = metrics.completions[0]
+        assert record.completion_time == pytest.approx(30.0)
+        assert sim.state.cluster.node("node0").available
+        # Exactly one restore, when the *last* window ends.
+        assert [e.time for e in node_restores(trace, "node0")] == [19.0]
+
+    def test_back_to_back_windows_keep_node_down(self):
+        # Two abutting windows: 5..10 and 10..15.  The restore of the
+        # first and the failure of the second coincide at t=10; the node
+        # must still be down for the t=10 control cycle, so the job
+        # restarts only at t=20.
+        job = make_job("j", work=5000, max_speed=500, memory=750,
+                       submit=0.0, goal_factor=40)
+        failures = [
+            NodeFailure("node0", fail_time=5.0, duration=5.0),
+            NodeFailure("node0", fail_time=10.0, duration=5.0),
+        ]
+        sim, metrics = run_sim([job], failures, nodes=1)
+        assert metrics.completions[0].completion_time == pytest.approx(30.0)
+        assert sim.state.cluster.node("node0").available
+
+    def test_back_to_back_windows_order_independent(self):
+        # Same two windows listed in reverse order: the second failure's
+        # event then fires *before* the first's restore at t=10 and the
+        # reference count alone keeps the node down.
+        job = make_job("j", work=5000, max_speed=500, memory=750,
+                       submit=0.0, goal_factor=40)
+        failures = [
+            NodeFailure("node0", fail_time=10.0, duration=5.0),
+            NodeFailure("node0", fail_time=5.0, duration=5.0),
+        ]
+        trace = SimulationTrace()
+        sim, metrics = run_sim([job], failures, nodes=1, trace=trace)
+        assert metrics.completions[0].completion_time == pytest.approx(30.0)
+        # The t=10 restore is swallowed by the still-open second window.
+        assert [e.time for e in node_restores(trace, "node0")] == [15.0]
+
+    def test_identical_duplicate_windows(self):
+        job = make_job("j", work=5000, max_speed=500, memory=750,
+                       submit=0.0, goal_factor=40)
+        failures = [
+            NodeFailure("node0", fail_time=5.0, duration=4.0),
+            NodeFailure("node0", fail_time=5.0, duration=4.0),
+        ]
+        trace = SimulationTrace()
+        sim, metrics = run_sim([job], failures, nodes=1, trace=trace)
+        # Identical to the single-window crash test: restart at t=10.
+        assert metrics.completions[0].completion_time == pytest.approx(20.0)
+        assert [e.time for e in node_restores(trace, "node0")] == [9.0]
+        assert sim.state.cluster.node("node0").available
 
 
 class TestPartitionedPolicyUnderFailure:

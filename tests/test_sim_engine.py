@@ -92,3 +92,92 @@ class TestEventQueue:
             q.schedule(t, t)
         popped = [q.pop()[0] for _ in range(len(times))]
         assert popped == sorted(popped)
+
+
+class TestCancellationBookkeeping:
+    """The O(1) live-counter and lazy-compaction machinery."""
+
+    def test_double_cancel_is_idempotent(self):
+        q = EventQueue()
+        h = q.schedule(1.0, "x")
+        q.schedule(2.0, "y")
+        h.cancel()
+        h.cancel()
+        assert len(q) == 1
+        assert q.pop() == (2.0, "y")
+        assert len(q) == 0
+
+    def test_cancel_after_pop_is_a_noop(self):
+        q = EventQueue()
+        h = q.schedule(1.0, "x")
+        q.schedule(2.0, "y")
+        assert q.pop() == (1.0, "x")
+        h.cancel()  # already delivered; must not corrupt the live count
+        assert len(q) == 1 and q
+        assert q.pop() == (2.0, "y")
+
+    def test_len_is_counter_not_scan(self):
+        q = EventQueue()
+        handles = [q.schedule(float(i), i) for i in range(10)]
+        assert len(q) == 10
+        for h in handles[::2]:
+            h.cancel()
+        assert len(q) == 5
+        assert [q.pop()[1] for _ in range(5)] == [1, 3, 5, 7, 9]
+        assert not q
+
+    def test_compaction_purges_dead_entries(self):
+        q = EventQueue()
+        handles = [q.schedule(float(i), i) for i in range(20)]
+        # Cancel 11 of 20: the moment dead (11) exceeds live (9) the heap
+        # is rebuilt without the cancelled entries.
+        for h in handles[:11]:
+            h.cancel()
+        assert len(q._heap) == 9
+        assert q._dead == 0
+        assert len(q) == 9
+        assert [q.pop()[1] for _ in range(9)] == list(range(11, 20))
+
+    def test_compaction_preserves_fifo_tie_break(self):
+        q = EventQueue()
+        keep = [q.schedule(1.0, f"keep{i}") for i in range(3)]
+        doomed = [q.schedule(1.0, f"dead{i}") for i in range(7)]
+        for h in doomed:
+            h.cancel()  # compaction fires as soon as dead > live
+        assert len(q) == 3
+        assert len(q._heap) < len(keep) + len(doomed)  # dead entries purged
+        assert [q.pop()[1] for _ in range(3)] == ["keep0", "keep1", "keep2"]
+        assert all(h._queue is None for h in keep)
+
+    def test_peek_then_pop_after_head_cancellations(self):
+        q = EventQueue()
+        a = q.schedule(1.0, "a")
+        b = q.schedule(2.0, "b")
+        q.schedule(3.0, "c")
+        a.cancel()
+        b.cancel()
+        assert q.peek_time() == 3.0
+        assert len(q) == 1
+        assert q.pop() == (3.0, "c")
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.floats(min_value=0, max_value=100), st.booleans()),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=100)
+    def test_counter_matches_live_set_under_random_cancels(self, ops):
+        q = EventQueue()
+        live = []
+        for time, doomed in ops:
+            h = q.schedule(time, time)
+            if doomed:
+                h.cancel()
+            else:
+                live.append(time)
+        assert len(q) == len(live)
+        popped = [q.pop()[0] for _ in range(len(q))]
+        assert popped == sorted(live)
+        assert not q
