@@ -16,11 +16,29 @@ from repro.errors import SchedulingError
 
 
 class JobQueue:
-    """All jobs known to the scheduler, in submission order."""
+    """All jobs known to the scheduler, in submission order.
+
+    ``bind_registry`` attaches opt-in telemetry: submissions count into
+    ``repro_jobs_submitted_total`` and the queue's working-set size is
+    kept in the ``repro_queue_depth`` gauge (both no-ops by default).
+    """
 
     def __init__(self) -> None:
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []
+        self._c_submitted = None
+        self._g_depth = None
+
+    def bind_registry(self, registry) -> None:
+        """Publish queue telemetry into a
+        :class:`~repro.obs.registry.MetricRegistry`."""
+        self._c_submitted = registry.counter(
+            "repro_jobs_submitted_total", "Jobs submitted to the scheduler"
+        )
+        self._g_depth = registry.gauge(
+            "repro_queue_depth", "Jobs currently known to the scheduler"
+        )
+        self._g_depth.set(len(self._jobs))
 
     def submit(self, job: Job) -> None:
         """Register a newly submitted job."""
@@ -28,6 +46,9 @@ class JobQueue:
             raise SchedulingError(f"duplicate job id: {job.job_id!r}")
         self._jobs[job.job_id] = job
         self._order.append(job.job_id)
+        if self._c_submitted is not None:
+            self._c_submitted.inc()
+            self._g_depth.set(len(self._jobs))
 
     def job(self, job_id: str) -> Job:
         try:
@@ -107,4 +128,6 @@ class JobQueue:
         for job_id in completed_ids:
             dropped.append(self._jobs.pop(job_id))
             self._order.remove(job_id)
+        if self._g_depth is not None and dropped:
+            self._g_depth.set(len(self._jobs))
         return dropped

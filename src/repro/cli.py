@@ -7,6 +7,7 @@ Installed as the ``repro`` console script::
     repro exp2 --interarrivals 400 100 # Figures 3-5
     repro exp3 --chart                 # Figures 6-7
     repro ablations sampling           # design-choice studies
+    repro telemetry --jsonl t.jsonl    # span profile + registry + stream
 
 Every experiment subcommand accepts ``--scale`` (tiny/small/half/paper)
 and ``--seed``; series-producing ones accept ``--chart`` (render text
@@ -280,6 +281,101 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_telemetry(args) -> int:
+    """Run a scenario with the full telemetry layer attached and report
+    the per-cycle APC phase breakdown, registry dump, and JSONL stream."""
+    from repro.errors import ConfigurationError
+    from repro.experiments.experiment1 import run_experiment_one
+    from repro.obs import (
+        JsonlSink,
+        MetricRegistry,
+        SpanProfiler,
+        render_profile,
+        render_prometheus,
+        validate_jsonl,
+    )
+    from repro.sim.trace import SimulationTrace
+
+    scale = _resolve_scale(args)
+    profiler = SpanProfiler()
+    registry = MetricRegistry()
+    sink = None
+    if args.jsonl:
+        sink = JsonlSink(args.jsonl, scale=scale.name, seed=args.seed)
+    trace = SimulationTrace(sink=sink)
+
+    fault_model = None
+    if args.fail_prob > 0.0:
+        from repro.virt.actions import ActionType
+        from repro.virt.faults import ActionFaultModel, FaultSpec
+
+        try:
+            spec = FaultSpec(failure_probability=args.fail_prob)
+            fault_model = ActionFaultModel(
+                specs={a: spec for a in ActionType}, seed=args.seed
+            )
+        except ConfigurationError as exc:
+            print(f"invalid fault configuration: {exc}", file=sys.stderr)
+            return 2
+
+    result = run_experiment_one(
+        scale=scale,
+        seed=args.seed,
+        profiler=profiler,
+        registry=registry,
+        trace=trace,
+        fault_model=fault_model,
+    )
+    print(f"scale: {scale.name} ({scale.nodes} nodes, {scale.job_count} jobs)")
+    print(f"deadline satisfaction: {percent(result.deadline_satisfaction)}; "
+          f"placement changes: {result.placement_changes}")
+
+    def leaf_totals(bucket):
+        """Total seconds per phase (leaf span name), summed over paths."""
+        totals = {}
+        for path, stats in bucket.items():
+            leaf = path.rsplit("/", 1)[-1]
+            totals[leaf] = totals.get(leaf, 0.0) + stats.total
+        return totals
+
+    breakdowns = profiler.breakdowns("apc.place")
+    phases = ["apc.model_specs", "apc.loadbalance", "apc.predict",
+              "apc.objective", "apc.admission", "apc.search"]
+    shown = min(len(breakdowns), args.cycles)
+    print(f"\nper-cycle APC phase breakdown "
+          f"(first {shown} of {len(breakdowns)} cycles, ms):")
+    rows = []
+    for i, bucket in enumerate(breakdowns[:shown]):
+        totals = leaf_totals(bucket)
+        rows.append(
+            [i, f"{totals.get('apc.place', 0.0) * 1e3:.2f}"]
+            + [f"{totals.get(p, 0.0) * 1e3:.2f}" for p in phases]
+        )
+    print(format_table(
+        ["cycle", "total"] + [p.split(".", 1)[1] for p in phases], rows
+    ))
+
+    print("\naggregate span profile:")
+    print(render_profile(profiler))
+
+    trace_summary = trace.summary()
+    print(f"\ntrace: {trace_summary['retained_events']} events retained, "
+          f"{trace_summary['dropped_events']} dropped")
+
+    if args.registry:
+        print("\n# registry dump (Prometheus text exposition)")
+        print(render_prometheus(registry), end="")
+
+    if sink is not None:
+        for record in profiler.records:
+            sink.span(record.as_dict())
+        sink.metrics(registry.collect())
+        sink.close()
+        count = validate_jsonl(args.jsonl)
+        print(f"\n{count} schema-valid JSONL records written to {args.jsonl}")
+    return 0
+
+
 def cmd_ablations(args) -> int:
     from repro.experiments import ablations
 
@@ -402,6 +498,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="flakiness multiplier for one node (repeatable)",
     )
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "telemetry",
+        help="run a scenario with span profiling, metrics registry, and "
+             "JSONL streaming attached",
+    )
+    _add_common(p)
+    p.add_argument("--jsonl", metavar="PATH", default=None,
+                   help="stream events/spans/metrics to PATH as JSON lines")
+    p.add_argument("--registry", action="store_true",
+                   help="print the Prometheus text-exposition registry dump")
+    p.add_argument("--cycles", type=int, default=5,
+                   help="per-cycle breakdown rows to print (default 5)")
+    p.add_argument("--fail-prob", type=float, default=0.0,
+                   help="optional fault injection so action series are "
+                        "non-zero (per-attempt failure probability)")
+    p.set_defaults(func=cmd_telemetry)
 
     p = sub.add_parser("ablations", help="design-choice studies")
     _add_common(p)

@@ -56,6 +56,7 @@ from repro.core.objective import PlacementScore, UtilityVector
 from repro.core.placement import PlacementState
 from repro.core.workload import WorkloadModel
 from repro.errors import ConfigurationError, PlacementError
+from repro.obs.spans import NULL_SPAN, SpanProfiler
 from repro.units import EPSILON
 from repro.virt.actions import diff_placements
 
@@ -146,10 +147,12 @@ class ApplicationPlacementController:
         cluster: Cluster,
         config: Optional[APCConfig] = None,
         constraints: Optional[ConstraintSet] = None,
+        profiler: Optional[SpanProfiler] = None,
     ) -> None:
         self._cluster = cluster
         self._config = config or APCConfig()
         self._constraints = constraints or ConstraintSet()
+        self._profiler = profiler
 
     @property
     def config(self) -> APCConfig:
@@ -158,6 +161,16 @@ class ApplicationPlacementController:
     @property
     def constraints(self) -> ConstraintSet:
         return self._constraints
+
+    @property
+    def profiler(self) -> Optional[SpanProfiler]:
+        return self._profiler
+
+    def _span(self, name: str, **attrs: object):
+        """A profiler span, or the shared no-op when un-instrumented."""
+        if self._profiler is None:
+            return NULL_SPAN
+        return self._profiler.span(name, **attrs)
 
     # ------------------------------------------------------------------
     # Public entry point
@@ -172,9 +185,30 @@ class ApplicationPlacementController:
 
         ``current`` is the placement in effect; it is not mutated.  The
         returned state carries the new placement and load matrix.
+
+        With a :class:`~repro.obs.spans.SpanProfiler` attached, the whole
+        computation is one ``apc.place`` root span whose children break
+        the cycle's decision time into phases: model spec merging
+        (``apc.model_specs``), candidate evaluation (``apc.evaluate``,
+        itself split into the load-balancing solve ``apc.loadbalance``,
+        the workload models' hypothetical/RPF prediction ``apc.predict``,
+        and objective scoring ``apc.objective``), the greedy admission
+        pass (``apc.admission``), and the nested-loop search
+        (``apc.search``).  Un-instrumented, the spans are no-ops and the
+        computation is unchanged.
         """
-        specs = self._merge_specs(models, now)
-        candidates = self._merge_candidates(models, now)
+        with self._span("apc.place"):
+            return self._place_profiled(models, current, now)
+
+    def _place_profiled(
+        self,
+        models: Sequence[WorkloadModel],
+        current: PlacementState,
+        now: float,
+    ) -> APCResult:
+        with self._span("apc.model_specs"):
+            specs = self._merge_specs(models, now)
+            candidates = self._merge_candidates(models, now)
 
         state = current.copy()
         self._prune_vanished(state, specs)
@@ -189,25 +223,35 @@ class ApplicationPlacementController:
         ) -> Tuple[PlacementScore, Dict[str, float], Dict[str, float]]:
             nonlocal evaluations
             evaluations += 1
-            result = distribute_load(trial, specs)
-            utilities: Dict[str, float] = {}
-            for model in models:
-                utilities.update(
-                    model.evaluate(result.allocations, now, self._config.cycle_length)
-                )
-            removals, additions = diff_placements(baseline, trial.as_matrix())
-            churn = sum(c for _, _, c in removals) + sum(c for _, _, c in additions)
-            score = PlacementScore(
-                UtilityVector(
-                    utilities.values(),
-                    tolerance=(
-                        self._config.improvement_epsilon
-                        if tolerance is None
-                        else tolerance
-                    ),
-                ),
-                churn,
-            )
+            with self._span("apc.evaluate"):
+                with self._span("apc.loadbalance"):
+                    result = distribute_load(trial, specs)
+                utilities: Dict[str, float] = {}
+                with self._span("apc.predict"):
+                    for model in models:
+                        utilities.update(
+                            model.evaluate(
+                                result.allocations, now, self._config.cycle_length
+                            )
+                        )
+                with self._span("apc.objective"):
+                    removals, additions = diff_placements(
+                        baseline, trial.as_matrix()
+                    )
+                    churn = sum(c for _, _, c in removals) + sum(
+                        c for _, _, c in additions
+                    )
+                    score = PlacementScore(
+                        UtilityVector(
+                            utilities.values(),
+                            tolerance=(
+                                self._config.improvement_epsilon
+                                if tolerance is None
+                                else tolerance
+                            ),
+                        ),
+                        churn,
+                    )
             return score, utilities, result.allocations
 
         best_state = state
@@ -218,21 +262,28 @@ class ApplicationPlacementController:
         # a tie never justifies touching the placement (the illustrative
         # example's Scenario 1 — the equal-utility alternative that
         # starts J2 is rejected because it requires a change).
-        trial = best_state.copy()
-        placed_any = self._greedy_admit(trial, specs, candidates, best_utilities)
-        if placed_any:
-            score, utilities, allocations = evaluate(trial)
-            if score.utilities > best_score.utilities:
-                best_state, best_score = trial, score
-                best_utilities, best_allocations = utilities, allocations
+        with self._span("apc.admission"):
+            trial = best_state.copy()
+            placed_any = self._greedy_admit(trial, specs, candidates, best_utilities)
+            if placed_any:
+                score, utilities, allocations = evaluate(trial)
+                if score.utilities > best_score.utilities:
+                    best_state, best_score = trial, score
+                    best_utilities, best_allocations = utilities, allocations
 
         # ---- full nested-loop search ------------------------------------
         if self._config.enable_search and self._search_is_worthwhile(
             best_state, specs, candidates, best_utilities, best_allocations
         ):
-            for _ in range(self._config.search_sweeps):
-                improved, best_state, best_score, best_utilities, best_allocations = (
-                    self._sweep(
+            with self._span("apc.search"):
+                for _ in range(self._config.search_sweeps):
+                    (
+                        improved,
+                        best_state,
+                        best_score,
+                        best_utilities,
+                        best_allocations,
+                    ) = self._sweep(
                         best_state,
                         best_score,
                         best_utilities,
@@ -241,9 +292,8 @@ class ApplicationPlacementController:
                         candidates,
                         evaluate,
                     )
-                )
-                if not improved:
-                    break
+                    if not improved:
+                        break
 
         changed = best_state.as_matrix() != baseline
         return APCResult(

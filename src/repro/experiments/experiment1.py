@@ -125,6 +125,10 @@ def run_experiment_one(
     fault_model: Optional[ActionFaultModel] = None,
     retry_policy: Optional[RetryPolicy] = None,
     action_timeout: float = 120.0,
+    profiler=None,
+    registry=None,
+    trace=None,
+    decision_clock=None,
 ) -> ExperimentOneResult:
     """Run Experiment One at the given scale.
 
@@ -132,6 +136,15 @@ def run_experiment_one(
     multiplier so per-node load matches the paper.  ``fault_model`` (and
     the retry knobs) turn on the fallible-actuator extension — the same
     experiment under an unreliable actuation path.
+
+    The telemetry knobs are all opt-in (``repro.obs``): ``profiler``
+    (a :class:`~repro.obs.spans.SpanProfiler`) is shared between the
+    simulator and the controller so APC phases nest under the cycle
+    spans; ``registry`` (a :class:`~repro.obs.registry.MetricRegistry`)
+    receives the labeled series; ``trace`` is a
+    :class:`~repro.sim.trace.SimulationTrace` (optionally sink-backed);
+    ``decision_clock`` overrides the wall clock used for
+    ``decision_seconds``.
     """
     scale = scale or scale_from_env()
     cluster = scale.cluster()
@@ -142,9 +155,11 @@ def run_experiment_one(
         seed=seed,
     )
     queue = JobQueue()
+    if registry is not None:
+        queue.bind_registry(registry)
     batch = BatchWorkloadModel(queue, queue_window=scale.queue_window)
     controller = ApplicationPlacementController(
-        cluster, APCConfig(cycle_length=cycle_length)
+        cluster, APCConfig(cycle_length=cycle_length), profiler=profiler
     )
     policy = APCPolicy(controller, [batch])
     sim = MixedWorkloadSimulator(
@@ -158,7 +173,11 @@ def run_experiment_one(
             fault_model=fault_model,
             retry_policy=retry_policy or RetryPolicy(),
             action_timeout=action_timeout,
+            decision_clock=decision_clock,
         ),
+        trace=trace,
+        registry=registry,
+        profiler=profiler,
     )
     metrics = sim.run()
     return ExperimentOneResult(

@@ -1,0 +1,58 @@
+"""Unified observability layer.
+
+Three pieces, composable and individually optional:
+
+* :mod:`repro.obs.spans` — hierarchical span profiler (per-phase APC
+  timing with an injectable monotonic clock);
+* :mod:`repro.obs.registry` — labeled Counter/Gauge/Histogram registry
+  the simulator's subsystems publish into, with Prometheus text
+  exposition;
+* :mod:`repro.obs.sink` — streaming JSON-lines export of trace events,
+  span records, and metric samples under a versioned schema.
+
+Everything here is opt-in: with no profiler, registry, or sink attached
+the instrumented code paths do nothing, and simulation results are
+byte-identical to an un-instrumented build.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    render_prometheus,
+)
+from repro.obs.sink import (
+    SCHEMA_VERSION,
+    JsonlSink,
+    read_jsonl,
+    validate_jsonl,
+    validate_record,
+)
+from repro.obs.spans import (
+    NULL_SPAN,
+    SpanProfiler,
+    SpanRecord,
+    SpanStats,
+    render_profile,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "render_prometheus",
+    "SCHEMA_VERSION",
+    "JsonlSink",
+    "read_jsonl",
+    "validate_jsonl",
+    "validate_record",
+    "NULL_SPAN",
+    "SpanProfiler",
+    "SpanRecord",
+    "SpanStats",
+    "render_profile",
+]

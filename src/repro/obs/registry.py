@@ -1,0 +1,328 @@
+"""Labeled metrics registry: Counter / Gauge / Histogram.
+
+The simulator's subsystems (placement actuation, reconciliation, the
+router/profiler estimation loop, the batch queue) publish into one
+registry as labeled series — the representation co-location studies
+analyze clusters with, and the one Prometheus-family tooling consumes.
+
+Naming convention (documented in ``docs/architecture.md``): metric names
+are ``repro_<subsystem>_<quantity>[_<unit>]``, counters end in
+``_total``, durations are in seconds, CPU in MHz, memory in MB.
+
+Label-set identity: a metric's children are keyed by the *values* of its
+declared label names (order-independent); asking for the same label set
+twice returns the same child, so increments accumulate in one series.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Default histogram bucket upper bounds (seconds-flavored).
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(label_names: Sequence[str], labels: Mapping[str, object]) -> LabelKey:
+    if set(labels) != set(label_names):
+        raise ConfigurationError(
+            f"labels {sorted(labels)} do not match declared names "
+            f"{sorted(label_names)}"
+        )
+    return tuple((name, str(labels[name])) for name in label_names)
+
+
+class _Metric:
+    """Common child bookkeeping for all metric types."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str]) -> None:
+        if not name or not name.replace("_", "a").isalnum() or name[0].isdigit():
+            raise ConfigurationError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._children: Dict[LabelKey, object] = {}
+
+    def labels(self, **labels: object):
+        """The child series for one label set (created on first use)."""
+        key = _label_key(self.label_names, labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._new_child()
+        return child
+
+    def _new_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def children(self) -> List[Tuple[Dict[str, str], object]]:
+        """(labels, child) pairs in first-use order."""
+        return [(dict(key), child) for key, child in self._children.items()]
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Counter(_Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def _new_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        self.labels(**labels).inc(amount)
+
+    def value(self, **labels: object) -> float:
+        return self.labels(**labels).value
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Gauge(_Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float, **labels: object) -> None:
+        self.labels(**labels).set(value)
+
+    def value(self, **labels: object) -> float:
+        return self.labels(**labels).value
+
+
+class _HistogramChild:
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Tuple[float, ...]) -> None:
+        self.buckets = buckets
+        #: Per-bucket *non-cumulative* observation counts; the implicit
+        #: +Inf bucket is the last element.
+        self.counts = [0] * (len(buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, upper in enumerate(self.buckets):
+            if value <= upper:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> List[int]:
+        """Cumulative counts per bucket (Prometheus ``le`` semantics),
+        including the trailing +Inf bucket (== ``count``)."""
+        out, running = [], 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+
+class Histogram(_Metric):
+    """Bucketed distribution with sum and count.
+
+    Bucket edges are *upper bounds*, inclusive (``value <= upper``),
+    matching Prometheus ``le`` semantics; an implicit +Inf bucket
+    catches the tail.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str],
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, label_names)
+        edges = tuple(sorted(float(b) for b in buckets))
+        if not edges:
+            raise ConfigurationError("histogram needs at least one bucket")
+        if len(set(edges)) != len(edges):
+            raise ConfigurationError(f"duplicate bucket edges: {edges}")
+        if any(math.isinf(e) for e in edges):
+            raise ConfigurationError("+Inf bucket is implicit; do not declare it")
+        self.buckets = edges
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float, **labels: object) -> None:
+        self.labels(**labels).observe(value)
+
+
+class MetricRegistry:
+    """Owns every metric; the single publication point for telemetry.
+
+    Registration is idempotent for an identical (name, kind, labels)
+    signature — two subsystems may ask for the same counter and share
+    it — but re-registering a name with a different shape is an error.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def _register(self, cls, name: str, help: str, label_names, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.label_names != tuple(label_names):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered with a different "
+                    f"type or label set"
+                )
+            return existing
+        metric = cls(name, help, label_names, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", label_names: Sequence[str] = ()
+    ) -> Counter:
+        return self._register(Counter, name, help, label_names)
+
+    def gauge(
+        self, name: str, help: str = "", label_names: Sequence[str] = ()
+    ) -> Gauge:
+        return self._register(Gauge, name, help, label_names)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        label_names: Sequence[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help, label_names, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def metrics(self) -> List[_Metric]:
+        return list(self._metrics.values())
+
+    def collect(self) -> List[Dict[str, object]]:
+        """Flat samples for the JSONL sink, registration order.
+
+        Counter/gauge samples carry ``value``; histogram samples carry
+        ``sum``, ``count`` and per-edge cumulative ``buckets``.
+        """
+        samples: List[Dict[str, object]] = []
+        for metric in self._metrics.values():
+            for labels, child in metric.children():
+                sample: Dict[str, object] = {
+                    "name": metric.name,
+                    "kind": metric.kind,
+                    "labels": labels,
+                }
+                if metric.kind == "histogram":
+                    sample["sum"] = child.sum
+                    sample["count"] = child.count
+                    sample["buckets"] = {
+                        str(edge): cum
+                        for edge, cum in zip(
+                            list(metric.buckets) + ["+Inf"], child.cumulative()
+                        )
+                    }
+                else:
+                    sample["value"] = child.value
+                samples.append(sample)
+        return samples
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels.items()]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(registry: MetricRegistry) -> str:
+    """Prometheus text exposition (format version 0.0.4) of the registry."""
+    lines: List[str] = []
+    for metric in registry.metrics():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for labels, child in metric.children():
+            if metric.kind == "histogram":
+                cumulative = child.cumulative()
+                edges = [str(e) for e in metric.buckets] + ["+Inf"]
+                for edge, cum in zip(edges, cumulative):
+                    extra = 'le="' + edge + '"'
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_format_labels(labels, extra)} {cum}"
+                    )
+                lines.append(
+                    f"{metric.name}_sum{_format_labels(labels)} "
+                    f"{_format_value(child.sum)}"
+                )
+                lines.append(
+                    f"{metric.name}_count{_format_labels(labels)} {child.count}"
+                )
+            else:
+                lines.append(
+                    f"{metric.name}{_format_labels(labels)} "
+                    f"{_format_value(child.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "render_prometheus",
+]

@@ -1,0 +1,203 @@
+"""Streaming telemetry sink: versioned JSON-lines export.
+
+Long runs outgrow any in-memory trace bound; the sink streams every
+record to disk the moment it is emitted, so history is never lost to the
+trace's capacity eviction.  One line per record, each self-describing:
+
+``{"v": 1, "type": "meta", "stream": "repro.telemetry", ...}``
+``{"v": 1, "type": "event", "time": ..., "kind": ..., "subject": ..., "detail": {...}}``
+``{"v": 1, "type": "span", "path": ..., "name": ..., "depth": ..., "start": ..., "duration": ...}``
+``{"v": 1, "type": "metric", "name": ..., "kind": ..., "labels": {...}, ...}``
+
+Schema version policy: ``v`` is bumped whenever a required field is
+added, removed, or changes meaning; adding *optional* fields is not a
+bump.  :func:`validate_record` accepts exactly the current version.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Dict, IO, Iterable, List, Optional, Union
+
+from repro.errors import ConfigurationError
+
+#: Version of the JSONL record schema (see policy in the module docstring).
+SCHEMA_VERSION = 1
+
+#: Stream identifier written in the leading meta record.
+STREAM_NAME = "repro.telemetry"
+
+#: Required fields (beyond ``v``/``type``) per record type.
+_REQUIRED: Dict[str, Dict[str, type]] = {
+    "meta": {"stream": str},
+    "event": {"time": (int, float), "kind": str, "subject": str, "detail": dict},
+    "span": {
+        "path": str,
+        "name": str,
+        "depth": int,
+        "start": (int, float),
+        "duration": (int, float),
+    },
+    "metric": {"name": str, "kind": str, "labels": dict},
+}
+
+
+class JsonlSink:
+    """Writes telemetry records as JSON lines to a file or stream.
+
+    Opens with a ``meta`` record carrying the schema version; use as a
+    context manager (or call :meth:`close`) to flush file handles it
+    owns.  Every write path validates the record before serializing, so
+    a sink can never produce a schema-invalid stream.
+    """
+
+    def __init__(self, target: Union[str, Path, IO[str]], **meta: object) -> None:
+        if isinstance(target, (str, Path)):
+            self._stream: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._stream = target
+            self._owns = False
+        self.records_written = 0
+        self.write({"type": "meta", "stream": STREAM_NAME, **meta})
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def write(self, record: Dict[str, object]) -> None:
+        """Validate and append one record (``v`` is stamped here)."""
+        record = {"v": SCHEMA_VERSION, **record}
+        validate_record(record)
+        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self.records_written += 1
+
+    def event(
+        self, time: float, kind: str, subject: str, detail: Optional[Dict] = None
+    ) -> None:
+        self.write(
+            {
+                "type": "event",
+                "time": time,
+                "kind": kind,
+                "subject": subject,
+                "detail": _jsonable(detail or {}),
+            }
+        )
+
+    def span(self, record: Dict[str, object]) -> None:
+        """Write one span record (see ``SpanRecord.as_dict``)."""
+        self.write({"type": "span", **record})
+
+    def metric(self, sample: Dict[str, object]) -> None:
+        """Write one registry sample (see ``MetricRegistry.collect``)."""
+        self.write({"type": "metric", **sample})
+
+    def metrics(self, samples: Iterable[Dict[str, object]]) -> None:
+        for sample in samples:
+            self.metric(sample)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._owns:
+            self._stream.close()
+        else:
+            self._stream.flush()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _jsonable(detail: Dict[str, object]) -> Dict[str, object]:
+    """Coerce event detail values to JSON-serializable primitives."""
+    out: Dict[str, object] = {}
+    for key, value in detail.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = str(value)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Validation / reading
+# ----------------------------------------------------------------------
+def validate_record(record: object) -> None:
+    """Raise :class:`~repro.errors.ConfigurationError` unless ``record``
+    is a schema-valid telemetry record of the current version."""
+    if not isinstance(record, dict):
+        raise ConfigurationError(f"record must be an object, got {type(record)}")
+    version = record.get("v")
+    if version != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported schema version {version!r} (expected {SCHEMA_VERSION})"
+        )
+    rtype = record.get("type")
+    required = _REQUIRED.get(rtype)  # type: ignore[arg-type]
+    if required is None:
+        raise ConfigurationError(f"unknown record type {rtype!r}")
+    for field_name, expected in required.items():
+        if field_name not in record:
+            raise ConfigurationError(f"{rtype} record missing field {field_name!r}")
+        value = record[field_name]
+        if not isinstance(value, expected):
+            raise ConfigurationError(
+                f"{rtype} record field {field_name!r} has wrong type: "
+                f"{type(value).__name__}"
+            )
+    if rtype == "metric":
+        kind = record["kind"]
+        if kind == "histogram":
+            for field_name in ("sum", "count", "buckets"):
+                if field_name not in record:
+                    raise ConfigurationError(
+                        f"histogram sample missing field {field_name!r}"
+                    )
+        elif kind in ("counter", "gauge"):
+            if "value" not in record:
+                raise ConfigurationError(f"{kind} sample missing field 'value'")
+        else:
+            raise ConfigurationError(f"unknown metric kind {kind!r}")
+
+
+def read_jsonl(source: Union[str, Path, IO[str]]) -> List[Dict[str, object]]:
+    """Parse (without validating) every record in a JSONL stream."""
+    if isinstance(source, (str, Path)):
+        text = Path(source).read_text(encoding="utf-8")
+    else:
+        text = source.read()
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def validate_jsonl(source: Union[str, Path, IO[str]]) -> int:
+    """Validate every record in a JSONL stream; returns the record count.
+
+    The stream must be non-empty and lead with a ``meta`` record.
+    """
+    records = read_jsonl(source)
+    if not records:
+        raise ConfigurationError("empty telemetry stream")
+    if records[0].get("type") != "meta":
+        raise ConfigurationError("telemetry stream must start with a meta record")
+    for record in records:
+        validate_record(record)
+    return len(records)
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "STREAM_NAME",
+    "JsonlSink",
+    "read_jsonl",
+    "validate_jsonl",
+    "validate_record",
+]

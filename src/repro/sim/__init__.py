@@ -35,8 +35,10 @@ from repro.sim.monitoring import (
     MonitoringReport,
 )
 from repro.sim.export import (
+    SCHEMA_VERSION as EXPORT_SCHEMA_VERSION,
     completions_to_csv,
     cycles_to_csv,
+    faults_to_csv,
     load_metrics_json,
     metrics_to_json,
 )
@@ -70,8 +72,10 @@ __all__ = [
     "MonitoredTransactionalModel",
     "MonitoringPolicyWrapper",
     "MonitoringReport",
+    "EXPORT_SCHEMA_VERSION",
     "completions_to_csv",
     "cycles_to_csv",
+    "faults_to_csv",
     "load_metrics_json",
     "metrics_to_json",
 ]

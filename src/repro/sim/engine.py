@@ -68,6 +68,11 @@ class EventQueue:
         self._now = 0.0
         self._live = 0        # non-cancelled events in the heap
         self._dead = 0        # cancelled events still in the heap
+        # Lifetime tallies for telemetry (never reset; plain ints, so
+        # keeping them costs nothing measurable per event).
+        self._scheduled_total = 0
+        self._cancelled_total = 0
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -98,7 +103,17 @@ class EventQueue:
         event._queue = self
         heapq.heappush(self._heap, event)
         self._live += 1
+        self._scheduled_total += 1
         return event
+
+    def stats(self) -> dict:
+        """Lifetime engine tallies (for the telemetry registry)."""
+        return {
+            "scheduled": self._scheduled_total,
+            "cancelled": self._cancelled_total,
+            "compactions": self._compactions,
+            "live": self._live,
+        }
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` when empty."""
@@ -125,6 +140,7 @@ class EventQueue:
         """A live in-heap event was cancelled (called from the handle)."""
         self._live -= 1
         self._dead += 1
+        self._cancelled_total += 1
         if self._dead > self._live:
             self._compact()
 
@@ -133,6 +149,7 @@ class EventQueue:
         self._heap = [e for e in self._heap if not e.cancelled]
         heapq.heapify(self._heap)
         self._dead = 0
+        self._compactions += 1
 
     def _drop_cancelled_head(self) -> None:
         while self._heap and self._heap[0].cancelled:

@@ -14,9 +14,22 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from repro.sim.metrics import CycleSample, JobCompletionRecord, MetricsRecorder
+from repro.sim.metrics import (
+    ActionFaultStats,
+    CycleSample,
+    JobCompletionRecord,
+    MetricsRecorder,
+)
 
 PathLike = Union[str, Path]
+
+#: Version of the export schema.  History:
+#:
+#: * **1** — cycle samples + completion records (implicit; documents
+#:   written before versioning carry no ``schema_version`` field).
+#: * **2** — adds fault accounting: the ``faults`` section and its
+#:   summary aggregates in JSON, and :func:`faults_to_csv`.
+SCHEMA_VERSION = 2
 
 #: Column order for cycle samples (stable export schema).
 CYCLE_COLUMNS = (
@@ -28,6 +41,19 @@ CYCLE_COLUMNS = (
     "queued_jobs",
     "placement_changes",
     "decision_seconds",
+)
+
+#: Column order for the per-action-type fault accounting rows
+#: (one row per action type, sorted by action name).
+FAULT_COLUMNS = (
+    "action",
+    "attempts",
+    "successes",
+    "failures",
+    "stalls",
+    "retries",
+    "abandoned",
+    "superseded",
 )
 
 #: Column order for completion records.
@@ -60,6 +86,37 @@ def _cycle_row(sample: CycleSample) -> Dict[str, object]:
 
 def _completion_row(record: JobCompletionRecord) -> Dict[str, object]:
     return {column: getattr(record, column) for column in COMPLETION_COLUMNS}
+
+
+def _fault_rows(stats: ActionFaultStats) -> List[Dict[str, object]]:
+    """One row per action type that saw at least one attempt or failure."""
+    actions = sorted(
+        set(stats.attempts)
+        | set(stats.failures)
+        | set(stats.abandoned)
+        | set(stats.superseded)
+    )
+    return [
+        {
+            "action": action,
+            "attempts": stats.attempts.get(action, 0),
+            "successes": stats.successes.get(action, 0),
+            "failures": stats.failures.get(action, 0),
+            "stalls": stats.stalls.get(action, 0),
+            "retries": stats.retries.get(action, 0),
+            "abandoned": stats.abandoned.get(action, 0),
+            "superseded": stats.superseded.get(action, 0),
+        }
+        for action in actions
+    ]
+
+
+def faults_to_csv(metrics: MetricsRecorder, path: Optional[PathLike] = None) -> str:
+    """Write the per-action fault accounting as CSV; returns the text.
+
+    The table is empty (header only) when fault injection was off.
+    """
+    return _write_csv(_fault_rows(metrics.faults), list(FAULT_COLUMNS), path)
 
 
 def cycles_to_csv(metrics: MetricsRecorder, path: Optional[PathLike] = None) -> str:
@@ -98,16 +155,23 @@ def metrics_to_json(
 ) -> str:
     """Write everything (cycles + completions + summary) as one JSON
     document; returns the JSON text."""
+    faults = metrics.faults
     document = {
+        "schema_version": SCHEMA_VERSION,
         "summary": {
             "cycles": len(metrics.cycles),
             "completions": len(metrics.completions),
             "deadline_satisfaction_rate": metrics.deadline_satisfaction_rate(),
             "total_placement_changes": metrics.total_placement_changes(),
             "mean_decision_seconds": metrics.mean_decision_seconds(),
+            "total_action_attempts": faults.total_attempts,
+            "total_action_failures": faults.total_failures,
+            "total_action_abandoned": faults.total_abandoned,
+            "mean_time_to_reconcile": faults.mean_time_to_reconcile(),
         },
         "cycles": [_cycle_row(s) for s in metrics.cycles],
         "completions": [_completion_row(r) for r in metrics.completions],
+        "faults": faults.as_dict(),
     }
 
     def default(value):

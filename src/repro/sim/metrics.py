@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 
 from repro.batch.job import Job
 from repro.batch.rpf import job_relative_performance
+from repro.obs.registry import MetricRegistry
 
 
 @dataclass
@@ -31,6 +32,13 @@ class ActionFaultStats:
     given up after exhausting retries; *superseded* counts in-flight
     actions cancelled because a new control cycle re-planned from the
     actual placement.
+
+    When bound to a :class:`~repro.obs.registry.MetricRegistry` (via
+    :meth:`bind_registry`), every recording also publishes the labeled
+    series ``repro_actions_total{action, outcome}``, plus histograms for
+    retry backoff delays and time-to-reconcile.  The dict attributes
+    remain the canonical in-process view — this dataclass is the adapter
+    between the reconciler and both consumers.
     """
 
     attempts: Dict[str, int] = field(default_factory=dict)
@@ -44,35 +52,66 @@ class ActionFaultStats:
     #: that needed more than one attempt (desired/actual convergence lag).
     reconcile_times: List[float] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._actions_total = None
+        self._backoff_hist = None
+        self._reconcile_hist = None
+
+    def bind_registry(self, registry: MetricRegistry) -> None:
+        """Publish every subsequent recording into ``registry`` too."""
+        self._actions_total = registry.counter(
+            "repro_actions_total",
+            "Placement-action outcomes by action type",
+            ("action", "outcome"),
+        )
+        self._backoff_hist = registry.histogram(
+            "repro_action_retry_backoff_seconds",
+            "Backoff delay before each scheduled retry",
+            ("action",),
+            buckets=(1.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0),
+        )
+        self._reconcile_hist = registry.histogram(
+            "repro_action_reconcile_seconds",
+            "Seconds from first attempt to eventual success "
+            "(multi-attempt actions only)",
+            ("action",),
+            buckets=(10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0),
+        )
+
     # ------------------------------------------------------------------
     # Recording (driven by the simulator's reconciler)
     # ------------------------------------------------------------------
-    @staticmethod
-    def _bump(counter: Dict[str, int], action: str) -> None:
+    def _bump(self, counter: Dict[str, int], action: str, outcome: str) -> None:
         counter[action] = counter.get(action, 0) + 1
+        if self._actions_total is not None:
+            self._actions_total.inc(action=action, outcome=outcome)
 
     def record_attempt(self, action: str) -> None:
-        self._bump(self.attempts, action)
+        self._bump(self.attempts, action, "attempt")
 
     def record_success(self, action: str, time_to_reconcile: float = 0.0) -> None:
-        self._bump(self.successes, action)
+        self._bump(self.successes, action, "success")
         if time_to_reconcile > 0.0:
             self.reconcile_times.append(time_to_reconcile)
+            if self._reconcile_hist is not None:
+                self._reconcile_hist.observe(time_to_reconcile, action=action)
 
     def record_failure(self, action: str) -> None:
-        self._bump(self.failures, action)
+        self._bump(self.failures, action, "failure")
 
     def record_stall(self, action: str) -> None:
-        self._bump(self.stalls, action)
+        self._bump(self.stalls, action, "stall")
 
-    def record_retry(self, action: str) -> None:
-        self._bump(self.retries, action)
+    def record_retry(self, action: str, backoff: float = 0.0) -> None:
+        self._bump(self.retries, action, "retry")
+        if self._backoff_hist is not None and backoff > 0.0:
+            self._backoff_hist.observe(backoff, action=action)
 
     def record_abandon(self, action: str) -> None:
-        self._bump(self.abandoned, action)
+        self._bump(self.abandoned, action, "abandoned")
 
     def record_superseded(self, action: str) -> None:
-        self._bump(self.superseded, action)
+        self._bump(self.superseded, action, "superseded")
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -191,23 +230,97 @@ class JobCompletionRecord:
 
 
 class MetricsRecorder:
-    """Accumulates cycle samples and job completion records."""
+    """Accumulates cycle samples and job completion records.
 
-    def __init__(self) -> None:
+    With a :class:`~repro.obs.registry.MetricRegistry` attached, each
+    recording also publishes labeled series (cycle gauges, decision-time
+    and relative-performance histograms, completion counters) and binds
+    the fault accounting, so one registry carries the whole run's
+    telemetry.  Without one (the default) behavior is unchanged.
+    """
+
+    def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
         self.cycles: List[CycleSample] = []
         self.completions: List[JobCompletionRecord] = []
         #: Fallible-actuator accounting (all zeros when fault injection
         #: is off — the default).
         self.faults = ActionFaultStats()
+        self.registry = registry
+        if registry is not None:
+            self.faults.bind_registry(registry)
+            self._g_time = registry.gauge(
+                "repro_sim_time_seconds", "Simulation clock at the last cycle"
+            )
+            self._g_running = registry.gauge(
+                "repro_jobs_running", "Batch jobs executing this cycle"
+            )
+            self._g_queued = registry.gauge(
+                "repro_jobs_queued", "Incomplete batch jobs not executing"
+            )
+            self._g_batch_alloc = registry.gauge(
+                "repro_batch_allocation_mhz", "Total CPU allocated to batch jobs"
+            )
+            self._g_batch_hypo = registry.gauge(
+                "repro_batch_hypothetical_relative_performance",
+                "Average hypothetical relative performance over incomplete jobs",
+            )
+            self._g_txn_alloc = registry.gauge(
+                "repro_txn_allocation_mhz",
+                "CPU allocated per transactional application",
+                ("app",),
+            )
+            self._g_txn_perf = registry.gauge(
+                "repro_txn_relative_performance",
+                "Modeled relative performance per transactional application",
+                ("app",),
+            )
+            self._c_changes = registry.counter(
+                "repro_placement_changes_total",
+                "Suspend/resume/migrate actions performed",
+            )
+            self._h_decision = registry.histogram(
+                "repro_decision_seconds",
+                "Per-cycle policy decision time",
+                buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0),
+            )
+            self._c_completions = registry.counter(
+                "repro_job_completions_total",
+                "Completed jobs by deadline outcome",
+                ("met_deadline",),
+            )
+            self._h_job_perf = registry.histogram(
+                "repro_job_relative_performance",
+                "Relative performance at completion time",
+                buckets=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+            )
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     def record_cycle(self, sample: CycleSample) -> None:
         self.cycles.append(sample)
+        if self.registry is None:
+            return
+        self._g_time.set(sample.time)
+        self._g_running.set(sample.running_jobs)
+        self._g_queued.set(sample.queued_jobs)
+        self._g_batch_alloc.set(sample.batch_allocation_mhz)
+        if sample.batch_hypothetical_utility == sample.batch_hypothetical_utility:
+            self._g_batch_hypo.set(sample.batch_hypothetical_utility)
+        for app_id, mhz in sample.txn_allocations_mhz.items():
+            self._g_txn_alloc.set(mhz, app=app_id)
+        for app_id, utility in sample.txn_utilities.items():
+            self._g_txn_perf.set(utility, app=app_id)
+        if sample.placement_changes:
+            self._c_changes.inc(sample.placement_changes)
+        self._h_decision.observe(sample.decision_seconds)
 
     def record_completion(self, job: Job) -> None:
-        self.completions.append(JobCompletionRecord.from_job(job))
+        record = JobCompletionRecord.from_job(job)
+        self.completions.append(record)
+        if self.registry is not None:
+            self._c_completions.inc(met_deadline=str(record.met_deadline).lower())
+            self._h_job_perf.observe(record.relative_performance)
 
     # ------------------------------------------------------------------
     # Figure 3: deadline satisfaction

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.placement import PlacementState
 from repro.errors import ConfigurationError, ModelError
+from repro.obs.registry import MetricRegistry
 from repro.sim.metrics import ActionFaultStats
 from repro.txn.application import TransactionalApp
 from repro.txn.model import TransactionalWorkloadModel
@@ -74,6 +75,7 @@ class MonitoredTransactionalModel(TransactionalWorkloadModel):
         noise_fraction: float = 0.02,
         warmup_cycles: int = 4,
         seed: int = 0,
+        registry: Optional[MetricRegistry] = None,
     ) -> None:
         super().__init__(apps)
         if noise_fraction < 0:
@@ -92,6 +94,27 @@ class MonitoredTransactionalModel(TransactionalWorkloadModel):
         self._observations: Dict[str, int] = {}
         self._estimates: Dict[str, float] = {}
         self.reports: List[MonitoringReport] = []
+        # Registry series for the estimation loop (opt-in telemetry).
+        self._h_response = None
+        self._g_demand = None
+        self._g_error = None
+        if registry is not None:
+            self._h_response = registry.histogram(
+                "repro_txn_response_time_seconds",
+                "Request-weighted mean response time per cycle",
+                ("app",),
+                buckets=(0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0),
+            )
+            self._g_demand = registry.gauge(
+                "repro_txn_demand_estimate_mcycles",
+                "Profiler's current per-request demand estimate",
+                ("app",),
+            )
+            self._g_error = registry.gauge(
+                "repro_txn_estimation_error",
+                "Relative error of the demand estimate vs ground truth",
+                ("app",),
+            )
 
     # ------------------------------------------------------------------
     # Estimation state
@@ -155,6 +178,14 @@ class MonitoredTransactionalModel(TransactionalWorkloadModel):
             app.app_id: self.estimated_demand(app.app_id) for app in self.apps
         }
         self.reports.append(report)
+        if self._g_demand is not None:
+            for app in self.apps:
+                app_id = app.app_id
+                rt = report.response_times.get(app_id)
+                if rt is not None and rt == rt and rt != float("inf"):
+                    self._h_response.observe(rt, app=app_id)
+                self._g_demand.set(report.demand_estimates[app_id], app=app_id)
+                self._g_error.set(self.estimation_error(app_id), app=app_id)
         return report
 
     # ------------------------------------------------------------------

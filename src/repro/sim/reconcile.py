@@ -213,8 +213,8 @@ class Reconciler:
             self._stats.record_abandon(pending.action_name)
             self.pending.pop(pending.app_id, None)
             return Directive(Decision.ABANDON)
-        self._stats.record_retry(pending.action_name)
         delay = self._retry.backoff(pending.attempts, self._sampler.rng)
+        self._stats.record_retry(pending.action_name, backoff=delay)
         self.pending[pending.app_id] = pending
         return Directive(Decision.RETRY, at=now + delay)
 

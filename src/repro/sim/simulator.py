@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import time as _wallclock
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence, Tuple
 
 from repro.batch.job import Job, JobStatus
 from repro.batch.model import BatchWorkloadModel
@@ -48,6 +48,8 @@ from repro.sim.engine import (
     PRIORITY_CYCLE,
     ScheduledEvent,
 )
+from repro.obs.registry import MetricRegistry
+from repro.obs.spans import NULL_SPAN, SpanProfiler
 from repro.sim.metrics import CycleSample, MetricsRecorder
 from repro.sim.policies import PlacementPolicy
 from repro.sim.reconcile import Decision, Directive, PendingAction, Reconciler
@@ -89,6 +91,11 @@ class SimulationConfig:
     action_timeout:
         Patience for stalled actions (s): a stall exceeding this is
         detected as a failure when the timeout event fires.
+    decision_clock:
+        Clock used to time the policy's per-cycle decision
+        (``decision_seconds``).  ``None`` (the default) uses the
+        wall-clock monotonic counter; tests inject a deterministic
+        counter so timing-derived output is reproducible across runs.
     """
 
     cycle_length: float = 600.0
@@ -99,6 +106,7 @@ class SimulationConfig:
     fault_model: Optional[ActionFaultModel] = None
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
     action_timeout: float = 120.0
+    decision_clock: Optional[Callable[[], float]] = None
 
     def __post_init__(self) -> None:
         if self.cycle_length <= 0:
@@ -164,6 +172,8 @@ class MixedWorkloadSimulator:
         batch_model: Optional[BatchWorkloadModel] = None,
         config: Optional[SimulationConfig] = None,
         trace: Optional[SimulationTrace] = None,
+        registry: Optional[MetricRegistry] = None,
+        profiler: Optional[SpanProfiler] = None,
     ) -> None:
         self._cluster = cluster
         self._policy = policy
@@ -173,7 +183,11 @@ class MixedWorkloadSimulator:
         self._batch_model = batch_model or BatchWorkloadModel(queue)
         self._config = config or SimulationConfig()
 
-        self.metrics = MetricsRecorder()
+        self.metrics = MetricsRecorder(registry=registry)
+        #: Optional span profiler: each control cycle becomes a
+        #: ``sim.cycle`` span with a ``sim.decide`` child; an APC sharing
+        #: the same profiler nests its ``apc.place`` phases beneath it.
+        self.profiler = profiler
         self.trace = trace
         self._state = PlacementState(cluster)
         #: Per running job: (allocated speed MHz, execution start time).
@@ -265,6 +279,15 @@ class MixedWorkloadSimulator:
                 self._control_cycle(now, events)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {kind!r}")
+        registry = self.metrics.registry
+        if registry is not None:
+            engine_gauge = registry.gauge(
+                "repro_engine_events",
+                "Discrete-event engine lifetime tallies",
+                ("tally",),
+            )
+            for tally, value in events.stats().items():
+                engine_gauge.set(value, tally=tally)
         return self.metrics
 
     # ------------------------------------------------------------------
@@ -434,7 +457,17 @@ class MixedWorkloadSimulator:
         self._run_since[job.job_id] = now
         self._schedule_progress(job, now, events)
 
+    def _span(self, name: str, **attrs: object):
+        """A profiler span, or the shared no-op when un-instrumented."""
+        if self.profiler is None:
+            return NULL_SPAN
+        return self.profiler.span(name, **attrs)
+
     def _control_cycle(self, now: float, events: EventQueue) -> None:
+        with self._span("sim.cycle", t=now):
+            self._control_cycle_impl(now, events)
+
+    def _control_cycle_impl(self, now: float, events: EventQueue) -> None:
         # 0. Settle in-flight fallible actions: the new cycle supersedes
         #    pending retries/stalls and plans from the *actual* placement.
         self._resolve_in_flight(now)
@@ -444,9 +477,11 @@ class MixedWorkloadSimulator:
             self._advance_job(job, now)
 
         # 2. Ask the policy for the next placement.
-        t0 = _wallclock.perf_counter()
-        new_state = self._policy.decide(self._state, now)
-        decision_seconds = _wallclock.perf_counter() - t0
+        clock = self._config.decision_clock or _wallclock.perf_counter
+        with self._span("sim.decide"):
+            t0 = clock()
+            new_state = self._policy.decide(self._state, now)
+            decision_seconds = clock() - t0
 
         # 3. Apply the placement diff as VM control actions.  With a
         #    fault model active, each action may fail or stall; the

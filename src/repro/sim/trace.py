@@ -50,13 +50,22 @@ class TraceEvent:
 
 
 class SimulationTrace:
-    """Bounded in-memory event log with filtered rendering."""
+    """Bounded in-memory event log with filtered rendering.
 
-    def __init__(self, capacity: int = 100_000) -> None:
+    The deque bound means long runs evict their oldest events; the
+    ``dropped_events`` counter makes that loss visible, and an attached
+    :class:`~repro.obs.sink.JsonlSink` streams every event to disk at
+    emit time — before the bound applies — so full history survives
+    regardless of capacity.
+    """
+
+    def __init__(self, capacity: int = 100_000, sink=None) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._dropped = 0
+        #: Optional streaming sink (``repro.obs.sink.JsonlSink``).
+        self.sink = sink
 
     def emit(
         self,
@@ -65,6 +74,8 @@ class SimulationTrace:
         subject: str,
         **detail: object,
     ) -> None:
+        if self.sink is not None:
+            self.sink.event(time, kind.value, subject, dict(detail))
         if len(self._events) == self._events.maxlen:
             self._dropped += 1
         self._events.append(TraceEvent(time, kind, subject, dict(detail)))
@@ -73,8 +84,17 @@ class SimulationTrace:
     # Queries
     # ------------------------------------------------------------------
     @property
+    def dropped_events(self) -> int:
+        """Events evicted by the capacity bound (oldest-first).
+
+        Non-zero means the in-memory view is incomplete; attach a sink
+        to keep full history on disk.
+        """
+        return self._dropped
+
+    @property
     def dropped(self) -> int:
-        """Events evicted by the capacity bound (oldest-first)."""
+        """Alias of :attr:`dropped_events` (original name)."""
         return self._dropped
 
     def __len__(self) -> int:
@@ -113,9 +133,19 @@ class SimulationTrace:
             out[event.kind] = out.get(event.kind, 0) + 1
         return out
 
+    def summary(self) -> Dict[str, int]:
+        """Per-kind counts of retained events plus the drop counter."""
+        out = {kind.value: count for kind, count in self.counts().items()}
+        out["retained_events"] = len(self._events)
+        out["dropped_events"] = self._dropped
+        return out
+
     def render(self, **filters) -> str:
         """A text log of the (filtered) events."""
         lines = [event.render() for event in self.events(**filters)]
         if self._dropped:
-            lines.append(f"... ({self._dropped} older events dropped)")
+            note = f"... ({self._dropped} older events dropped"
+            if self.sink is not None:
+                note += "; full history streamed to sink"
+            lines.append(note + ")")
         return "\n".join(lines)

@@ -1,0 +1,320 @@
+"""Unit tests for the ``repro.obs`` telemetry building blocks."""
+
+import io
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    render_prometheus,
+)
+from repro.obs.sink import (
+    SCHEMA_VERSION,
+    JsonlSink,
+    read_jsonl,
+    validate_jsonl,
+    validate_record,
+)
+from repro.obs.spans import NULL_SPAN, SpanProfiler, render_profile
+
+
+def ticker(step=1.0):
+    """Deterministic clock: 0, step, 2*step, ..."""
+    state = {"t": -step}
+
+    def clock():
+        state["t"] += step
+        return state["t"]
+
+    return clock
+
+
+class TestSpanProfiler:
+    def test_nesting_builds_paths_and_depths(self):
+        prof = SpanProfiler(clock=ticker())
+        with prof.span("outer"):
+            with prof.span("inner"):
+                pass
+            with prof.span("inner"):
+                pass
+        paths = [r.path for r in prof.records]
+        assert paths == ["outer", "outer/inner", "outer/inner"]
+        assert [r.depth for r in prof.records] == [0, 1, 1]
+        assert prof.records[1].parent == 0
+        assert prof.records[0].parent is None
+
+    def test_durations_from_injected_clock(self):
+        # Each _open reads the clock once at entry and once at exit, so
+        # with a unit ticker a leaf span lasts exactly 1 tick and a span
+        # wrapping one child lasts 3 (entry, child entry+exit, exit).
+        prof = SpanProfiler(clock=ticker())
+        with prof.span("a"):
+            with prof.span("b"):
+                pass
+        by_name = {r.name: r for r in prof.records}
+        assert by_name["b"].duration == pytest.approx(1.0)
+        assert by_name["a"].duration == pytest.approx(3.0)
+
+    def test_aggregate_groups_by_path(self):
+        prof = SpanProfiler(clock=ticker())
+        for _ in range(3):
+            with prof.span("cycle"):
+                with prof.span("phase"):
+                    pass
+        agg = prof.aggregate()
+        assert agg["cycle"].count == 3
+        assert agg["cycle/phase"].count == 3
+        assert agg["cycle/phase"].total == pytest.approx(3.0)
+        assert agg["cycle/phase"].mean == pytest.approx(1.0)
+        assert agg["cycle/phase"].min == pytest.approx(1.0)
+        assert agg["cycle/phase"].max == pytest.approx(1.0)
+
+    def test_roots_filter(self):
+        prof = SpanProfiler(clock=ticker())
+        with prof.span("a"):
+            pass
+        with prof.span("b"):
+            with prof.span("a"):
+                pass
+        assert len(prof.roots()) == 2
+        assert len(prof.roots("a")) == 1  # nested "a" is not a root
+
+    def test_breakdowns_anchor_at_any_depth(self):
+        # The anchor span sits under outer wrappers, as apc.place does
+        # under sim.cycle/sim.decide when the profiler is shared.
+        prof = SpanProfiler(clock=ticker())
+        for _ in range(2):
+            with prof.span("sim.cycle"):
+                with prof.span("sim.decide"):
+                    with prof.span("apc.place"):
+                        with prof.span("apc.search"):
+                            with prof.span("apc.evaluate"):
+                                pass
+        cycles = prof.breakdowns("apc.place")
+        assert len(cycles) == 2
+        for bucket in cycles:
+            # Keys are relative to the anchor, wrappers excluded.
+            assert set(bucket) == {
+                "apc.place",
+                "apc.place/apc.search",
+                "apc.place/apc.search/apc.evaluate",
+            }
+            assert bucket["apc.place/apc.search"].count == 1
+
+    def test_breakdowns_separate_occurrences(self):
+        prof = SpanProfiler(clock=ticker())
+        with prof.span("place"):
+            with prof.span("x"):
+                pass
+        with prof.span("place"):
+            with prof.span("x"):
+                pass
+            with prof.span("x"):
+                pass
+        cycles = prof.breakdowns("place")
+        assert [b["place/x"].count for b in cycles] == [1, 2]
+
+    def test_attrs_recorded(self):
+        prof = SpanProfiler(clock=ticker())
+        with prof.span("cycle", t=42.0):
+            pass
+        assert prof.records[0].attrs == {"t": 42.0}
+        assert prof.records[0].as_dict()["attrs"] == {"t": 42.0}
+
+    def test_null_span_is_reusable_noop(self):
+        for _ in range(3):
+            with NULL_SPAN:
+                pass  # no state, no error on reuse
+
+    def test_render_profile(self):
+        prof = SpanProfiler(clock=ticker())
+        with prof.span("cycle"):
+            with prof.span("phase"):
+                pass
+        text = render_profile(prof, unit="raw")
+        assert "cycle" in text
+        assert "phase" in text
+        assert render_profile(SpanProfiler()) == "(no spans recorded)"
+
+
+class TestRegistry:
+    def test_counter_accumulates_per_label_set(self):
+        reg = MetricRegistry()
+        c = reg.counter("repro_actions_total", "help", ["action", "outcome"])
+        c.inc(action="suspend", outcome="ok")
+        c.inc(2.0, action="suspend", outcome="ok")
+        c.inc(action="resume", outcome="ok")
+        assert c.value(action="suspend", outcome="ok") == 3.0
+        assert c.value(action="resume", outcome="ok") == 1.0
+
+    def test_label_set_identity_is_order_independent(self):
+        reg = MetricRegistry()
+        c = reg.counter("c_total", "", ["a", "b"])
+        assert c.labels(a="1", b="2") is c.labels(b="2", a="1")
+
+    def test_label_mismatch_rejected(self):
+        reg = MetricRegistry()
+        c = reg.counter("c_total", "", ["a"])
+        with pytest.raises(ConfigurationError):
+            c.inc(b="oops")
+        with pytest.raises(ConfigurationError):
+            c.inc(a="x", b="extra")
+
+    def test_counter_rejects_negative(self):
+        reg = MetricRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.counter("c_total").inc(-1.0)
+
+    def test_gauge_set_inc_dec(self):
+        g = MetricRegistry().gauge("g")
+        g.set(5.0)
+        g.labels().inc(2.0)
+        g.labels().dec(3.0)
+        assert g.value() == 4.0
+
+    def test_histogram_bucket_edges_inclusive(self):
+        # Prometheus `le` semantics: value <= upper bound, inclusive.
+        h = MetricRegistry().histogram("h", buckets=[1.0, 2.0])
+        child = h.labels()
+        for v in (0.5, 1.0, 1.5, 2.0, 99.0):
+            child.observe(v)
+        assert child.counts == [2, 2, 1]  # (<=1], (1,2], (2,+Inf)
+        assert child.cumulative() == [2, 4, 5]
+        assert child.count == 5
+        assert child.sum == pytest.approx(104.0)
+
+    def test_histogram_edge_validation(self):
+        reg = MetricRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.histogram("h1", buckets=[])
+        with pytest.raises(ConfigurationError):
+            reg.histogram("h2", buckets=[1.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            reg.histogram("h3", buckets=[1.0, math.inf])
+
+    def test_registration_idempotent_for_same_shape(self):
+        reg = MetricRegistry()
+        a = reg.counter("c_total", "help", ["x"])
+        b = reg.counter("c_total", "help", ["x"])
+        assert a is b
+        with pytest.raises(ConfigurationError):
+            reg.gauge("c_total")  # different type
+        with pytest.raises(ConfigurationError):
+            reg.counter("c_total", "", ["y"])  # different labels
+
+    def test_invalid_metric_name(self):
+        reg = MetricRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.counter("9starts_with_digit")
+        with pytest.raises(ConfigurationError):
+            reg.counter("has space")
+
+    def test_collect_flat_samples(self):
+        reg = MetricRegistry()
+        reg.counter("c_total", label_names=["k"]).inc(k="v")
+        reg.histogram("h", buckets=[1.0]).observe(0.5)
+        samples = reg.collect()
+        assert [s["name"] for s in samples] == ["c_total", "h"]
+        assert samples[0]["value"] == 1.0
+        assert samples[0]["labels"] == {"k": "v"}
+        assert samples[1]["buckets"] == {"1.0": 1, "+Inf": 1}
+        assert samples[1]["sum"] == 0.5
+        assert samples[1]["count"] == 1
+
+
+class TestPrometheusRendering:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricRegistry()
+        reg.counter("repro_x_total", "things", ["kind"]).inc(kind="a")
+        reg.gauge("repro_depth", "queue depth").set(7.0)
+        text = render_prometheus(reg)
+        assert "# HELP repro_x_total things" in text
+        assert "# TYPE repro_x_total counter" in text
+        assert 'repro_x_total{kind="a"} 1' in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "repro_depth 7" in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition(self):
+        reg = MetricRegistry()
+        h = reg.histogram("repro_d_seconds", "", ["op"], buckets=[0.5, 1.0])
+        h.observe(0.2, op="solve")
+        h.observe(0.7, op="solve")
+        h.observe(9.0, op="solve")
+        text = render_prometheus(reg)
+        assert 'repro_d_seconds_bucket{op="solve",le="0.5"} 1' in text
+        assert 'repro_d_seconds_bucket{op="solve",le="1.0"} 2' in text
+        assert 'repro_d_seconds_bucket{op="solve",le="+Inf"} 3' in text
+        assert 'repro_d_seconds_sum{op="solve"} 9.9' in text
+        assert 'repro_d_seconds_count{op="solve"} 3' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricRegistry()) == ""
+
+
+class TestJsonlSink:
+    def test_round_trip_event_span_metric(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf, run="t1")
+        sink.event(1.5, "arrival", "j1", {"node": "n0"})
+        prof = SpanProfiler(clock=ticker())
+        with prof.span("cycle"):
+            pass
+        sink.span(prof.records[0].as_dict())
+        reg = MetricRegistry()
+        reg.counter("c_total").inc()
+        sink.metrics(reg.collect())
+        sink.close()
+
+        records = read_jsonl(io.StringIO(buf.getvalue()))
+        assert [r["type"] for r in records] == ["meta", "event", "span", "metric"]
+        assert all(r["v"] == SCHEMA_VERSION for r in records)
+        assert records[0]["run"] == "t1"
+        assert records[1]["detail"] == {"node": "n0"}
+        assert records[2]["path"] == "cycle"
+        assert records[3]["value"] == 1.0
+        assert validate_jsonl(io.StringIO(buf.getvalue())) == 4
+
+    def test_file_target_owned_and_closed(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path) as sink:
+            sink.event(0.0, "cycle", "controller")
+        assert validate_jsonl(path) == 2
+
+    def test_detail_coercion(self):
+        buf = io.StringIO()
+        JsonlSink(buf).event(0.0, "k", "s", {"obj": object(), "n": 3})
+        record = read_jsonl(io.StringIO(buf.getvalue()))[1]
+        assert isinstance(record["detail"]["obj"], str)
+        assert record["detail"]["n"] == 3
+
+    def test_validate_rejects_bad_records(self):
+        with pytest.raises(ConfigurationError):
+            validate_record({"v": 99, "type": "event"})
+        with pytest.raises(ConfigurationError):
+            validate_record({"v": SCHEMA_VERSION, "type": "nope"})
+        with pytest.raises(ConfigurationError):
+            validate_record({"v": SCHEMA_VERSION, "type": "event", "time": 0.0})
+        with pytest.raises(ConfigurationError):
+            validate_record(
+                {"v": SCHEMA_VERSION, "type": "metric", "name": "m",
+                 "kind": "counter", "labels": {}}
+            )  # counter sample without value
+        with pytest.raises(ConfigurationError):
+            validate_record("not a dict")
+
+    def test_validate_jsonl_requires_meta_lead(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sink.event(0.0, "k", "s")
+        lines = buf.getvalue().splitlines()
+        no_meta = io.StringIO("\n".join(lines[1:]) + "\n")
+        with pytest.raises(ConfigurationError):
+            validate_jsonl(no_meta)
+        with pytest.raises(ConfigurationError):
+            validate_jsonl(io.StringIO(""))
