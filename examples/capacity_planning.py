@@ -18,16 +18,18 @@ Run with::
 
 from __future__ import annotations
 
-from repro.analysis import (
+from repro.api import (
+    Cluster,
+    ConstantTrace,
+    HOUR,
+    JobClass,
+    MixedJobGenerator,
+    NodeSpec,
+    TransactionalApp,
     minimum_nodes_for_batch,
     profile_workload,
     transactional_capacity_required,
 )
-from repro.cluster import Cluster, NodeSpec
-from repro.txn.application import TransactionalApp
-from repro.txn.workload import ConstantTrace
-from repro.units import HOUR
-from repro.workloads.generators import JobClass, MixedJobGenerator
 
 NODE = NodeSpec(
     cpu_capacity=4 * 3900.0, memory_capacity=16 * 1024.0, cpu_per_processor=3900.0

@@ -22,30 +22,33 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    ActionFaultModel,
+from repro.api import (
     APCConfig,
+    Job,
     APCPolicy,
+    ActionFaultModel,
     ApplicationPlacementController,
     BatchWorkloadModel,
     Cluster,
+    FREE_COST_MODEL,
+    JobClass,
     JobQueue,
+    MixedJobGenerator,
     MixedWorkloadSimulator,
+    NodeFailure,
     PlacementState,
     RetryPolicy,
+    ScriptedPolicy,
     SimulationConfig,
+    SimulationTrace,
+    TraceEventKind,
 )
-from repro.sim import NodeFailure, ScriptedPolicy, SimulationTrace, TraceEventKind
-from repro.virt.costs import FREE_COST_MODEL
-from repro.workloads.generators import JobClass, MixedJobGenerator
 
 
 def make_jobs():
     """Six identical 1,200 s jobs submitted together: they fill all six
     slots (two 700 MB VMs per 1,500 MB node), so the node1 crash at
     t = 400 s is guaranteed to hit two running jobs."""
-    from repro.batch.job import Job
-
     profile_class = JobClass("batch", 1_200.0, 1_000.0, 700.0)
     return [
         Job.with_goal_factor(
@@ -106,8 +109,6 @@ def pin(job_id: str, node: str):
 def run_flaky_migration(failure_probability: float, seed: int):
     """Boot one job on node0, then ask for a node0 -> node1 migration at
     the t = 600 s cycle under an unreliable migration actuator."""
-    from repro.batch.job import Job
-
     cluster = Cluster.homogeneous(2, cpu_capacity=1_000.0, memory_capacity=2_000.0)
     job = Job.with_goal_factor(
         job_id="job0",
@@ -181,8 +182,6 @@ def main() -> None:
         print(f"placement changes: {metrics.total_placement_changes()}")
 
         # Reconstruct the story of a job that was on the failed node.
-        from repro.sim import TraceEventKind
-
         failure_events = trace.events(
             kinds=[TraceEventKind.SUSPEND],
             predicate=lambda e: e.detail.get("event") == "node-failure",

@@ -28,23 +28,23 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
+from repro.api import (
     APCConfig,
     APCPolicy,
     ApplicationPlacementController,
     BatchWorkloadModel,
     Cluster,
+    HOUR,
     Job,
     JobProfile,
     JobQueue,
     MixedWorkloadSimulator,
     PartitionedPolicy,
+    PiecewiseTrace,
     SimulationConfig,
     TransactionalApp,
     TransactionalWorkloadModel,
 )
-from repro.txn.workload import PiecewiseTrace
-from repro.units import HOUR
 
 MARKET_OPEN = 8 * HOUR
 MARKET_CLOSE = 16 * HOUR

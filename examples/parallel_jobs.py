@@ -21,19 +21,19 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
+from repro.api import (
     APCConfig,
     APCPolicy,
     ApplicationPlacementController,
     BatchWorkloadModel,
     Cluster,
+    HOUR,
     Job,
     JobProfile,
     JobQueue,
     MixedWorkloadSimulator,
     SimulationConfig,
 )
-from repro.units import HOUR
 
 NODE_SPEED = 3900.0
 

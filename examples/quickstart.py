@@ -15,7 +15,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
+from repro.api import (
     APCConfig,
     APCPolicy,
     ApplicationPlacementController,
@@ -24,8 +24,8 @@ from repro import (
     JobQueue,
     MixedWorkloadSimulator,
     SimulationConfig,
+    experiment_one_jobs,
 )
-from repro.workloads import experiment_one_jobs
 
 
 def main() -> None:

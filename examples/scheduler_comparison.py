@@ -20,8 +20,11 @@ from __future__ import annotations
 
 import sys
 
-from repro.experiments.common import SCALES, format_table
-from repro.experiments.experiment2 import run_single
+from repro.api import (
+    SCALES,
+    format_table,
+    run_single,
+)
 
 
 def main() -> None:

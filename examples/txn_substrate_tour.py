@@ -21,10 +21,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.txn.profiler import UtilizationSample, WorkProfiler
-from repro.txn.queuing import ProcessorSharingModel
-from repro.txn.router import RequestRouter
-from repro.txn.rpf import TransactionalRPF
+from repro.api import (
+    ProcessorSharingModel,
+    RequestRouter,
+    TransactionalRPF,
+    UtilizationSample,
+    WorkProfiler,
+)
 
 
 def main() -> None:

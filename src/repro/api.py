@@ -1,0 +1,253 @@
+"""The stable public API of :mod:`repro` — import from here.
+
+Everything an application, example, or notebook needs lives in this one
+module, re-exported from the implementation packages under a
+compatibility promise: names in :data:`__all__` keep their import path
+and signature across minor versions, while the implementation modules
+(:mod:`repro.core`, :mod:`repro.batch`, ...) remain free to reorganize.
+``docs/public-api.md`` carries the full catalogue and the migration
+table from the old deep-import paths.
+
+Usage::
+
+    from repro.api import Scenario, Simulation
+
+    scenario = Scenario(name="demo", nodes=10, workload="experiment2",
+                        job_count=80, interarrival=200.0, seed=7)
+    metrics = Simulation.from_scenario(scenario).run()
+    print(metrics.deadline_satisfaction_rate())
+"""
+
+from __future__ import annotations
+
+# --- cluster model -----------------------------------------------------
+from repro.cluster import Cluster, Node, NodeSpec
+
+# --- placement controller (the paper's APC) ----------------------------
+from repro.core import (
+    APCConfig,
+    APCResult,
+    AppDemand,
+    ApplicationPlacementController,
+    ConstraintSet,
+    PlacementScore,
+    PlacementState,
+    UtilityVector,
+    distribute_load,
+)
+
+# --- batch substrate ---------------------------------------------------
+from repro.batch import (
+    BatchWorkloadModel,
+    HypotheticalRPF,
+    Job,
+    JobProfile,
+    JobQueue,
+    JobStage,
+    JobStatus,
+    PredictionMethod,
+)
+
+# --- transactional substrate -------------------------------------------
+from repro.txn import (
+    ConstantTrace,
+    PiecewiseTrace,
+    ProcessorSharingModel,
+    RequestRouter,
+    TransactionalApp,
+    TransactionalRPF,
+    TransactionalWorkloadModel,
+    UtilizationSample,
+    WorkProfiler,
+)
+
+# --- simulator, policies, metrics, traces ------------------------------
+from repro.sim import (
+    APCPolicy,
+    EDFPolicy,
+    FCFSPolicy,
+    LRPFPolicy,
+    MetricsRecorder,
+    MixedWorkloadSimulator,
+    NodeFailure,
+    PartitionedPolicy,
+    ScriptedPolicy,
+    SimulationConfig,
+    SimulationTrace,
+    TraceEventKind,
+)
+
+# --- virtualization costs and fallible actuation -----------------------
+from repro.virt import (
+    FREE_COST_MODEL,
+    PAPER_COST_MODEL,
+    ActionFaultModel,
+    FaultSpec,
+    RetryPolicy,
+    VirtualizationCostModel,
+)
+
+# --- scenarios and the one-call simulation builder ---------------------
+from repro.scenario import Scenario, Simulation
+
+# --- parallel sweeps and the scaling benchmark -------------------------
+from repro.experiments.benchmark import (
+    bench_apc_scale,
+    validate_bench_report,
+    write_bench_report,
+)
+from repro.experiments.runner import RunSpec, SweepResult, known_kinds, run_sweep
+
+# --- experiment drivers ------------------------------------------------
+from repro.experiments import (
+    Scale,
+    run_experiment_one,
+    run_experiment_three,
+    run_experiment_two,
+    run_illustrative_example,
+    scale_from_env,
+)
+from repro.experiments.common import SCALES, format_table
+from repro.experiments.experiment2 import run_single
+
+# --- capacity planning / workload analysis -----------------------------
+from repro.analysis import (
+    CapacityPlan,
+    WorkloadProfile,
+    minimum_nodes_for_batch,
+    offered_load_series,
+    profile_workload,
+    transactional_capacity_required,
+)
+
+# --- workload generators -----------------------------------------------
+from repro.workloads import (
+    JobClass,
+    MixedJobGenerator,
+    experiment_one_jobs,
+    experiment_two_jobs,
+)
+
+# --- observability -----------------------------------------------------
+from repro.obs import (
+    JsonlSink,
+    MetricRegistry,
+    SpanProfiler,
+    render_profile,
+    render_prometheus,
+)
+
+# --- misc --------------------------------------------------------------
+from repro import __version__
+from repro._compat import reset_deprecation_warnings
+from repro.errors import (
+    ConfigurationError,
+    PlacementError,
+    ReproError,
+    SimulationError,
+)
+from repro.units import HOUR, MINUTE
+
+__all__ = [
+    # cluster
+    "Cluster",
+    "Node",
+    "NodeSpec",
+    # placement controller
+    "APCConfig",
+    "APCResult",
+    "AppDemand",
+    "ApplicationPlacementController",
+    "ConstraintSet",
+    "PlacementScore",
+    "PlacementState",
+    "UtilityVector",
+    "distribute_load",
+    # batch substrate
+    "BatchWorkloadModel",
+    "HypotheticalRPF",
+    "Job",
+    "JobProfile",
+    "JobQueue",
+    "JobStage",
+    "JobStatus",
+    "PredictionMethod",
+    # transactional substrate
+    "ConstantTrace",
+    "PiecewiseTrace",
+    "ProcessorSharingModel",
+    "RequestRouter",
+    "TransactionalApp",
+    "TransactionalRPF",
+    "TransactionalWorkloadModel",
+    "UtilizationSample",
+    "WorkProfiler",
+    # simulator
+    "APCPolicy",
+    "EDFPolicy",
+    "FCFSPolicy",
+    "LRPFPolicy",
+    "MetricsRecorder",
+    "MixedWorkloadSimulator",
+    "NodeFailure",
+    "PartitionedPolicy",
+    "ScriptedPolicy",
+    "SimulationConfig",
+    "SimulationTrace",
+    "TraceEventKind",
+    # virtualization
+    "FREE_COST_MODEL",
+    "PAPER_COST_MODEL",
+    "ActionFaultModel",
+    "FaultSpec",
+    "RetryPolicy",
+    "VirtualizationCostModel",
+    # scenarios
+    "Scenario",
+    "Simulation",
+    # sweeps and benchmark
+    "RunSpec",
+    "SweepResult",
+    "known_kinds",
+    "run_sweep",
+    "bench_apc_scale",
+    "validate_bench_report",
+    "write_bench_report",
+    # experiments
+    "Scale",
+    "SCALES",
+    "scale_from_env",
+    "format_table",
+    "run_illustrative_example",
+    "run_experiment_one",
+    "run_experiment_two",
+    "run_experiment_three",
+    "run_single",
+    # analysis
+    "CapacityPlan",
+    "WorkloadProfile",
+    "minimum_nodes_for_batch",
+    "offered_load_series",
+    "profile_workload",
+    "transactional_capacity_required",
+    # workloads
+    "JobClass",
+    "MixedJobGenerator",
+    "experiment_one_jobs",
+    "experiment_two_jobs",
+    # observability
+    "JsonlSink",
+    "MetricRegistry",
+    "SpanProfiler",
+    "render_profile",
+    "render_prometheus",
+    # misc
+    "ConfigurationError",
+    "PlacementError",
+    "ReproError",
+    "SimulationError",
+    "reset_deprecation_warnings",
+    "HOUR",
+    "MINUTE",
+    "__version__",
+]

@@ -15,7 +15,11 @@ from repro.batch.rpf import (
     job_relative_performance,
     JobAllocationRPF,
 )
-from repro.batch.hypothetical import HypotheticalRPF, DEFAULT_UTILITY_LEVELS
+from repro.batch.hypothetical import (
+    HypotheticalRPF,
+    DEFAULT_UTILITY_LEVELS,
+    PredictionMethod,
+)
 from repro.batch.queue import JobQueue
 from repro.batch.profiler import JobWorkloadProfiler
 from repro.batch.model import BatchWorkloadModel
@@ -30,6 +34,7 @@ __all__ = [
     "JobAllocationRPF",
     "HypotheticalRPF",
     "DEFAULT_UTILITY_LEVELS",
+    "PredictionMethod",
     "JobQueue",
     "JobWorkloadProfiler",
     "BatchWorkloadModel",

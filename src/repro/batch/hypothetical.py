@@ -26,7 +26,8 @@ controller.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import enum
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -34,6 +35,40 @@ from repro.batch.rpf import JobAllocationRPF
 from repro.core.rpf import NEGATIVE_INFINITY_UTILITY
 from repro.errors import ConfigurationError
 from repro.units import EPSILON
+
+
+class PredictionMethod(str, enum.Enum):
+    """How per-job utilities are derived from an aggregate allocation.
+
+    ``EXACT`` solves the equalized fair-share level by bisection;
+    ``INTERPOLATE`` uses the paper's ``W``/``V`` sampling approximation
+    (equation (6)).  Subclasses ``str`` so the historical string toggles
+    (``method="exact"``) keep comparing and serializing as before.
+    """
+
+    EXACT = "exact"
+    INTERPOLATE = "interpolate"
+
+    @classmethod
+    def coerce(cls, value: Union["PredictionMethod", str]) -> "PredictionMethod":
+        """Accept an enum member or its string value.
+
+        Raises :class:`ValueError` (the enum's native miss) for anything
+        else; call sites that promise :class:`ConfigurationError` wrap it.
+        """
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                f"unknown prediction method {value!r}; "
+                f"expected one of {[m.value for m in cls]}"
+            ) from None
+
+
+#: Accepted by every ``method=`` parameter.
+MethodLike = Union[PredictionMethod, str]
 
 #: Default sampling points ``u_1 = −∞, …, u_R = 1`` (§4.2 uses a small
 #: constant R).  Denser near the "interesting" region around the goal
@@ -83,7 +118,6 @@ class HypotheticalRPF:
 
         self._levels = np.asarray(lv, dtype=float)
         self._job_ids: List[str] = [r.job_id for r in job_rpfs]
-        n = len(job_rpfs)
 
         self._remaining = np.array([r.remaining_work for r in job_rpfs], dtype=float)
         self._goal = np.array([r.goal for r in job_rpfs], dtype=float)
@@ -92,14 +126,30 @@ class HypotheticalRPF:
         self._now = np.array([r.now for r in job_rpfs], dtype=float)
         self._u_max = np.array([r.max_utility for r in job_rpfs], dtype=float)
 
-        # Build W (R x M) and V (R x M) vectorized.
-        if n == 0:
+        # W/V are built lazily: the exact equalized-level solve (the
+        # controller's default prediction path) never touches them, only
+        # the interpolation path and the matrix accessors do.
+        self._w: Optional[np.ndarray] = None
+        self._v: Optional[np.ndarray] = None
+        self._w_sums: Optional[np.ndarray] = None
+        #: Equalized-level solutions keyed by exact aggregate allocation.
+        #: The instance is frozen at construction time, so the bisection
+        #: is a pure function of the aggregate — repeated solves during a
+        #: control cycle's candidate sweep are shared.
+        self._level_cache: Dict[float, float] = {}
+
+    def _ensure_matrices(self) -> None:
+        """Build W (R x M) and V (R x M) vectorized, on first use."""
+        if self._w is not None:
+            return
+        lv = self._levels
+        if len(self._job_ids) == 0:
             self._w = np.zeros((len(lv), 0))
             self._v = np.zeros((len(lv), 0))
             self._w_sums = np.zeros(len(lv))
             return
 
-        u = self._levels[:, None]                           # (R, 1)
+        u = lv[:, None]                                     # (R, 1)
         target_completion = self._goal[None, :] - u * self._relative_goal[None, :]
         horizon = target_completion - self._now[None, :]    # (R, M)
         with np.errstate(divide="ignore", invalid="ignore"):
@@ -136,22 +186,28 @@ class HypotheticalRPF:
     @property
     def w_matrix(self) -> np.ndarray:
         """``W`` (levels x jobs): required sustained speeds, equation (4)."""
+        self._ensure_matrices()
         return self._w.copy()
 
     @property
     def v_matrix(self) -> np.ndarray:
         """``V`` (levels x jobs): achievable level values, equation (5)."""
+        self._ensure_matrices()
         return self._v.copy()
 
     @property
     def aggregate_demands(self) -> np.ndarray:
         """``Σ_m W[i][m]`` for each sampling level ``i``."""
+        self._ensure_matrices()
         return self._w_sums.copy()
 
     @property
     def max_aggregate_demand(self) -> float:
         """Aggregate speed at which every job runs at its maximum."""
-        return float(self._w_sums[-1]) if len(self._job_ids) else 0.0
+        if not self._job_ids:
+            return 0.0
+        self._ensure_matrices()
+        return float(self._w_sums[-1])
 
     def __len__(self) -> int:
         return len(self._job_ids)
@@ -189,10 +245,15 @@ class HypotheticalRPF:
         if len(self._job_ids) == 0:
             return 1.0
         aggregate = max(0.0, float(aggregate_mhz))
+        cached = self._level_cache.get(aggregate)
+        if cached is not None:
+            return cached
         lo, hi = float(self._levels[0]), 1.0
         if self.aggregate_demand_at(hi) <= aggregate + EPSILON:
+            self._level_cache[aggregate] = hi
             return hi
         if self.aggregate_demand_at(lo) > aggregate:
+            self._level_cache[aggregate] = lo
             return lo
         for _ in range(_LEVEL_SOLVE_ITERATIONS):
             mid = 0.5 * (lo + hi)
@@ -200,6 +261,7 @@ class HypotheticalRPF:
                 lo = mid
             else:
                 hi = mid
+        self._level_cache[aggregate] = lo
         return lo
 
     def job_speeds_exact(self, aggregate_mhz: float) -> np.ndarray:
@@ -211,6 +273,7 @@ class HypotheticalRPF:
         (the paper's equation (6) approximation)."""
         if len(self._job_ids) == 0:
             return np.zeros(0)
+        self._ensure_matrices()
         sums = self._w_sums
         aggregate = max(0.0, float(aggregate_mhz))
         if aggregate >= sums[-1] - EPSILON:
@@ -242,23 +305,28 @@ class HypotheticalRPF:
         return u
 
     def job_utilities(
-        self, aggregate_mhz: float, method: str = "exact"
+        self, aggregate_mhz: float, method: MethodLike = PredictionMethod.EXACT
     ) -> Dict[str, float]:
         """Predicted relative performance per job for aggregate ``ω_g``.
 
-        ``method="exact"`` (default) solves the equalized level exactly;
-        ``method="interpolate"`` uses the paper's ``W``/``V`` sampling
+        ``method`` is a :class:`PredictionMethod` (or its string value):
+        ``EXACT`` (default) solves the equalized level exactly;
+        ``INTERPOLATE`` uses the paper's ``W``/``V`` sampling
         approximation (equation (6)).
         """
         utilities = self.utilities_array(aggregate_mhz, method=method)
         return dict(zip(self._job_ids, utilities.tolist()))
 
     def utilities_array(
-        self, aggregate_mhz: float, method: str = "exact"
+        self, aggregate_mhz: float, method: MethodLike = PredictionMethod.EXACT
     ) -> np.ndarray:
         """Like :meth:`job_utilities` but as an array aligned with
         :attr:`job_ids` (the hot path for candidate evaluation)."""
-        if method == "exact":
+        try:
+            method = PredictionMethod.coerce(method)
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from None
+        if method is PredictionMethod.EXACT:
             if len(self._job_ids) == 0:
                 return np.zeros(0)
             level = self.equalized_level(aggregate_mhz)
@@ -266,17 +334,19 @@ class HypotheticalRPF:
             u = np.clip(u, NEGATIVE_INFINITY_UTILITY, None)
             u[self._remaining <= EPSILON] = 1.0
             return u
-        if method == "interpolate":
-            return self.utilities_from_speeds(self.job_speeds(aggregate_mhz))
-        raise ConfigurationError(f"unknown method {method!r}")
+        return self.utilities_from_speeds(self.job_speeds(aggregate_mhz))
 
-    def average_utility(self, aggregate_mhz: float, method: str = "exact") -> float:
+    def average_utility(
+        self, aggregate_mhz: float, method: MethodLike = PredictionMethod.EXACT
+    ) -> float:
         """Average hypothetical relative performance (Figures 2 and 6)."""
         if len(self._job_ids) == 0:
             return float("nan")
         return float(np.mean(self.utilities_array(aggregate_mhz, method=method)))
 
-    def min_utility(self, aggregate_mhz: float, method: str = "exact") -> float:
+    def min_utility(
+        self, aggregate_mhz: float, method: MethodLike = PredictionMethod.EXACT
+    ) -> float:
         """Worst predicted relative performance (the maxmin objective)."""
         if len(self._job_ids) == 0:
             return float("nan")
@@ -287,6 +357,7 @@ class HypotheticalRPF:
         (piecewise-linear interpolation of ``Σ W`` over the levels)."""
         if len(self._job_ids) == 0:
             return 0.0
+        self._ensure_matrices()
         levels = self._levels
         if level <= levels[0]:
             return float(self._w_sums[0])

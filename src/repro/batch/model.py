@@ -18,9 +18,14 @@ long-running jobs:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.batch.hypothetical import DEFAULT_UTILITY_LEVELS, HypotheticalRPF
+from repro.batch.hypothetical import (
+    DEFAULT_UTILITY_LEVELS,
+    HypotheticalRPF,
+    MethodLike,
+    PredictionMethod,
+)
 from repro.batch.job import Job, JobStatus
 from repro.batch.queue import JobQueue
 from repro.batch.rpf import JobAllocationRPF, job_relative_performance
@@ -45,6 +50,16 @@ class BatchWorkloadModel:
         still participate in prediction — the window only bounds the
         search space, mirroring the real system's need to keep the online
         algorithm's cycle time low.  ``None`` = no limit.
+    prediction_method:
+        A :class:`~repro.batch.hypothetical.PredictionMethod` (or its
+        string value): the exact equalized-level solve or the paper's
+        interpolation.
+    cache:
+        Memoize :meth:`evaluate` per control instant.  The prediction is
+        a pure function of (time, horizon, per-job progress, per-job
+        effective speed), so the memo is exact; it exists because the
+        controller's candidate sweep re-evaluates many placements that
+        grant the batch workload identical speeds.
     """
 
     def __init__(
@@ -52,14 +67,20 @@ class BatchWorkloadModel:
         queue: JobQueue,
         levels: Sequence[float] = DEFAULT_UTILITY_LEVELS,
         queue_window: Optional[int] = None,
-        prediction_method: str = "exact",
+        prediction_method: MethodLike = PredictionMethod.EXACT,
+        *,
+        cache: bool = True,
     ) -> None:
-        if prediction_method not in ("exact", "interpolate"):
-            raise ValueError(f"unknown prediction method {prediction_method!r}")
         self._queue = queue
         self._levels = tuple(levels)
         self._queue_window = queue_window
-        self._prediction_method = prediction_method
+        self._prediction_method = PredictionMethod.coerce(prediction_method)
+        self._cache_enabled = cache
+        #: evaluate() results keyed by per-job (id, progress, speed);
+        #: valid for one (now, horizon) control instant at a time.
+        self._eval_cache: Dict[Tuple, Dict[str, float]] = {}
+        self._eval_cache_instant: Optional[Tuple[float, float]] = None
+        self._c_eval_cache = None
 
     @property
     def queue(self) -> JobQueue:
@@ -68,6 +89,19 @@ class BatchWorkloadModel:
     @property
     def levels(self) -> Sequence[float]:
         return self._levels
+
+    @property
+    def prediction_method(self) -> PredictionMethod:
+        return self._prediction_method
+
+    def bind_registry(self, registry) -> None:
+        """Publish prediction-cache telemetry into a
+        :class:`~repro.obs.registry.MetricRegistry`."""
+        self._c_eval_cache = registry.counter(
+            "repro_batch_eval_cache_total",
+            "Batch-model evaluate() memo lookups by outcome",
+            ("outcome",),
+        )
 
     # ------------------------------------------------------------------
     # WorkloadModel protocol
@@ -117,6 +151,31 @@ class BatchWorkloadModel:
         if not jobs:
             return {}
 
+        cache_key: Optional[Tuple] = None
+        if self._cache_enabled:
+            # The prediction depends on each job only through its
+            # progress and effective (max-speed-capped) allocation, and
+            # on the control instant; anything else is frozen per job id.
+            cache_key = tuple(
+                (
+                    job.job_id,
+                    job.cpu_consumed,
+                    min(allocations.get(job.job_id, 0.0), job.max_speed),
+                )
+                for job in jobs
+            )
+            instant = (now, horizon)
+            if instant != self._eval_cache_instant:
+                self._eval_cache_instant = instant
+                self._eval_cache.clear()
+            hit = self._eval_cache.get(cache_key)
+            if hit is not None:
+                if self._c_eval_cache is not None:
+                    self._c_eval_cache.inc(outcome="hit")
+                return dict(hit)
+            if self._c_eval_cache is not None:
+                self._c_eval_cache.inc(outcome="miss")
+
         utilities: Dict[str, float] = {}
         future_rpfs: List[JobAllocationRPF] = []
         aggregate = 0.0
@@ -147,6 +206,8 @@ class BatchWorkloadModel:
             utilities.update(
                 hypothetical.job_utilities(aggregate, method=self._prediction_method)
             )
+        if cache_key is not None:
+            self._eval_cache[cache_key] = dict(utilities)
         return utilities
 
     # ------------------------------------------------------------------

@@ -9,7 +9,7 @@ status-partitioned views the policies and the controller need.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List
+from typing import Dict, Iterable, Iterator, List
 
 from repro.batch.job import Job, JobStatus
 from repro.errors import SchedulingError
@@ -18,16 +18,22 @@ from repro.errors import SchedulingError
 class JobQueue:
     """All jobs known to the scheduler, in submission order.
 
+    Constructed empty, or pre-populated via the keyword-only ``jobs``
+    argument (each is submitted in iteration order, as if by
+    :meth:`submit`).
+
     ``bind_registry`` attaches opt-in telemetry: submissions count into
     ``repro_jobs_submitted_total`` and the queue's working-set size is
     kept in the ``repro_queue_depth`` gauge (both no-ops by default).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, jobs: Iterable[Job] = ()) -> None:
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []
         self._c_submitted = None
         self._g_depth = None
+        for job in jobs:
+            self.submit(job)
 
     def bind_registry(self, registry) -> None:
         """Publish queue telemetry into a

@@ -376,6 +376,57 @@ def cmd_telemetry(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Benchmark APC ``place()`` scaling: naive vs incremental search."""
+    from repro.experiments.benchmark import (
+        bench_apc_scale,
+        format_bench_report,
+        validate_bench_report,
+        write_bench_report,
+    )
+
+    kwargs = dict(cycles=args.cycles, seed=args.seed, quick=args.quick)
+    if args.sizes:
+        kwargs["sizes"] = tuple(args.sizes)
+    report = bench_apc_scale(**kwargs)
+    print(format_bench_report(report))
+    problems = validate_bench_report(report)
+    if args.out:
+        write_bench_report(report, args.out)
+        print(f"report written to {args.out}")
+    if problems:
+        for problem in problems:
+            print(f"invalid report: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Run a batch of RunSpecs (JSON file) across worker processes."""
+    import json
+
+    from repro.experiments.runner import run_sweep
+
+    with open(args.config, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    specs = data["specs"] if isinstance(data, dict) else data
+    result = run_sweep(specs, workers=args.workers)
+    print(f"{len(result)} runs on {result.workers} worker(s)")
+    for summary in result:
+        status = "ok" if summary.get("ok") else f"FAILED: {summary.get('error')}"
+        print(f"  {summary['name']} [{summary['kind']}] {status}")
+    merged = result.merged_metrics()
+    if merged:
+        print("merged counters:")
+        for key in sorted(merged):
+            print(f"  {key} = {merged[key]:g}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"summaries written to {args.out}")
+    return 1 if result.failures else 0
+
+
 def cmd_ablations(args) -> int:
     from repro.experiments import ablations
 
@@ -515,6 +566,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="optional fault injection so action series are "
                         "non-zero (per-attempt failure probability)")
     p.set_defaults(func=cmd_telemetry)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark APC place() scaling (naive vs incremental search)",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="CI-smoke ladder (small sizes, few cycles)")
+    p.add_argument("--sizes", type=int, nargs="+", default=None,
+                   help="node counts to benchmark (default 10 25 50 100 200)")
+    p.add_argument("--cycles", type=int, default=12,
+                   help="control cycles per measurement (default 12)")
+    p.add_argument("--seed", type=int, default=7, help="workload seed")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write the JSON report here (e.g. BENCH_apc.json)")
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a JSON batch of experiment/scenario specs across workers",
+    )
+    p.add_argument("config", help="JSON file: list of RunSpec dicts or "
+                                  "{'specs': [...]}")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: min(len(specs), cores); "
+                        "1 = inline)")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write summaries JSON here")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("ablations", help="design-choice studies")
     _add_common(p)

@@ -46,9 +46,11 @@ time" (§5.1).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro._compat import keyword_only
 from repro.cluster import Cluster
 from repro.core.constraints import ConstraintSet
 from repro.core.loadbalance import AllocatableApp, distribute_load
@@ -56,14 +58,17 @@ from repro.core.objective import PlacementScore, UtilityVector
 from repro.core.placement import PlacementState
 from repro.core.workload import WorkloadModel
 from repro.errors import ConfigurationError, PlacementError
+from repro.obs.registry import MetricRegistry
 from repro.obs.spans import NULL_SPAN, SpanProfiler
 from repro.units import EPSILON
 from repro.virt.actions import diff_placements
 
 
+@keyword_only
 @dataclass
 class APCConfig:
-    """Tunables of the placement controller.
+    """Tunables of the placement controller.  Construct with keyword
+    arguments (positional construction is deprecated).
 
     Attributes
     ----------
@@ -99,6 +104,14 @@ class APCConfig:
     enable_search:
         When False only the greedy admission pass runs (useful for
         ablations; the full paper algorithm keeps it True).
+    incremental:
+        Enable the fast-path machinery: the per-cycle candidate
+        evaluation memo, the O(1) per-node min-CPU admission index, the
+        no-op-node skip and the utility upper-bound short-circuit.  Every
+        one of these preserves the naive solver's decisions byte for
+        byte (pinned by test); the flag exists so benchmarks and
+        regression hunts can fall back to the reference three-loop
+        implementation.
     """
 
     cycle_length: float = 600.0
@@ -107,6 +120,7 @@ class APCConfig:
     improvement_epsilon: float = 0.02
     preemption_penalty: float = 0.05
     enable_search: bool = True
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.cycle_length <= 0:
@@ -115,6 +129,31 @@ class APCConfig:
             raise ConfigurationError(f"search sweeps must be >= 0, got {self.search_sweeps}")
         if self.max_removals_per_node is not None and self.max_removals_per_node < 0:
             raise ConfigurationError("max removals per node must be >= 0 or None")
+
+    def to_dict(self) -> Dict[str, object]:
+        """A plain JSON-serializable representation (round-trips through
+        :meth:`from_dict`)."""
+        return {
+            "cycle_length": self.cycle_length,
+            "max_removals_per_node": self.max_removals_per_node,
+            "search_sweeps": self.search_sweeps,
+            "improvement_epsilon": self.improvement_epsilon,
+            "preemption_penalty": self.preemption_penalty,
+            "enable_search": self.enable_search,
+            "incremental": self.incremental,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "APCConfig":
+        """Build from a plain dict (inverse of :meth:`to_dict`); unknown
+        keys are rejected to surface config typos."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown APCConfig keys: {sorted(unknown)}"
+            )
+        return cls(**dict(data))
 
 
 @dataclass
@@ -133,6 +172,9 @@ class APCResult:
     evaluations: int = 0
     #: Whether the chosen placement differs from the starting one.
     changed: bool = False
+    #: Candidate evaluations answered from the per-cycle memo (always 0
+    #: with ``incremental=False``).
+    cache_hits: int = 0
 
     @property
     def utility_vector(self) -> UtilityVector:
@@ -148,11 +190,37 @@ class ApplicationPlacementController:
         config: Optional[APCConfig] = None,
         constraints: Optional[ConstraintSet] = None,
         profiler: Optional[SpanProfiler] = None,
+        registry: Optional[MetricRegistry] = None,
     ) -> None:
         self._cluster = cluster
         self._config = config or APCConfig()
         self._constraints = constraints or ConstraintSet()
         self._profiler = profiler
+        #: Node name -> position, replacing O(N) ``node_names.index``
+        #: lookups in the admission pass's host tie-break.
+        self._node_pos: Dict[str, int] = {
+            n: i for i, n in enumerate(cluster.node_names)
+        }
+        self._c_cache = None
+        self._c_shortcut = None
+        if registry is not None:
+            self.bind_registry(registry)
+
+    def bind_registry(self, registry: MetricRegistry) -> None:
+        """Publish fast-path telemetry into a
+        :class:`~repro.obs.registry.MetricRegistry`: evaluation-memo
+        lookups (``repro_apc_cache_total``) and search short-circuits
+        (``repro_apc_shortcircuit_total``)."""
+        self._c_cache = registry.counter(
+            "repro_apc_cache_total",
+            "APC candidate-evaluation memo lookups by outcome",
+            ("outcome",),
+        )
+        self._c_shortcut = registry.counter(
+            "repro_apc_shortcircuit_total",
+            "APC search work skipped by fast-path checks",
+            ("kind",),
+        )
 
     @property
     def config(self) -> APCConfig:
@@ -217,11 +285,42 @@ class ApplicationPlacementController:
         baseline = state.as_matrix()
 
         evaluations = 0
+        cache_hits = 0
+        use_memo = self._config.incremental
+        #: matrix_key -> (utilities, allocations, churn, load entries in
+        #: write order).  Valid for this cycle only: specs and `now` are
+        #: fixed, so evaluation is a pure function of the placement.
+        eval_memo: Dict[Tuple, Tuple] = {}
 
         def evaluate(
             trial: PlacementState, tolerance: Optional[float] = None
         ) -> Tuple[PlacementScore, Dict[str, float], Dict[str, float]]:
-            nonlocal evaluations
+            nonlocal evaluations, cache_hits
+            tol = (
+                self._config.improvement_epsilon
+                if tolerance is None
+                else tolerance
+            )
+            key = trial.matrix_key() if use_memo else None
+            if key is not None:
+                hit = eval_memo.get(key)
+                if hit is not None:
+                    cache_hits += 1
+                    if self._c_cache is not None:
+                        self._c_cache.inc(outcome="hit")
+                    utilities, allocations, churn, load_entries = hit
+                    # Replay the load matrix in its original write order
+                    # so the trial state is indistinguishable from a
+                    # freshly evaluated one.
+                    trial.clear_load()
+                    for app_id, node, cpu in load_entries:
+                        trial.set_cpu(app_id, node, cpu)
+                    score = PlacementScore(
+                        UtilityVector(utilities.values(), tolerance=tol), churn
+                    )
+                    return score, dict(utilities), dict(allocations)
+                if self._c_cache is not None:
+                    self._c_cache.inc(outcome="miss")
             evaluations += 1
             with self._span("apc.evaluate"):
                 with self._span("apc.loadbalance"):
@@ -242,16 +341,18 @@ class ApplicationPlacementController:
                         c for _, _, c in additions
                     )
                     score = PlacementScore(
-                        UtilityVector(
-                            utilities.values(),
-                            tolerance=(
-                                self._config.improvement_epsilon
-                                if tolerance is None
-                                else tolerance
-                            ),
-                        ),
+                        UtilityVector(utilities.values(), tolerance=tol),
                         churn,
                     )
+            if key is not None:
+                load_entries = tuple(
+                    (a, n, c)
+                    for a, nodes in trial.load_matrix().items()
+                    for n, c in nodes.items()
+                )
+                eval_memo[key] = (
+                    dict(utilities), dict(result.allocations), churn, load_entries
+                )
             return score, utilities, result.allocations
 
         best_state = state
@@ -275,8 +376,19 @@ class ApplicationPlacementController:
         if self._config.enable_search and self._search_is_worthwhile(
             best_state, specs, candidates, best_utilities, best_allocations
         ):
+            bound_reached = (
+                self._make_bound_checker(specs)
+                if self._config.incremental
+                else None
+            )
             with self._span("apc.search"):
                 for _ in range(self._config.search_sweeps):
+                    if bound_reached is not None and bound_reached(best_score):
+                        # No candidate vector can clear the incumbent by
+                        # more than the noise threshold anywhere.
+                        if self._c_shortcut is not None:
+                            self._c_shortcut.inc(kind="upper_bound")
+                        break
                     (
                         improved,
                         best_state,
@@ -291,6 +403,7 @@ class ApplicationPlacementController:
                         specs,
                         candidates,
                         evaluate,
+                        bound_reached,
                     )
                     if not improved:
                         break
@@ -303,6 +416,7 @@ class ApplicationPlacementController:
             score=best_score,
             evaluations=evaluations,
             changed=changed,
+            cache_hits=cache_hits,
         )
 
     # ------------------------------------------------------------------
@@ -420,6 +534,53 @@ class ApplicationPlacementController:
             committed += spec.demand.min_cpu_mhz * state.instances(app_id)[node]
         return committed <= self._cluster.node(node).cpu_capacity + EPSILON
 
+    def _committed_min_cpu(
+        self, state: PlacementState, specs: Mapping[str, AllocatableApp]
+    ) -> Dict[str, float]:
+        """Per-node sum of placed instances' minimum speeds.
+
+        The incremental admission index: computed once per pass, updated
+        in O(1) per placement, making the min-CPU reservation check
+        constant-time instead of a scan over every application on the
+        node for every (candidate, node) pair.
+        """
+        committed = {n: 0.0 for n in self._cluster.node_names}
+        for app_id in state.app_ids:
+            spec = specs.get(app_id)
+            if spec is None:
+                continue
+            min_cpu = spec.demand.min_cpu_mhz
+            if min_cpu <= 0.0:
+                continue
+            for node, count in state.instances(app_id).items():
+                committed[node] += min_cpu * count
+        return committed
+
+    def _make_bound_checker(
+        self, specs: Mapping[str, AllocatableApp]
+    ) -> Callable[[PlacementScore], bool]:
+        """A predicate: can no candidate placement beat this incumbent?
+
+        Any candidate's per-application utility is bounded by the
+        application's RPF maximum, and element-wise domination survives
+        sorting, so the sorted vector of RPF maxima dominates every
+        candidate vector element-wise.  Adoption requires the candidate
+        to exceed the incumbent by more than the comparison tolerance at
+        some position, and every tolerance in play is at least
+        ``improvement_epsilon`` — so once the bound is within epsilon of
+        the incumbent everywhere, no further sweep can adopt anything.
+        """
+        upper = sorted(spec.rpf.max_utility for spec in specs.values())
+        epsilon = self._config.improvement_epsilon
+
+        def reached(score: PlacementScore) -> bool:
+            incumbent = score.utilities.values
+            if len(incumbent) != len(upper):
+                return False
+            return all(u <= b + epsilon for u, b in zip(upper, incumbent))
+
+        return reached
+
     def _greedy_admit(
         self,
         state: PlacementState,
@@ -435,15 +596,20 @@ class ApplicationPlacementController:
         growing the cluster costs nothing at this stage and lets the load
         distributor use all available capacity.
         """
-        placed_any = False
         unplaced = [c for c in candidates if not state.is_placed(c) and c in specs]
         unplaced.sort(key=lambda a: utilities.get(a, specs[a].rpf.max_utility))
+        if not unplaced:
+            return False
+        if self._config.incremental:
+            return self._greedy_admit_fast(state, specs, unplaced)
+        placed_any = False
         for app_id in unplaced:
             spec = specs[app_id]
+            min_cpu = spec.demand.min_cpu_mhz
             if spec.demand.divisible:
                 for node in self._cluster.node_names:
                     if self._can_host(state, spec, node) and self._min_cpu_fits(
-                        state, specs, node, spec.demand.min_cpu_mhz
+                        state, specs, node, min_cpu
                     ):
                         state.place(app_id, node, spec.demand.memory_mb)
                         placed_any = True
@@ -452,13 +618,85 @@ class ApplicationPlacementController:
                     n
                     for n in self._cluster.node_names
                     if self._can_host(state, spec, n)
-                    and self._min_cpu_fits(state, specs, n, spec.demand.min_cpu_mhz)
+                    and self._min_cpu_fits(state, specs, n, min_cpu)
                 ]
                 if hosts:
                     # Most free CPU first: spreads jobs and leaves room
                     # for each to reach its maximum speed.
-                    target = max(hosts, key=lambda n: (state.cpu_available(n), -self._cluster.node_names.index(n)))
+                    target = max(
+                        hosts,
+                        key=lambda n: (
+                            state.cpu_available(n),
+                            -self._cluster.node_names.index(n),
+                        ),
+                    )
                     state.place(app_id, target, spec.demand.memory_mb)
+                    placed_any = True
+        return placed_any
+
+    def _greedy_admit_fast(
+        self,
+        state: PlacementState,
+        specs: Mapping[str, AllocatableApp],
+        unplaced: Sequence[str],
+    ) -> bool:
+        """Indexed admission pass: same decisions as the naive loop, but
+        per-node memory/min-CPU/free-CPU figures are computed once and
+        updated in O(1) per placement instead of re-derived from the
+        state for every (candidate, node) pair."""
+        node_names = self._cluster.node_names
+        committed = self._committed_min_cpu(state, specs)
+        capacity = {n: self._cluster.node(n).cpu_capacity for n in node_names}
+        mem_avail = {n: state.memory_available(n) for n in node_names}
+        # The admission pass never touches the load matrix, so free CPU
+        # (the host tie-break key) is constant throughout.
+        cpu_avail = {n: state.cpu_available(n) for n in node_names}
+        node_pos = self._node_pos
+        constraints = self._constraints if len(self._constraints) else None
+        placed_any = False
+        for app_id in unplaced:
+            demand = specs[app_id].demand
+            memory_mb = demand.memory_mb
+            min_cpu = demand.min_cpu_mhz
+            max_inst = demand.max_instances
+            count = state.instance_count(app_id)
+            if demand.divisible:
+                for node in node_names:
+                    if max_inst is not None and count >= max_inst:
+                        break
+                    if mem_avail[node] + EPSILON < memory_mb:
+                        continue
+                    if committed[node] + min_cpu > capacity[node] + EPSILON:
+                        continue
+                    if constraints is not None and not constraints.allows(
+                        state, app_id, node
+                    ):
+                        continue
+                    state.place(app_id, node, memory_mb)
+                    committed[node] += min_cpu
+                    mem_avail[node] -= memory_mb
+                    count += 1
+                    placed_any = True
+            else:
+                if max_inst is not None and count >= max_inst:
+                    continue
+                hosts = [
+                    n
+                    for n in node_names
+                    if mem_avail[n] + EPSILON >= memory_mb
+                    and committed[n] + min_cpu <= capacity[n] + EPSILON
+                    and (
+                        constraints is None
+                        or constraints.allows(state, app_id, n)
+                    )
+                ]
+                if hosts:
+                    target = max(
+                        hosts, key=lambda n: (cpu_avail[n], -node_pos[n])
+                    )
+                    state.place(app_id, target, memory_mb)
+                    committed[target] += min_cpu
+                    mem_avail[target] -= memory_mb
                     placed_any = True
         return placed_any
 
@@ -533,10 +771,12 @@ class ApplicationPlacementController:
         specs: Mapping[str, AllocatableApp],
         candidates: Sequence[str],
         evaluate,
+        bound_reached: Optional[Callable[[PlacementScore], bool]] = None,
     ):
         """One outer-loop pass over all nodes.  Returns
         ``(improved, state, score, utilities, allocations)``."""
         improved = False
+        incremental = self._config.incremental
 
         # Outer loop: visit nodes hosting the highest-utility instances
         # first — they are the most promising donors of capacity.
@@ -563,6 +803,19 @@ class ApplicationPlacementController:
                 removable = removable[: self._config.max_removals_per_node]
 
             for removals in range(len(removable) + 1):
+                if removals == 0 and incremental:
+                    # The zero-removal trial is the incumbent plus
+                    # whatever the fill pass can add.  The fill's first
+                    # placement decision depends only on the unmodified
+                    # base, so when nothing can be placed there, the
+                    # trial is the incumbent itself — skip it without
+                    # paying for the state copy.
+                    if not self._fill_possible(
+                        node_base, specs, candidates, best_utilities, node
+                    ):
+                        if self._c_shortcut is not None:
+                            self._c_shortcut.inc(kind="node_noop")
+                        continue
                 trial = node_base.copy()
                 for app_id in removable[:removals]:
                     trial.remove(app_id, node)
@@ -588,7 +841,61 @@ class ApplicationPlacementController:
                     best_state, best_score = trial, score
                     best_utilities, best_allocations = utilities, allocations
                     improved = True
+                    if bound_reached is not None and bound_reached(best_score):
+                        if self._c_shortcut is not None:
+                            self._c_shortcut.inc(kind="upper_bound")
+                        return (
+                            improved,
+                            best_state,
+                            best_score,
+                            best_utilities,
+                            best_allocations,
+                        )
         return improved, best_state, best_score, best_utilities, best_allocations
+
+    def _node_committed_min(
+        self,
+        state: PlacementState,
+        specs: Mapping[str, AllocatableApp],
+        node: str,
+    ) -> float:
+        """Sum of placed instances' minimum speeds on one node."""
+        committed = 0.0
+        for app_id in state.apps_on(node):
+            spec = specs.get(app_id)
+            if spec is None:
+                continue
+            committed += spec.demand.min_cpu_mhz * state.instances(app_id)[node]
+        return committed
+
+    def _fill_possible(
+        self,
+        state: PlacementState,
+        specs: Mapping[str, AllocatableApp],
+        candidates: Sequence[str],
+        utilities: Mapping[str, float],
+        node: str,
+    ) -> bool:
+        """Would :meth:`_fill_node` place anything on an *unmodified*
+        ``state``?  Equivalent because the fill's first placement
+        decision sees exactly this state; used to recognize no-op
+        zero-removal trials before paying for the state copy."""
+        committed = self._node_committed_min(state, specs, node)
+        capacity = self._cluster.node(node).cpu_capacity
+        for c in candidates:
+            spec = specs.get(c)
+            if spec is None:
+                continue
+            if not spec.demand.divisible and state.is_placed(c):
+                continue
+            if state.instances(c).get(node, 0) != 0:
+                continue
+            if (
+                self._can_host(state, spec, node)
+                and committed + spec.demand.min_cpu_mhz <= capacity + EPSILON
+            ):
+                return True
+        return False
 
     def _fill_node(
         self,
@@ -610,6 +917,22 @@ class ApplicationPlacementController:
             and state.instances(c).get(node, 0) == 0
         ]
         eligible.sort(key=lambda a: utilities.get(a, specs[a].rpf.max_utility))
+        if self._config.incremental:
+            # Maintain the node's committed-min sum across placements
+            # instead of rescanning every hosted application per check.
+            committed = self._node_committed_min(state, specs, node)
+            capacity = self._cluster.node(node).cpu_capacity
+            for app_id in eligible:
+                spec = specs[app_id]
+                min_cpu = spec.demand.min_cpu_mhz
+                if (
+                    self._can_host(state, spec, node)
+                    and committed + min_cpu <= capacity + EPSILON
+                ):
+                    state.place(app_id, node, spec.demand.memory_mb)
+                    committed += min_cpu
+                    placed_any = True
+            return placed_any
         for app_id in eligible:
             spec = specs[app_id]
             if self._can_host(state, spec, node) and self._min_cpu_fits(

@@ -22,6 +22,26 @@ from typing import Iterable, Mapping, Tuple
 from repro.units import EPSILON
 
 
+@functools.lru_cache(maxsize=65536)
+def _lex_compare(
+    a: Tuple[float, ...], b: Tuple[float, ...], tolerance: float
+) -> int:
+    """Tolerant lexicographic comparison of two sorted value tuples.
+
+    Returns -1 (``a < b``), 0 (element-wise tie over equal lengths) or 1.
+    Pure in its arguments, so results are shared across the controller's
+    repeated comparisons of the same candidate vectors.
+    """
+    for x, y in zip(a, b):
+        if x < y - tolerance:
+            return -1
+        if x > y + tolerance:
+            return 1
+    if len(a) != len(b):
+        return -1 if len(a) < len(b) else 1
+    return 0
+
+
 @functools.total_ordering
 class UtilityVector:
     """An ascending-sorted vector of relative performance values.
@@ -81,18 +101,13 @@ class UtilityVector:
         if len(self._values) != len(other._values):
             return False
         tol = self._shared_tolerance(other)
-        return all(abs(a - b) <= tol for a, b in zip(self._values, other._values))
+        return _lex_compare(self._values, other._values, tol) == 0
 
     def __lt__(self, other: "UtilityVector") -> bool:
         if not isinstance(other, UtilityVector):
             return NotImplemented
         tol = self._shared_tolerance(other)
-        for a, b in zip(self._values, other._values):
-            if a < b - tol:
-                return True
-            if a > b + tol:
-                return False
-        return len(self._values) < len(other._values)
+        return _lex_compare(self._values, other._values, tol) == -1
 
     def __hash__(self) -> int:
         # Consistent with __eq__ only up to epsilon; UtilityVector is not

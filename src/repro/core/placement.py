@@ -10,7 +10,7 @@ searching for a better configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.cluster import Cluster
 from repro.errors import CapacityError, PlacementError
@@ -162,6 +162,23 @@ class PlacementState:
     def as_matrix(self) -> Dict[str, Dict[str, int]]:
         """A deep copy of the placement matrix ``P``."""
         return {a: dict(nodes) for a, nodes in self._instances.items() if nodes}
+
+    def matrix_key(self) -> Tuple[Tuple[str, Tuple[Tuple[str, int], ...]], ...]:
+        """A hashable fingerprint of the placement matrix ``P``.
+
+        Preserves dict *insertion order* (both the application order and
+        each application's node order), not just contents: downstream
+        consumers — the load distributor's tie-breaking, action diffing —
+        iterate these dicts, so two states may only share a fingerprint
+        when every order-sensitive iteration over them behaves
+        identically.  This is what makes the controller's per-cycle
+        evaluation memo byte-exact.
+        """
+        return tuple(
+            (a, tuple(nodes.items()))
+            for a, nodes in self._instances.items()
+            if nodes
+        )
 
     def load_matrix(self) -> Dict[str, Dict[str, float]]:
         """A deep copy of the load matrix ``L``."""

@@ -1,0 +1,221 @@
+"""APC scaling benchmark: naive versus incremental search.
+
+Drives the placement controller directly (no discrete-event simulator —
+the cost under measurement is :meth:`place` itself) over rolling control
+cycles of a saturated mixed-class workload, at a ladder of cluster
+sizes.  Each size is timed twice from identical initial conditions:
+
+* **naive** — ``APCConfig(incremental=False)`` and an uncached batch
+  model: the reference three-nested-loop solver;
+* **incremental** — the defaults: per-cycle evaluation memo, O(1)
+  admission indexes, no-op-node skip and utility upper-bound
+  short-circuit.
+
+The two runs' per-cycle placement matrices are compared for equality —
+the fast path must be *byte-identical* in its decisions, not just
+faster — and the per-cycle ``place()`` timings are reduced to medians.
+
+Output is a JSON document (schema ``repro.bench.apc/v1``)::
+
+    {
+      "schema": "repro.bench.apc/v1",
+      "quick": false, "seed": 7, "cycles": 12,
+      "results": [
+        {"nodes": 100, "jobs": 800, "naive_ms": ..., "incremental_ms": ...,
+         "speedup_median": ..., "identical": true},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import statistics
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.batch.job import JobStatus
+from repro.batch.model import BatchWorkloadModel
+from repro.batch.queue import JobQueue
+from repro.core.apc import ApplicationPlacementController
+from repro.core.placement import PlacementState
+from repro.scenario import Scenario
+
+#: Current benchmark output schema identifier.
+BENCH_SCHEMA = "repro.bench.apc/v1"
+
+#: Cluster sizes of the full ladder (node counts).
+DEFAULT_SIZES = (10, 25, 50, 100, 200)
+
+#: Sizes used by ``--quick`` (CI smoke).
+QUICK_SIZES = (10, 25)
+
+#: Paper-term mean inter-arrival that keeps the queue saturated — the
+#: regime where the search actually runs and fast paths matter.  At
+#: ~0.5 job arrivals per node-cycle against multi-cycle job durations,
+#: demand outstrips capacity severalfold within a few cycles.
+_SATURATED_INTERARRIVAL = 50.0
+
+#: Jobs per node: enough backlog to outlive the measured cycles.
+_JOBS_PER_NODE = 8
+
+
+def _bench_scenario(nodes: int, seed: int) -> Scenario:
+    return Scenario(
+        name=f"bench-apc-{nodes}",
+        nodes=nodes,
+        workload="experiment2",
+        job_count=nodes * _JOBS_PER_NODE,
+        interarrival=_SATURATED_INTERARRIVAL,
+        seed=seed,
+        queue_window=48,
+    )
+
+
+def _run_cycles(
+    scenario: Scenario, cycles: int, incremental: bool
+) -> Dict[str, object]:
+    """Roll the controller over ``cycles`` control cycles, timing each
+    ``place()`` call; jobs advance at their granted speeds between
+    cycles (the simulator's execution rule, minus event-queue overhead
+    that would pollute the measurement)."""
+    cluster = scenario.build_cluster()
+    jobs = scenario.build_jobs()
+    queue = JobQueue()
+    model = BatchWorkloadModel(
+        queue, queue_window=scenario.queue_window, cache=incremental
+    )
+    config = dataclasses.replace(scenario.apc, incremental=incremental)
+    controller = ApplicationPlacementController(cluster, config)
+    state = PlacementState(cluster)
+    horizon = config.cycle_length
+
+    pending = list(jobs)
+    now = 0.0
+    timings: List[float] = []
+    matrices: List[dict] = []
+    for _ in range(cycles):
+        while pending and pending[0].submit_time <= now:
+            queue.submit(pending.pop(0))
+        start = time.perf_counter()
+        result = controller.place([model], state, now)
+        timings.append(time.perf_counter() - start)
+        state = result.state
+        matrices.append(state.as_matrix())
+        for job in queue.incomplete():
+            speed = min(result.allocations.get(job.job_id, 0.0), job.max_speed)
+            if speed <= 0.0:
+                continue
+            if job.status is JobStatus.NOT_STARTED:
+                job.status = JobStatus.RUNNING
+                job.start_time = now
+            job.advance(speed * horizon)
+            if job.remaining_work <= 0.0:
+                job.status = JobStatus.COMPLETED
+                job.completion_time = now + horizon
+        now += horizon
+    return {"timings": timings, "matrices": matrices}
+
+
+def bench_apc_scale(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    cycles: int = 12,
+    seed: int = 7,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Time ``place()`` across cluster sizes; returns the schema dict.
+
+    ``quick`` shrinks the ladder and cycle count to CI-smoke size
+    (a few seconds) while keeping the schema identical.
+    """
+    if quick:
+        sizes = QUICK_SIZES
+        cycles = min(cycles, 6)
+    results: List[Dict[str, object]] = []
+    for nodes in sizes:
+        scenario = _bench_scenario(nodes, seed)
+        naive = _run_cycles(scenario, cycles, incremental=False)
+        fast = _run_cycles(scenario, cycles, incremental=True)
+        naive_ms = statistics.median(naive["timings"]) * 1000.0
+        fast_ms = statistics.median(fast["timings"]) * 1000.0
+        results.append(
+            {
+                "nodes": nodes,
+                "jobs": scenario.job_count,
+                "naive_ms": naive_ms,
+                "incremental_ms": fast_ms,
+                "speedup_median": naive_ms / fast_ms if fast_ms > 0 else float("inf"),
+                "identical": naive["matrices"] == fast["matrices"],
+            }
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "quick": quick,
+        "seed": seed,
+        "cycles": cycles,
+        "results": results,
+    }
+
+
+def validate_bench_report(report: Dict[str, object]) -> List[str]:
+    """Schema check for a benchmark report; returns a list of problems
+    (empty = valid).  Used by the CI smoke job."""
+    problems: List[str] = []
+    if report.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema is {report.get('schema')!r}, want {BENCH_SCHEMA!r}")
+    for key, kind in (("quick", bool), ("seed", int), ("cycles", int)):
+        if not isinstance(report.get(key), kind):
+            problems.append(f"{key!r} missing or not {kind.__name__}")
+    rows = report.get("results")
+    if not isinstance(rows, list) or not rows:
+        problems.append("'results' missing or empty")
+        return problems
+    for i, row in enumerate(rows):
+        for key, kind in (
+            ("nodes", int),
+            ("jobs", int),
+            ("naive_ms", (int, float)),
+            ("incremental_ms", (int, float)),
+            ("speedup_median", (int, float)),
+            ("identical", bool),
+        ):
+            if not isinstance(row.get(key), kind):
+                problems.append(f"results[{i}].{key} missing or wrong type")
+        if row.get("identical") is False:
+            problems.append(f"results[{i}]: fast path diverged from naive solver")
+    return problems
+
+
+def write_bench_report(
+    report: Dict[str, object], path: str = "BENCH_apc.json"
+) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def format_bench_report(report: Dict[str, object]) -> str:
+    lines = [f"APC place() scaling (median over {report['cycles']} cycles)"]
+    lines.append(f"{'nodes':>6} {'jobs':>6} {'naive':>10} {'incr.':>10} {'speedup':>8}")
+    for row in report["results"]:
+        lines.append(
+            f"{row['nodes']:>6} {row['jobs']:>6} "
+            f"{row['naive_ms']:>8.1f}ms {row['incremental_ms']:>8.1f}ms "
+            f"{row['speedup_median']:>7.2f}x"
+            + ("" if row["identical"] else "  !! DIVERGED")
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "DEFAULT_SIZES",
+    "QUICK_SIZES",
+    "bench_apc_scale",
+    "validate_bench_report",
+    "write_bench_report",
+    "format_bench_report",
+]

@@ -20,15 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.batch.model import BatchWorkloadModel
-from repro.batch.queue import JobQueue
-from repro.core.apc import APCConfig, ApplicationPlacementController
+from repro.core.apc import APCConfig
 from repro.experiments.common import PAPER_CONTROL_CYCLE, Scale, scale_from_env
 from repro.sim.metrics import MetricsRecorder
-from repro.sim.policies import APCPolicy
-from repro.sim.simulator import MixedWorkloadSimulator, SimulationConfig
+from repro.sim.simulator import SimulationConfig
 from repro.virt.faults import ActionFaultModel, RetryPolicy
-from repro.workloads.generators import experiment_one_jobs
 
 #: Table 2 / §5.1 constants.
 PAPER_INTERARRIVAL = 260.0
@@ -146,40 +142,37 @@ def run_experiment_one(
     ``decision_clock`` overrides the wall clock used for
     ``decision_seconds``.
     """
+    # Deferred: repro.scenario itself imports repro.experiments.common,
+    # so a module-level import here would cycle through the package init.
+    from repro.scenario import Scenario, Simulation
+
     scale = scale or scale_from_env()
-    cluster = scale.cluster()
     count = job_count if job_count is not None else scale.job_count
-    jobs = experiment_one_jobs(
-        count=count,
-        mean_interarrival=scale.interarrival(interarrival),
+    scenario = Scenario(
+        name="experiment1",
+        nodes=scale.nodes,
+        workload="experiment1",
+        job_count=count,
+        interarrival=interarrival,
         seed=seed,
-    )
-    queue = JobQueue()
-    if registry is not None:
-        queue.bind_registry(registry)
-    batch = BatchWorkloadModel(queue, queue_window=scale.queue_window)
-    controller = ApplicationPlacementController(
-        cluster, APCConfig(cycle_length=cycle_length), profiler=profiler
-    )
-    policy = APCPolicy(controller, [batch])
-    sim = MixedWorkloadSimulator(
-        cluster,
-        policy,
-        queue,
-        arrivals=jobs,
-        batch_model=batch,
-        config=SimulationConfig(
+        queue_window=scale.queue_window,
+        apc=APCConfig(cycle_length=cycle_length),
+        sim=SimulationConfig(
             cycle_length=cycle_length,
             fault_model=fault_model,
             retry_policy=retry_policy or RetryPolicy(),
             action_timeout=action_timeout,
-            decision_clock=decision_clock,
         ),
-        trace=trace,
-        registry=registry,
-        profiler=profiler,
     )
-    metrics = sim.run()
+    simulation = Simulation.from_scenario(
+        scenario,
+        profiler=profiler,
+        registry=registry,
+        trace=trace,
+        decision_clock=decision_clock,
+    )
+    jobs = simulation.jobs
+    metrics = simulation.run()
     return ExperimentOneResult(
         metrics=metrics,
         scale=scale,

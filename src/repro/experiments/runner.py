@@ -1,0 +1,347 @@
+"""Parallel scenario sweeps: fan experiment and ablation configs across
+worker processes.
+
+Every run is described by a :class:`RunSpec` — a picklable, JSON-round-
+trippable record naming the *kind* of run (an experiment driver, an
+ablation, or a full :class:`~repro.scenario.Scenario`) plus its
+parameters.  :func:`run_sweep` executes a batch of specs, inline or via a
+``ProcessPoolExecutor``, and returns per-run *summaries*: plain dicts
+(picklable across the pool boundary, JSON-dumpable for artifacts) in the
+same order as the input specs, regardless of worker scheduling.
+
+Determinism: a spec fully seeds its run (job streams, fault models), so
+``run_sweep(specs, workers=8)`` and ``run_sweep(specs, workers=1)``
+produce identical summaries up to wall-clock-derived fields
+(``*_seconds`` and the ``repro_decision_seconds`` samples inside
+``"metrics"``).
+
+Scenario runs attach a fresh :class:`~repro.obs.registry.MetricRegistry`
+whose samples land in the summary under ``"metrics"``;
+:meth:`SweepResult.merged_metrics` folds those into one counter view
+across the sweep.  A ``trace_path`` parameter streams the run's
+simulation trace to a JSONL file as it executes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro._compat import keyword_only
+from repro.errors import ConfigurationError
+from repro.experiments.common import SCALES, Scale
+
+#: Handler registry: kind -> callable(RunSpec) -> summary dict.
+_KINDS: Dict[str, Callable[["RunSpec"], Dict[str, object]]] = {}
+
+
+def register_kind(
+    kind: str,
+) -> Callable[[Callable[["RunSpec"], Dict[str, object]]], Callable]:
+    """Register a handler for a spec kind (module-level, so specs stay
+    executable inside worker processes)."""
+
+    def decorate(fn: Callable[["RunSpec"], Dict[str, object]]) -> Callable:
+        _KINDS[kind] = fn
+        return fn
+
+    return decorate
+
+
+def known_kinds() -> Tuple[str, ...]:
+    return tuple(sorted(_KINDS))
+
+
+@keyword_only
+@dataclass
+class RunSpec:
+    """One runnable unit of a sweep.  Construct with keyword arguments
+    (positional construction is deprecated).
+
+    Attributes
+    ----------
+    kind:
+        Which handler executes this spec (see :func:`known_kinds`).
+    name:
+        Label carried into the summary (defaults to ``kind[seed]``).
+    scale:
+        Key into :data:`~repro.experiments.common.SCALES` for the
+        experiment kinds (ignored by ``scenario`` specs, which carry
+        their own cluster shape).
+    seed:
+        Workload/fault seed for the run.
+    params:
+        Kind-specific keyword parameters (e.g. ``interarrival``,
+        ``policy``, or a full ``scenario`` dict).
+    """
+
+    kind: str = "scenario"
+    name: str = ""
+    scale: Optional[str] = None
+    seed: int = 0
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigurationError(
+                f"unknown run kind {self.kind!r}; expected one of {known_kinds()}"
+            )
+        if self.scale is not None and self.scale not in SCALES:
+            raise ConfigurationError(
+                f"unknown scale {self.scale!r}; expected one of {tuple(SCALES)}"
+            )
+        if not self.name:
+            self.name = f"{self.kind}[{self.seed}]"
+        self.params = dict(self.params)
+
+    def resolved_scale(self, default: str = "tiny") -> Scale:
+        return SCALES[self.scale or default]
+
+    def to_dict(self) -> Dict[str, object]:
+        """A plain JSON-serializable representation (round-trips through
+        :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "scale": self.scale,
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(f"unknown RunSpec keys: {sorted(unknown)}")
+        return cls(**dict(data))
+
+
+# ----------------------------------------------------------------------
+# Handlers (module-level: worker processes re-import this module)
+# ----------------------------------------------------------------------
+@register_kind("experiment1")
+def _run_experiment1(spec: RunSpec) -> Dict[str, object]:
+    from repro.experiments.experiment1 import run_experiment_one
+
+    result = run_experiment_one(
+        scale=spec.resolved_scale(),
+        seed=spec.seed,
+        **spec.params,
+    )
+    return {
+        "peak_hypothetical": result.peak_hypothetical,
+        "placement_changes": result.placement_changes,
+        "deadline_satisfaction": result.deadline_satisfaction,
+        "mean_decision_seconds": result.mean_decision_seconds,
+        "completed": len(result.metrics.completions),
+    }
+
+
+@register_kind("experiment2")
+def _run_experiment2(spec: RunSpec) -> Dict[str, object]:
+    from repro.experiments.experiment2 import run_single
+
+    params = dict(spec.params)
+    policy = params.pop("policy", "APC")
+    interarrival = params.pop("interarrival", 200.0)
+    cell = run_single(
+        policy, interarrival, spec.resolved_scale(), seed=spec.seed, **params
+    )
+    return {
+        "policy": cell.policy,
+        "interarrival": cell.paper_interarrival,
+        "deadline_satisfaction": cell.deadline_satisfaction,
+        "placement_changes": cell.placement_changes,
+    }
+
+
+@register_kind("experiment3")
+def _run_experiment3(spec: RunSpec) -> Dict[str, object]:
+    from repro.experiments.experiment3 import run_experiment_three
+
+    result = run_experiment_three(
+        scale=spec.resolved_scale(), seed=spec.seed, **spec.params
+    )
+    return {
+        name: {
+            "deadline_satisfaction": conf.deadline_satisfaction,
+            "min_txn_utility": conf.min_txn_utility(),
+            "max_txn_utility": conf.max_txn_utility(),
+        }
+        for name, conf in result.configurations.items()
+    }
+
+
+@register_kind("sampling_ablation")
+def _run_sampling_ablation(spec: RunSpec) -> Dict[str, object]:
+    from repro.experiments.ablations import run_sampling_ablation
+
+    rows = run_sampling_ablation(seed=spec.seed, **spec.params)
+    return {"rows": [dataclasses.asdict(r) for r in rows]}
+
+
+@register_kind("cycle_ablation")
+def _run_cycle_ablation(spec: RunSpec) -> Dict[str, object]:
+    from repro.experiments.ablations import run_cycle_length_ablation
+
+    rows = run_cycle_length_ablation(
+        scale=spec.resolved_scale(), seed=spec.seed, **spec.params
+    )
+    return {"rows": [dataclasses.asdict(r) for r in rows]}
+
+
+@register_kind("cost_ablation")
+def _run_cost_ablation(spec: RunSpec) -> Dict[str, object]:
+    from repro.experiments.ablations import run_cost_model_ablation
+
+    rows = run_cost_model_ablation(
+        scale=spec.resolved_scale(), seed=spec.seed, **spec.params
+    )
+    return {"rows": [dataclasses.asdict(r) for r in rows]}
+
+
+@register_kind("scenario")
+def _run_scenario(spec: RunSpec) -> Dict[str, object]:
+    from repro.obs.registry import MetricRegistry
+    from repro.obs.sink import JsonlSink
+    from repro.scenario import Scenario, Simulation
+    from repro.sim.trace import SimulationTrace
+
+    params = dict(spec.params)
+    scenario_data = params.pop("scenario", None)
+    if scenario_data is None:
+        raise ConfigurationError("scenario specs need a 'scenario' params entry")
+    trace_path = params.pop("trace_path", None)
+    if params:
+        raise ConfigurationError(
+            f"unknown scenario spec params: {sorted(params)}"
+        )
+    scenario = (
+        scenario_data
+        if isinstance(scenario_data, Scenario)
+        else Scenario.from_dict(scenario_data)
+    )
+    registry = MetricRegistry()
+    sink = JsonlSink(trace_path, run=spec.name) if trace_path else None
+    trace = SimulationTrace(sink=sink) if sink is not None else None
+    try:
+        simulation = Simulation.from_scenario(
+            scenario, registry=registry, trace=trace
+        )
+        metrics = simulation.run()
+    finally:
+        if sink is not None:
+            sink.close()
+    return {
+        "scenario": scenario.name,
+        "deadline_satisfaction": metrics.deadline_satisfaction_rate(),
+        "placement_changes": metrics.total_placement_changes(),
+        "completed": len(metrics.completions),
+        "mean_decision_seconds": metrics.mean_decision_seconds(),
+        "metrics": registry.collect(),
+        "trace_path": trace_path,
+    }
+
+
+# ----------------------------------------------------------------------
+# Sweep execution
+# ----------------------------------------------------------------------
+def _execute(spec_data: Dict[str, object]) -> Dict[str, object]:
+    """Worker entry point: run one spec, never raise."""
+    try:
+        spec = RunSpec.from_dict(spec_data)
+        summary = _KINDS[spec.kind](spec)
+        return {"name": spec.name, "kind": spec.kind, "ok": True, **summary}
+    except Exception as exc:  # surface, don't poison the pool
+        return {
+            "name": spec_data.get("name") or spec_data.get("kind", "?"),
+            "kind": spec_data.get("kind", "?"),
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+
+
+@dataclass
+class SweepResult:
+    """Summaries of one sweep, in input-spec order."""
+
+    specs: List[RunSpec]
+    summaries: List[Dict[str, object]]
+    workers: int = 1
+
+    def __iter__(self):
+        return iter(self.summaries)
+
+    def __len__(self) -> int:
+        return len(self.summaries)
+
+    @property
+    def failures(self) -> List[Dict[str, object]]:
+        return [s for s in self.summaries if not s.get("ok")]
+
+    def by_name(self, name: str) -> Dict[str, object]:
+        for summary in self.summaries:
+            if summary.get("name") == name:
+                return summary
+        raise KeyError(name)
+
+    def merged_metrics(self) -> Dict[str, float]:
+        """Counter samples summed across all runs, keyed
+        ``name{label=value,...}`` — one aggregate view of a sweep's
+        telemetry (cache hits, shortcuts, submissions, ...)."""
+        merged: Dict[str, float] = {}
+        for summary in self.summaries:
+            for sample in summary.get("metrics", ()):
+                if sample.get("kind") != "counter":
+                    continue
+                labels = sample.get("labels") or {}
+                label_part = ",".join(
+                    f"{k}={v}" for k, v in sorted(labels.items())
+                )
+                key = sample["name"] + (
+                    f"{{{label_part}}}" if label_part else ""
+                )
+                merged[key] = merged.get(key, 0.0) + float(sample["value"])
+        return merged
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workers": self.workers,
+            "specs": [s.to_dict() for s in self.specs],
+            "summaries": self.summaries,
+        }
+
+
+SpecLike = Union[RunSpec, Mapping[str, object]]
+
+
+def run_sweep(
+    specs: Sequence[SpecLike],
+    workers: Optional[int] = None,
+) -> SweepResult:
+    """Execute every spec and collect summaries in input order.
+
+    ``workers=None`` sizes the pool to ``min(len(specs), cpu_count)``;
+    ``workers<=1`` runs inline (no subprocesses — the debuggable path,
+    and byte-identical summaries modulo ``*_seconds`` timing fields).
+    Worker failures never raise; they surface as ``ok: False`` summaries
+    with the error message.
+    """
+    normalized = [
+        s if isinstance(s, RunSpec) else RunSpec.from_dict(s) for s in specs
+    ]
+    if not normalized:
+        return SweepResult(specs=[], summaries=[], workers=0)
+    if workers is None:
+        workers = min(len(normalized), os.cpu_count() or 1)
+    payloads = [s.to_dict() for s in normalized]
+    if workers <= 1:
+        summaries = [_execute(p) for p in payloads]
+        return SweepResult(specs=normalized, summaries=summaries, workers=1)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        summaries = list(pool.map(_execute, payloads))
+    return SweepResult(specs=normalized, summaries=summaries, workers=workers)

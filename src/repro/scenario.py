@@ -1,0 +1,271 @@
+"""Declarative scenario descriptions and the one-call simulation builder.
+
+The experiment drivers (:mod:`repro.experiments`) wire the same object
+graph every time: cluster → job stream → queue → batch workload model →
+placement controller → policy → simulator.  :class:`Scenario` captures
+that wiring as plain data — JSON-loadable, round-trippable through
+:meth:`Scenario.to_dict` / :meth:`Scenario.from_dict` — and
+:class:`Simulation.from_scenario` assembles the live objects.
+
+A scenario is *complete*: two processes given equal scenario dicts build
+equal simulations (seeded job streams, seeded fault models), which is
+what lets :mod:`repro.experiments.runner` fan scenarios out across
+worker processes and merge the results deterministically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro._compat import keyword_only
+from repro.batch.hypothetical import MethodLike, PredictionMethod
+from repro.batch.job import Job
+from repro.batch.model import BatchWorkloadModel
+from repro.batch.queue import JobQueue
+from repro.cluster import Cluster
+from repro.core.apc import APCConfig, ApplicationPlacementController
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    PAPER_CPU_PER_PROCESSOR,
+    PAPER_MEMORY_PER_NODE,
+    PAPER_NODES,
+    PAPER_PROCESSORS_PER_NODE,
+)
+from repro.obs.registry import MetricRegistry
+from repro.obs.spans import SpanProfiler
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.policies import APCPolicy
+from repro.sim.simulator import MixedWorkloadSimulator, SimulationConfig
+from repro.sim.trace import SimulationTrace
+from repro.workloads.generators import experiment_one_jobs, experiment_two_jobs
+
+#: Workload kinds a scenario can name (the seeded generators).
+WORKLOADS = ("experiment1", "experiment2")
+
+
+@keyword_only
+@dataclass
+class Scenario:
+    """A complete, serializable description of one simulation run.
+    Construct with keyword arguments (positional construction is
+    deprecated).
+
+    Attributes
+    ----------
+    name:
+        Free-form label (propagated into runner summaries and traces).
+    nodes / cpu_per_processor / processors_per_node / memory_per_node:
+        Homogeneous cluster shape; the defaults are the paper's
+        25-node blade cluster.
+    workload:
+        Which seeded job stream to generate: ``"experiment1"``
+        (identical jobs, §5.1) or ``"experiment2"`` (mixed classes and
+        goal factors, §5.2).
+    job_count / interarrival / seed:
+        Stream parameters.  ``interarrival`` is in *paper* terms (mean
+        seconds between submissions at 25 nodes) and is stretched by
+        ``25 / nodes`` so per-node load is scale-invariant.
+    queue_window:
+        Bound on not-started jobs offered to the controller per cycle
+        (``None`` = unlimited).
+    prediction_method:
+        :class:`~repro.batch.hypothetical.PredictionMethod` (or its
+        string value) for the batch model's predictions.
+    apc:
+        The controller's :class:`~repro.core.apc.APCConfig`.
+    sim:
+        The simulator's :class:`~repro.sim.simulator.SimulationConfig`.
+    """
+
+    name: str = "scenario"
+    nodes: int = PAPER_NODES
+    cpu_per_processor: float = PAPER_CPU_PER_PROCESSOR
+    processors_per_node: int = PAPER_PROCESSORS_PER_NODE
+    memory_per_node: float = PAPER_MEMORY_PER_NODE
+    workload: str = "experiment1"
+    job_count: int = 800
+    interarrival: float = 260.0
+    seed: int = 0
+    queue_window: Optional[int] = 48
+    prediction_method: MethodLike = PredictionMethod.EXACT
+    apc: APCConfig = field(default_factory=APCConfig)
+    sim: SimulationConfig = field(default_factory=SimulationConfig)
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ConfigurationError(f"need >= 1 node, got {self.nodes}")
+        if self.job_count < 0:
+            raise ConfigurationError(f"job count must be >= 0, got {self.job_count}")
+        if self.interarrival <= 0:
+            raise ConfigurationError(
+                f"interarrival must be positive, got {self.interarrival}"
+            )
+        if self.workload not in WORKLOADS:
+            raise ConfigurationError(
+                f"unknown workload {self.workload!r}; expected one of {WORKLOADS}"
+            )
+        self.prediction_method = PredictionMethod.coerce(self.prediction_method)
+        if isinstance(self.apc, Mapping):
+            self.apc = APCConfig.from_dict(self.apc)
+        if isinstance(self.sim, Mapping):
+            self.sim = SimulationConfig.from_dict(self.sim)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """A plain JSON-serializable representation (round-trips through
+        :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "nodes": self.nodes,
+            "cpu_per_processor": self.cpu_per_processor,
+            "processors_per_node": self.processors_per_node,
+            "memory_per_node": self.memory_per_node,
+            "workload": self.workload,
+            "job_count": self.job_count,
+            "interarrival": self.interarrival,
+            "seed": self.seed,
+            "queue_window": self.queue_window,
+            "prediction_method": self.prediction_method.value,
+            "apc": self.apc.to_dict(),
+            "sim": self.sim.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Scenario":
+        """Build from a plain dict (inverse of :meth:`to_dict`); unknown
+        keys are rejected to surface config typos."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(f"unknown Scenario keys: {sorted(unknown)}")
+        return cls(**dict(data))
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @property
+    def interarrival_scaled(self) -> float:
+        """The paper-term inter-arrival stretched to this node count."""
+        return self.interarrival * (PAPER_NODES / self.nodes)
+
+    def build_cluster(self) -> Cluster:
+        return Cluster.homogeneous(
+            self.nodes,
+            cpu_capacity=self.processors_per_node * self.cpu_per_processor,
+            memory_capacity=self.memory_per_node,
+            cpu_per_processor=self.cpu_per_processor,
+        )
+
+    def build_jobs(self) -> List[Job]:
+        """The seeded job stream (same scenario → same stream)."""
+        if self.workload == "experiment1":
+            return experiment_one_jobs(
+                count=self.job_count,
+                mean_interarrival=self.interarrival_scaled,
+                seed=self.seed,
+            )
+        return experiment_two_jobs(
+            count=self.job_count,
+            mean_interarrival=self.interarrival_scaled,
+            seed=self.seed,
+        )
+
+
+class Simulation:
+    """A fully wired simulation: cluster, workload, controller, policy
+    and simulator, assembled from a :class:`Scenario`.
+
+    The live pieces are exposed as attributes (``cluster``, ``jobs``,
+    ``queue``, ``batch_model``, ``controller``, ``policy``,
+    ``simulator``) so callers can inspect or instrument them before
+    calling :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        *,
+        cluster: Cluster,
+        jobs: List[Job],
+        queue: JobQueue,
+        batch_model: BatchWorkloadModel,
+        controller: ApplicationPlacementController,
+        policy: APCPolicy,
+        simulator: MixedWorkloadSimulator,
+    ) -> None:
+        self.scenario = scenario
+        self.cluster = cluster
+        self.jobs = jobs
+        self.queue = queue
+        self.batch_model = batch_model
+        self.controller = controller
+        self.policy = policy
+        self.simulator = simulator
+
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario: Scenario,
+        *,
+        profiler: Optional[SpanProfiler] = None,
+        registry: Optional[MetricRegistry] = None,
+        trace: Optional[SimulationTrace] = None,
+        decision_clock: Optional[Callable[[], float]] = None,
+    ) -> "Simulation":
+        """Assemble the full object graph for one scenario.
+
+        The telemetry knobs are all opt-in (:mod:`repro.obs`); the
+        profiler is shared between simulator and controller so APC
+        phases nest under the cycle spans.  ``decision_clock`` overrides
+        the scenario's simulation config for this build only (it is a
+        live callable and deliberately not part of the serialized
+        scenario).
+        """
+        cluster = scenario.build_cluster()
+        jobs = scenario.build_jobs()
+        queue = JobQueue()
+        if registry is not None:
+            queue.bind_registry(registry)
+        batch_model = BatchWorkloadModel(
+            queue,
+            queue_window=scenario.queue_window,
+            prediction_method=scenario.prediction_method,
+        )
+        if registry is not None:
+            batch_model.bind_registry(registry)
+        controller = ApplicationPlacementController(
+            cluster, scenario.apc, profiler=profiler, registry=registry
+        )
+        policy = APCPolicy(controller, [batch_model])
+        config = scenario.sim
+        if decision_clock is not None:
+            config = dataclasses.replace(config, decision_clock=decision_clock)
+        simulator = MixedWorkloadSimulator(
+            cluster,
+            policy,
+            queue,
+            arrivals=jobs,
+            batch_model=batch_model,
+            config=config,
+            trace=trace,
+            registry=registry,
+            profiler=profiler,
+        )
+        return cls(
+            scenario,
+            cluster=cluster,
+            jobs=jobs,
+            queue=queue,
+            batch_model=batch_model,
+            controller=controller,
+            policy=policy,
+            simulator=simulator,
+        )
+
+    def run(self) -> MetricsRecorder:
+        """Run the simulation to completion; returns the metrics."""
+        return self.simulator.run()

@@ -25,9 +25,12 @@ evaluation does:
 
 from __future__ import annotations
 
+import dataclasses
 import time as _wallclock
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro._compat import keyword_only
 
 from repro.batch.job import Job, JobStatus
 from repro.batch.model import BatchWorkloadModel
@@ -61,9 +64,11 @@ from repro.virt.costs import PAPER_COST_MODEL, VirtualizationCostModel
 from repro.virt.faults import ActionFaultModel, RetryPolicy
 
 
+@keyword_only
 @dataclass
 class SimulationConfig:
-    """Simulator parameters.
+    """Simulator parameters.  Construct with keyword arguments
+    (positional construction is deprecated).
 
     Attributes
     ----------
@@ -120,6 +125,90 @@ class SimulationConfig:
                 f"action timeout must be positive, got {self.action_timeout}"
             )
         self.failures = tuple(self.failures)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A plain JSON-serializable representation.
+
+        Round-trips through :meth:`from_dict` except for
+        ``decision_clock`` (a live callable, deliberately excluded — a
+        deserialized config always falls back to the wall clock).  A
+        :class:`NodeFailure` of infinite duration serializes its
+        ``duration`` as ``None``.
+        """
+        return {
+            "cycle_length": self.cycle_length,
+            "max_time": self.max_time,
+            "cost_model": dataclasses.asdict(self.cost_model),
+            "prune_completed": self.prune_completed,
+            "failures": [
+                {
+                    "node": f.node,
+                    "fail_time": f.fail_time,
+                    "duration": None if f.duration == float("inf") else f.duration,
+                    "lose_progress": f.lose_progress,
+                }
+                for f in self.failures
+            ],
+            "fault_model": (
+                None
+                if self.fault_model is None
+                else {
+                    "specs": {
+                        action.value: dataclasses.asdict(spec)
+                        for action, spec in self.fault_model.specs.items()
+                    },
+                    "node_flakiness": dict(self.fault_model.node_flakiness),
+                    "seed": self.fault_model.seed,
+                }
+            ),
+            "retry_policy": dataclasses.asdict(self.retry_policy),
+            "action_timeout": self.action_timeout,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SimulationConfig":
+        """Build from a plain dict (inverse of :meth:`to_dict`); unknown
+        keys are rejected to surface config typos."""
+        known = {
+            f.name for f in dataclasses.fields(cls) if f.name != "decision_clock"
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown SimulationConfig keys: {sorted(unknown)}"
+            )
+        kwargs: Dict[str, object] = dict(data)
+        if "cost_model" in kwargs and isinstance(kwargs["cost_model"], Mapping):
+            kwargs["cost_model"] = VirtualizationCostModel(**kwargs["cost_model"])
+        if "failures" in kwargs:
+            kwargs["failures"] = tuple(
+                NodeFailure(
+                    node=f["node"],
+                    fail_time=f["fail_time"],
+                    duration=(
+                        float("inf") if f.get("duration") is None else f["duration"]
+                    ),
+                    lose_progress=f.get("lose_progress", True),
+                )
+                if isinstance(f, Mapping)
+                else f
+                for f in kwargs["failures"]
+            )
+        fm = kwargs.get("fault_model")
+        if fm is not None and isinstance(fm, Mapping):
+            from repro.virt.faults import FaultSpec
+
+            kwargs["fault_model"] = ActionFaultModel(
+                specs={
+                    ActionType(action): FaultSpec(**spec)
+                    for action, spec in fm.get("specs", {}).items()
+                },
+                node_flakiness=fm.get("node_flakiness", {}),
+                seed=fm.get("seed", 0),
+            )
+        if "retry_policy" in kwargs and isinstance(kwargs["retry_policy"], Mapping):
+            kwargs["retry_policy"] = RetryPolicy(**kwargs["retry_policy"])
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True)

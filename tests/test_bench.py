@@ -1,0 +1,71 @@
+"""The APC scaling benchmark: schema, identity flags, report I/O.
+
+Runs the ``--quick`` ladder (the CI smoke configuration) — a few
+seconds — not the full 200-node ladder.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.benchmark import (
+    BENCH_SCHEMA,
+    QUICK_SIZES,
+    bench_apc_scale,
+    format_bench_report,
+    validate_bench_report,
+    write_bench_report,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return bench_apc_scale(cycles=4, seed=7, quick=True)
+
+
+def test_quick_report_schema(quick_report):
+    assert validate_bench_report(quick_report) == []
+    assert quick_report["schema"] == BENCH_SCHEMA
+    assert quick_report["quick"] is True
+    assert [row["nodes"] for row in quick_report["results"]] == list(QUICK_SIZES)
+
+
+def test_quick_report_identity(quick_report):
+    """The hard gate: the fast path never changes a placement."""
+    assert all(row["identical"] for row in quick_report["results"])
+
+
+def test_report_round_trips_through_file(quick_report, tmp_path):
+    path = write_bench_report(quick_report, str(tmp_path / "BENCH_apc.json"))
+    loaded = json.loads(open(path, encoding="utf-8").read())
+    assert loaded == quick_report
+    assert validate_bench_report(loaded) == []
+
+
+def test_format_report_mentions_every_size(quick_report):
+    text = format_bench_report(quick_report)
+    for row in quick_report["results"]:
+        assert str(row["nodes"]) in text
+    assert "DIVERGED" not in text
+
+
+def test_validate_flags_problems():
+    assert validate_bench_report({}) != []
+    bad = {
+        "schema": BENCH_SCHEMA,
+        "quick": False,
+        "seed": 1,
+        "cycles": 2,
+        "results": [
+            {
+                "nodes": 10,
+                "jobs": 80,
+                "naive_ms": 1.0,
+                "incremental_ms": 1.0,
+                "speedup_median": 1.0,
+                "identical": False,
+            }
+        ],
+    }
+    problems = validate_bench_report(bad)
+    assert any("diverged" in p for p in problems)

@@ -1,0 +1,139 @@
+"""The incremental APC fast path must be *byte-identical* to the naive
+three-nested-loop solver — same placements, every cycle — while doing
+less work (eval-memo hits, short-circuits).
+
+The rolling-cycle driver comes from :mod:`repro.experiments.benchmark`
+(the same loop ``repro bench`` times); identity is asserted on the full
+per-cycle placement matrices.
+"""
+
+import pytest
+
+from repro.batch.model import BatchWorkloadModel
+from repro.batch.queue import JobQueue
+from repro.core.apc import APCConfig, ApplicationPlacementController
+from repro.core.placement import PlacementState
+from repro.experiments.benchmark import _bench_scenario, _run_cycles
+from repro.obs.registry import MetricRegistry
+from repro.scenario import Scenario
+
+
+def _identity_case(scenario, cycles):
+    naive = _run_cycles(scenario, cycles, incremental=False)
+    fast = _run_cycles(scenario, cycles, incremental=True)
+    assert naive["matrices"] == fast["matrices"]
+
+
+@pytest.mark.parametrize("seed", [7, 11])
+def test_identity_saturated_mixed_50_nodes(seed):
+    """The benchmark's own regime: saturated mixed-class workload where
+    the full search actually runs."""
+    _identity_case(_bench_scenario(50, seed), cycles=8)
+
+
+def test_identity_identical_jobs_50_nodes():
+    """Experiment One's regime: identical jobs, where the controller's
+    internal shortcut skips the search on most cycles."""
+    scenario = Scenario(
+        name="ident-e1",
+        nodes=50,
+        workload="experiment1",
+        job_count=200,
+        interarrival=120.0,
+        seed=5,
+        queue_window=48,
+    )
+    _identity_case(scenario, cycles=8)
+
+
+def test_identity_memo_hit_regime():
+    """Identity must survive eval-memo *hits* (replayed load matrices),
+    not just misses: multi-sweep search on a deeply saturated small
+    cluster revisits placements an earlier sweep already scored."""
+    scenario = Scenario(
+        name="ident-memo",
+        nodes=5,
+        workload="experiment2",
+        job_count=40,
+        interarrival=30.0,
+        seed=7,
+        queue_window=16,
+        apc=APCConfig(search_sweeps=3),
+    )
+    _identity_case(scenario, cycles=8)
+
+
+def test_identity_underloaded_small_cluster():
+    scenario = Scenario(
+        name="ident-small",
+        nodes=5,
+        workload="experiment2",
+        job_count=10,
+        interarrival=900.0,
+        seed=2,
+        queue_window=48,
+    )
+    _identity_case(scenario, cycles=6)
+
+
+def _counter_total(registry, name, **labels):
+    total = 0.0
+    for sample in registry.collect():
+        if sample["name"] != name or sample.get("kind") != "counter":
+            continue
+        sample_labels = sample.get("labels") or {}
+        if all(sample_labels.get(k) == v for k, v in labels.items()):
+            total += sample["value"]
+    return total
+
+
+def test_fast_path_actually_engages():
+    """Cache hits and short-circuits are observable: the speedup is not
+    an accident of the workload.
+
+    The eval memo pays off when distinct search trials converge to the
+    same placement matrix (remove-then-refill recreating a layout an
+    earlier sweep already scored) — a deeply saturated small cluster
+    with several sweeps is such a regime."""
+    scenario = Scenario(
+        name="memo-regime",
+        nodes=5,
+        workload="experiment2",
+        job_count=40,
+        interarrival=30.0,
+        seed=7,
+        queue_window=16,
+    )
+    cluster = scenario.build_cluster()
+    queue = JobQueue()
+    model = BatchWorkloadModel(queue, queue_window=scenario.queue_window)
+    registry = MetricRegistry()
+    controller = ApplicationPlacementController(
+        cluster,
+        APCConfig(incremental=True, search_sweeps=3),
+        registry=registry,
+    )
+    state = PlacementState(cluster)
+    pending = sorted(scenario.build_jobs(), key=lambda j: j.submit_time)
+    now, horizon = 0.0, 600.0
+    cache_hits = 0
+    for _ in range(6):
+        while pending and pending[0].submit_time <= now:
+            queue.submit(pending.pop(0))
+        result = controller.place([model], state, now)
+        state = result.state
+        cache_hits += result.cache_hits
+        now += horizon
+    assert cache_hits > 0
+    assert _counter_total(registry, "repro_apc_cache_total", outcome="hit") > 0
+    assert (
+        _counter_total(registry, "repro_apc_cache_total", outcome="miss") > 0
+    )
+    shortcuts = _counter_total(registry, "repro_apc_shortcircuit_total")
+    assert shortcuts > 0
+
+
+def test_naive_solver_reports_no_cache_hits():
+    scenario = _bench_scenario(10, seed=7)
+    run = _run_cycles(scenario, cycles=4, incremental=False)
+    assert len(run["timings"]) == 4  # naive path still times every cycle

@@ -1,0 +1,171 @@
+"""Parallel scenario sweeps: spec round-trips, deterministic summaries,
+failure isolation, merged telemetry."""
+
+import copy
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import (
+    RunSpec,
+    SweepResult,
+    known_kinds,
+    run_sweep,
+)
+from repro.scenario import Scenario
+
+
+def tiny_scenario_dict(name="s", seed=1):
+    return Scenario(
+        name=name, nodes=2, job_count=5, interarrival=80.0, seed=seed
+    ).to_dict()
+
+
+# ----------------------------------------------------------------------
+# RunSpec
+# ----------------------------------------------------------------------
+def test_known_kinds_registered():
+    kinds = known_kinds()
+    for expected in (
+        "scenario",
+        "experiment1",
+        "experiment2",
+        "experiment3",
+        "sampling_ablation",
+        "cycle_ablation",
+        "cost_ablation",
+    ):
+        assert expected in kinds
+
+
+def test_runspec_round_trip_through_json():
+    spec = RunSpec(
+        kind="scenario",
+        seed=4,
+        params={"scenario": tiny_scenario_dict(seed=4)},
+    )
+    clone = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert clone.to_dict() == spec.to_dict()
+
+
+def test_runspec_default_name_and_validation():
+    spec = RunSpec(kind="experiment2", seed=9, scale="tiny")
+    assert spec.name == "experiment2[9]"
+    with pytest.raises(ConfigurationError):
+        RunSpec(kind="no-such-kind")
+    with pytest.raises(ConfigurationError):
+        RunSpec(kind="experiment1", scale="galactic")
+    with pytest.raises(ConfigurationError):
+        RunSpec.from_dict({"kind": "scenario", "bogus": 1})
+
+
+# ----------------------------------------------------------------------
+# Sweep execution
+# ----------------------------------------------------------------------
+def _strip_timing(summary):
+    """Drop wall-clock-derived fields so summaries compare by decisions
+    only (see the runner's determinism contract)."""
+    out = {
+        k: v
+        for k, v in copy.deepcopy(summary).items()
+        if not k.endswith("_seconds")
+    }
+    if "metrics" in out:
+        out["metrics"] = [
+            s for s in out["metrics"] if s["name"] != "repro_decision_seconds"
+        ]
+    return out
+
+
+def test_empty_sweep():
+    result = run_sweep([])
+    assert len(result) == 0 and result.failures == []
+
+
+def test_inline_sweep_scenario_summary():
+    spec = {
+        "kind": "scenario",
+        "name": "tiny-run",
+        "params": {"scenario": tiny_scenario_dict("tiny-run")},
+    }
+    result = run_sweep([spec], workers=1)
+    assert isinstance(result, SweepResult)
+    summary = result.by_name("tiny-run")
+    assert summary["ok"] and summary["scenario"] == "tiny-run"
+    assert summary["completed"] == 5
+    assert any(
+        s["name"] == "repro_jobs_submitted_total" for s in summary["metrics"]
+    )
+
+
+def test_parallel_matches_inline_up_to_timing():
+    specs = [
+        {
+            "kind": "scenario",
+            "name": f"d{seed}",
+            "params": {"scenario": tiny_scenario_dict(f"d{seed}", seed)},
+        }
+        for seed in (1, 2)
+    ]
+    inline = run_sweep(specs, workers=1)
+    pooled = run_sweep(specs, workers=2)
+    assert pooled.workers == 2
+    assert [_strip_timing(s) for s in inline.summaries] == [
+        _strip_timing(s) for s in pooled.summaries
+    ]
+
+
+def test_failure_is_isolated():
+    specs = [
+        {"kind": "scenario", "name": "bad", "params": {}},  # no scenario
+        {
+            "kind": "scenario",
+            "name": "good",
+            "params": {"scenario": tiny_scenario_dict("good")},
+        },
+    ]
+    result = run_sweep(specs, workers=1)
+    assert [s["ok"] for s in result.summaries] == [False, True]
+    assert len(result.failures) == 1
+    assert "ConfigurationError" in result.failures[0]["error"]
+
+
+def test_merged_metrics_sums_counters():
+    specs = [
+        {
+            "kind": "scenario",
+            "name": f"m{seed}",
+            "params": {"scenario": tiny_scenario_dict(f"m{seed}", seed)},
+        }
+        for seed in (1, 2)
+    ]
+    result = run_sweep(specs, workers=1)
+    merged = result.merged_metrics()
+    assert merged["repro_jobs_submitted_total"] == 10.0
+
+
+def test_scenario_trace_streams_to_jsonl(tmp_path):
+    trace_path = tmp_path / "trace.jsonl"
+    spec = {
+        "kind": "scenario",
+        "name": "traced",
+        "params": {
+            "scenario": tiny_scenario_dict("traced"),
+            "trace_path": str(trace_path),
+        },
+    }
+    result = run_sweep([spec], workers=1)
+    assert result.summaries[0]["ok"]
+    lines = trace_path.read_text().splitlines()
+    assert lines and all(json.loads(line) for line in lines)
+
+
+def test_sweep_result_to_dict_is_json_dumpable():
+    spec = {
+        "kind": "scenario",
+        "name": "dump",
+        "params": {"scenario": tiny_scenario_dict("dump")},
+    }
+    result = run_sweep([spec], workers=1)
+    json.dumps(result.to_dict())

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Lint that user-facing code imports ``repro`` only via ``repro.api``.
+
+The facade is a compatibility promise; examples (and the facade's own
+tests) must not reach into implementation modules, or the promise stops
+being exercised.  Pure stdlib (``ast``) — usable from CI without
+installing anything.
+
+Usage::
+
+    python tools/check_api_imports.py [paths...]
+
+With no arguments, checks ``examples/`` plus the facade test files.
+Exit status 0 = clean, 1 = violations (printed one per line as
+``path:line: message``).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+from typing import Iterable, List
+
+#: Module paths user-facing code may import from.
+ALLOWED = {"repro.api"}
+
+#: Default check set, relative to the repository root.
+DEFAULT_PATHS = ("examples", "tests/test_api.py")
+
+
+def _iter_files(paths: Iterable[str]) -> Iterable[pathlib.Path]:
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py" and path.exists():
+            yield path
+
+
+def check_file(path: pathlib.Path) -> List[str]:
+    """Violations in one file, as ``path:line: message`` strings."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    problems: List[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                top = alias.name.split(".")[0]
+                if top == "repro" and alias.name not in ALLOWED:
+                    problems.append(
+                        f"{path}:{node.lineno}: import {alias.name!r} — "
+                        f"use 'from repro.api import ...'"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level:  # relative import: not a repro.* reach-in
+                continue
+            if module.split(".")[0] != "repro":
+                continue
+            if module not in ALLOWED:
+                problems.append(
+                    f"{path}:{node.lineno}: from {module} import ... — "
+                    f"use 'from repro.api import ...'"
+                )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent
+    targets = argv or [str(root / p) for p in DEFAULT_PATHS]
+    problems: List[str] = []
+    checked = 0
+    for path in _iter_files(targets):
+        checked += 1
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(
+        f"check_api_imports: {checked} file(s), {len(problems)} violation(s)",
+        file=sys.stderr,
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
