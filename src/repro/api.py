@@ -34,6 +34,7 @@ from repro.core import (
     PlacementState,
     UtilityVector,
     distribute_load,
+    lex_explain,
 )
 
 # --- batch substrate ---------------------------------------------------
@@ -75,6 +76,7 @@ from repro.sim import (
     SimulationConfig,
     SimulationTrace,
     TraceEventKind,
+    sla_summary,
 )
 
 # --- virtualization costs and fallible actuation -----------------------
@@ -130,11 +132,16 @@ from repro.workloads import (
 
 # --- observability -----------------------------------------------------
 from repro.obs import (
+    DecisionAudit,
     JsonlSink,
     MetricRegistry,
     SpanProfiler,
+    explain_cycle,
+    read_audit_records,
     render_profile,
     render_prometheus,
+    render_report,
+    write_report,
 )
 
 # --- misc --------------------------------------------------------------
@@ -163,6 +170,7 @@ __all__ = [
     "PlacementState",
     "UtilityVector",
     "distribute_load",
+    "lex_explain",
     # batch substrate
     "BatchWorkloadModel",
     "HypotheticalRPF",
@@ -195,6 +203,7 @@ __all__ = [
     "SimulationConfig",
     "SimulationTrace",
     "TraceEventKind",
+    "sla_summary",
     # virtualization
     "FREE_COST_MODEL",
     "PAPER_COST_MODEL",
@@ -236,11 +245,16 @@ __all__ = [
     "experiment_one_jobs",
     "experiment_two_jobs",
     # observability
+    "DecisionAudit",
     "JsonlSink",
     "MetricRegistry",
     "SpanProfiler",
+    "explain_cycle",
+    "read_audit_records",
     "render_profile",
     "render_prometheus",
+    "render_report",
+    "write_report",
     # misc
     "ConfigurationError",
     "PlacementError",

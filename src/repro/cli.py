@@ -8,6 +8,8 @@ Installed as the ``repro`` console script::
     repro exp3 --chart                 # Figures 6-7
     repro ablations sampling           # design-choice studies
     repro telemetry --jsonl t.jsonl    # span profile + registry + stream
+    repro explain t.jsonl --cycle 3    # decision narrative for one cycle
+    repro report t.jsonl --out r.html  # self-contained HTML run report
 
 Every experiment subcommand accepts ``--scale`` (tiny/small/half/paper)
 and ``--seed``; series-producing ones accept ``--chart`` (render text
@@ -287,6 +289,7 @@ def cmd_telemetry(args) -> int:
     from repro.errors import ConfigurationError
     from repro.experiments.experiment1 import run_experiment_one
     from repro.obs import (
+        DecisionAudit,
         JsonlSink,
         MetricRegistry,
         SpanProfiler,
@@ -303,6 +306,9 @@ def cmd_telemetry(args) -> int:
     if args.jsonl:
         sink = JsonlSink(args.jsonl, scale=scale.name, seed=args.seed)
     trace = SimulationTrace(sink=sink)
+    audit = None
+    if args.audit:
+        audit = DecisionAudit(sink=sink, trace=trace)
 
     fault_model = None
     if args.fail_prob > 0.0:
@@ -325,10 +331,16 @@ def cmd_telemetry(args) -> int:
         registry=registry,
         trace=trace,
         fault_model=fault_model,
+        audit=audit,
     )
     print(f"scale: {scale.name} ({scale.nodes} nodes, {scale.job_count} jobs)")
     print(f"deadline satisfaction: {percent(result.deadline_satisfaction)}; "
           f"placement changes: {result.placement_changes}")
+    if audit is not None:
+        print(f"decision audit: {len(audit)} records over "
+              f"{len(audit.cycles())} cycles"
+              + (f" ({audit.dropped_records} dropped)"
+                 if audit.dropped_records else ""))
 
     def leaf_totals(bucket):
         """Total seconds per phase (leaf span name), summed over paths."""
@@ -373,6 +385,35 @@ def cmd_telemetry(args) -> int:
         sink.close()
         count = validate_jsonl(args.jsonl)
         print(f"\n{count} schema-valid JSONL records written to {args.jsonl}")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    """Reconstruct one cycle's placement-decision narrative from a
+    recorded audit JSONL stream (no re-simulation)."""
+    from repro.errors import ConfigurationError
+    from repro.obs import explain_cycle
+
+    try:
+        print(explain_cycle(args.jsonl, args.cycle, app=args.app))
+    except (ConfigurationError, OSError) as exc:
+        print(f"explain failed: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Render a recorded telemetry JSONL stream as a self-contained
+    HTML report (inline CSS/JS/SVG, no network access)."""
+    from repro.errors import ConfigurationError
+    from repro.obs import write_report
+
+    try:
+        out = write_report(args.jsonl, args.out, title=args.title)
+    except (ConfigurationError, OSError) as exc:
+        print(f"report failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"report written to {out}")
     return 0
 
 
@@ -565,7 +606,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fail-prob", type=float, default=0.0,
                    help="optional fault injection so action series are "
                         "non-zero (per-attempt failure probability)")
+    p.add_argument("--audit", action="store_true",
+                   help="attach the decision flight recorder (audit "
+                        "records stream to --jsonl when given)")
     p.set_defaults(func=cmd_telemetry)
+
+    p = sub.add_parser(
+        "explain",
+        help="reconstruct one cycle's placement decision from a recorded "
+             "audit JSONL stream",
+    )
+    p.add_argument("jsonl", help="JSONL stream recorded with "
+                                 "'repro telemetry --audit --jsonl PATH'")
+    p.add_argument("--cycle", type=int, required=True,
+                   help="control-cycle index to explain")
+    p.add_argument("--app", default=None,
+                   help="restrict the narrative to one application id")
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
+        "report",
+        help="render a telemetry JSONL stream as a self-contained HTML "
+             "report",
+    )
+    p.add_argument("jsonl", help="recorded telemetry JSONL stream")
+    p.add_argument("--out", metavar="PATH", default="report.html",
+                   help="output HTML path (default report.html)")
+    p.add_argument("--title", default=None, help="page title")
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
         "bench",

@@ -24,7 +24,7 @@ from repro.core.rpf import (
     LinearRPF,
     NEGATIVE_INFINITY_UTILITY,
 )
-from repro.core.objective import UtilityVector, PlacementScore
+from repro.core.objective import UtilityVector, PlacementScore, lex_explain
 from repro.core.placement import PlacementState, AppDemand
 from repro.core.loadbalance import distribute_load, LoadDistributionResult
 from repro.core.constraints import (
@@ -44,6 +44,7 @@ __all__ = [
     "NEGATIVE_INFINITY_UTILITY",
     "UtilityVector",
     "PlacementScore",
+    "lex_explain",
     "PlacementState",
     "AppDemand",
     "distribute_load",

@@ -54,10 +54,11 @@ from repro._compat import keyword_only
 from repro.cluster import Cluster
 from repro.core.constraints import ConstraintSet
 from repro.core.loadbalance import AllocatableApp, distribute_load
-from repro.core.objective import PlacementScore, UtilityVector
+from repro.core.objective import PlacementScore, UtilityVector, lex_explain
 from repro.core.placement import PlacementState
 from repro.core.workload import WorkloadModel
 from repro.errors import ConfigurationError, PlacementError
+from repro.obs.audit import DecisionAudit
 from repro.obs.registry import MetricRegistry
 from repro.obs.spans import NULL_SPAN, SpanProfiler
 from repro.units import EPSILON
@@ -191,11 +192,13 @@ class ApplicationPlacementController:
         constraints: Optional[ConstraintSet] = None,
         profiler: Optional[SpanProfiler] = None,
         registry: Optional[MetricRegistry] = None,
+        audit: Optional[DecisionAudit] = None,
     ) -> None:
         self._cluster = cluster
         self._config = config or APCConfig()
         self._constraints = constraints or ConstraintSet()
         self._profiler = profiler
+        self._audit = audit
         #: Node name -> position, replacing O(N) ``node_names.index``
         #: lookups in the admission pass's host tie-break.
         self._node_pos: Dict[str, int] = {
@@ -233,6 +236,15 @@ class ApplicationPlacementController:
     @property
     def profiler(self) -> Optional[SpanProfiler]:
         return self._profiler
+
+    @property
+    def audit(self) -> Optional[DecisionAudit]:
+        return self._audit
+
+    def attach_audit(self, audit: Optional[DecisionAudit]) -> None:
+        """Attach (or detach, with ``None``) the decision flight
+        recorder.  Placement decisions are unaffected either way."""
+        self._audit = audit
 
     def _span(self, name: str, **attrs: object):
         """A profiler span, or the shared no-op when un-instrumented."""
@@ -274,6 +286,9 @@ class ApplicationPlacementController:
         current: PlacementState,
         now: float,
     ) -> APCResult:
+        audit = self._audit
+        if audit is not None:
+            audit.begin_cycle(now)
         with self._span("apc.model_specs"):
             specs = self._merge_specs(models, now)
             candidates = self._merge_candidates(models, now)
@@ -287,6 +302,11 @@ class ApplicationPlacementController:
         evaluations = 0
         cache_hits = 0
         use_memo = self._config.incremental
+        #: Whether the most recent evaluate() call was memo-served; read
+        #: by the audit so memo hits are recorded identically to misses
+        #: (just flagged).  A plain dict write, so decisions are
+        #: unaffected when no audit is attached.
+        eval_info = {"cached": False}
         #: matrix_key -> (utilities, allocations, churn, load entries in
         #: write order).  Valid for this cycle only: specs and `now` are
         #: fixed, so evaluation is a pure function of the placement.
@@ -306,6 +326,7 @@ class ApplicationPlacementController:
                 hit = eval_memo.get(key)
                 if hit is not None:
                     cache_hits += 1
+                    eval_info["cached"] = True
                     if self._c_cache is not None:
                         self._c_cache.inc(outcome="hit")
                     utilities, allocations, churn, load_entries = hit
@@ -321,6 +342,7 @@ class ApplicationPlacementController:
                     return score, dict(utilities), dict(allocations)
                 if self._c_cache is not None:
                     self._c_cache.inc(outcome="miss")
+            eval_info["cached"] = False
             evaluations += 1
             with self._span("apc.evaluate"):
                 with self._span("apc.loadbalance"):
@@ -358,6 +380,23 @@ class ApplicationPlacementController:
         best_state = state
         best_score, best_utilities, best_allocations = evaluate(best_state)
 
+        if audit is not None:
+            audit.incumbent(best_utilities)
+            seen_rpf = set()
+            for c in candidates:
+                spec = specs.get(c)
+                if spec is None or state.is_placed(c) or c in seen_rpf:
+                    continue
+                seen_rpf.add(c)
+                audit.rpf_inputs(
+                    c,
+                    max_utility=spec.rpf.max_utility,
+                    saturation_cpu=spec.rpf.saturation_cpu,
+                    min_cpu=spec.demand.min_cpu_mhz,
+                    memory_mb=spec.demand.memory_mb,
+                    divisible=spec.demand.divisible,
+                )
+
         # ---- greedy admission pass --------------------------------------
         # Adoption always requires a *strict* utility-vector improvement:
         # a tie never justifies touching the placement (the illustrative
@@ -368,14 +407,33 @@ class ApplicationPlacementController:
             placed_any = self._greedy_admit(trial, specs, candidates, best_utilities)
             if placed_any:
                 score, utilities, allocations = evaluate(trial)
-                if score.utilities > best_score.utilities:
+                adopted = score.utilities > best_score.utilities
+                if audit is not None:
+                    audit.candidate(
+                        stage="admission",
+                        accepted=adopted,
+                        reason="improved" if adopted else "no_improvement",
+                        utilities=utilities,
+                        comparison=lex_explain(score.utilities, best_score.utilities),
+                        churn=score.num_changes,
+                        cached=eval_info["cached"],
+                        tolerance=score.utilities.tolerance,
+                    )
+                if adopted:
                     best_state, best_score = trial, score
                     best_utilities, best_allocations = utilities, allocations
 
         # ---- full nested-loop search ------------------------------------
-        if self._config.enable_search and self._search_is_worthwhile(
+        run_search = self._config.enable_search and self._search_is_worthwhile(
             best_state, specs, candidates, best_utilities, best_allocations
-        ):
+        )
+        if audit is not None and not run_search:
+            audit.shortcircuit(
+                "search_skipped"
+                if self._config.enable_search
+                else "search_disabled"
+            )
+        if run_search:
             bound_reached = (
                 self._make_bound_checker(specs)
                 if self._config.incremental
@@ -388,6 +446,8 @@ class ApplicationPlacementController:
                         # more than the noise threshold anywhere.
                         if self._c_shortcut is not None:
                             self._c_shortcut.inc(kind="upper_bound")
+                        if audit is not None:
+                            audit.shortcircuit("upper_bound")
                         break
                     (
                         improved,
@@ -404,11 +464,19 @@ class ApplicationPlacementController:
                         candidates,
                         evaluate,
                         bound_reached,
+                        eval_info,
                     )
                     if not improved:
                         break
 
         changed = best_state.as_matrix() != baseline
+        if audit is not None:
+            audit.end_cycle(
+                utilities_after=best_utilities,
+                changed=changed,
+                evaluations=evaluations,
+                cache_hits=cache_hits,
+            )
         return APCResult(
             state=best_state,
             allocations=best_allocations,
@@ -601,11 +669,13 @@ class ApplicationPlacementController:
         if not unplaced:
             return False
         if self._config.incremental:
-            return self._greedy_admit_fast(state, specs, unplaced)
+            return self._greedy_admit_fast(state, specs, unplaced, utilities)
+        audit = self._audit
         placed_any = False
-        for app_id in unplaced:
+        for rank, app_id in enumerate(unplaced):
             spec = specs[app_id]
             min_cpu = spec.demand.min_cpu_mhz
+            placed_nodes: List[str] = []
             if spec.demand.divisible:
                 for node in self._cluster.node_names:
                     if self._can_host(state, spec, node) and self._min_cpu_fits(
@@ -613,6 +683,7 @@ class ApplicationPlacementController:
                     ):
                         state.place(app_id, node, spec.demand.memory_mb)
                         placed_any = True
+                        placed_nodes.append(node)
             else:
                 hosts = [
                     n
@@ -632,13 +703,80 @@ class ApplicationPlacementController:
                     )
                     state.place(app_id, target, spec.demand.memory_mb)
                     placed_any = True
+                    placed_nodes.append(target)
+            if audit is not None:
+                self._audit_admission(
+                    state, specs, app_id, rank, utilities, placed_nodes
+                )
         return placed_any
+
+    def _audit_admission(
+        self,
+        state: PlacementState,
+        specs: Mapping[str, AllocatableApp],
+        app_id: str,
+        rank: int,
+        utilities: Mapping[str, float],
+        placed_nodes: Sequence[str],
+    ) -> None:
+        """Emit one greedy-admission verdict (audit-on paths only)."""
+        self._audit.admission(
+            app_id,
+            accepted=bool(placed_nodes),
+            reason=(
+                "placed"
+                if placed_nodes
+                else self._admission_reject_reason(state, specs, app_id)
+            ),
+            lrpf_rank=rank,
+            utility=utilities.get(app_id, specs[app_id].rpf.max_utility),
+            nodes=placed_nodes,
+        )
+
+    def _admission_reject_reason(
+        self,
+        state: PlacementState,
+        specs: Mapping[str, AllocatableApp],
+        app_id: str,
+    ) -> str:
+        """Why the admission pass placed nothing for ``app_id``.
+
+        Checks are ordered by specificity and computed from the state
+        alone, so both search paths report identical reasons.  Only
+        called with an audit attached — never on the decision path.
+        """
+        demand = specs[app_id].demand
+        if (
+            demand.max_instances is not None
+            and state.instance_count(app_id) >= demand.max_instances
+        ):
+            return "max_instances"
+        mem_ok = [
+            n
+            for n in self._cluster.node_names
+            if state.memory_available(n) + EPSILON >= demand.memory_mb
+        ]
+        if not mem_ok:
+            return "memory"
+        cpu_ok = [
+            n
+            for n in mem_ok
+            if self._min_cpu_fits(state, specs, n, demand.min_cpu_mhz)
+        ]
+        if not cpu_ok:
+            return "min_cpu"
+        if not any(
+            self._constraints.allows(state, app_id, n) for n in cpu_ok
+        ):
+            return "constraint"
+        return "no_host"
 
     def _greedy_admit_fast(
         self,
         state: PlacementState,
         specs: Mapping[str, AllocatableApp],
         unplaced: Sequence[str],
+        utilities: Mapping[str, float],
     ) -> bool:
         """Indexed admission pass: same decisions as the naive loop, but
         per-node memory/min-CPU/free-CPU figures are computed once and
@@ -653,13 +791,15 @@ class ApplicationPlacementController:
         cpu_avail = {n: state.cpu_available(n) for n in node_names}
         node_pos = self._node_pos
         constraints = self._constraints if len(self._constraints) else None
+        audit = self._audit
         placed_any = False
-        for app_id in unplaced:
+        for rank, app_id in enumerate(unplaced):
             demand = specs[app_id].demand
             memory_mb = demand.memory_mb
             min_cpu = demand.min_cpu_mhz
             max_inst = demand.max_instances
             count = state.instance_count(app_id)
+            placed_nodes: List[str] = []
             if demand.divisible:
                 for node in node_names:
                     if max_inst is not None and count >= max_inst:
@@ -677,9 +817,8 @@ class ApplicationPlacementController:
                     mem_avail[node] -= memory_mb
                     count += 1
                     placed_any = True
-            else:
-                if max_inst is not None and count >= max_inst:
-                    continue
+                    placed_nodes.append(node)
+            elif max_inst is None or count < max_inst:
                 hosts = [
                     n
                     for n in node_names
@@ -698,6 +837,11 @@ class ApplicationPlacementController:
                     committed[target] += min_cpu
                     mem_avail[target] -= memory_mb
                     placed_any = True
+                    placed_nodes.append(target)
+            if audit is not None:
+                self._audit_admission(
+                    state, specs, app_id, rank, utilities, placed_nodes
+                )
         return placed_any
 
     def _search_is_worthwhile(
@@ -772,11 +916,13 @@ class ApplicationPlacementController:
         candidates: Sequence[str],
         evaluate,
         bound_reached: Optional[Callable[[PlacementScore], bool]] = None,
+        eval_info: Optional[Dict[str, bool]] = None,
     ):
         """One outer-loop pass over all nodes.  Returns
         ``(improved, state, score, utilities, allocations)``."""
         improved = False
         incremental = self._config.incremental
+        audit = self._audit
 
         # Outer loop: visit nodes hosting the highest-utility instances
         # first — they are the most promising donors of capacity.
@@ -815,6 +961,8 @@ class ApplicationPlacementController:
                     ):
                         if self._c_shortcut is not None:
                             self._c_shortcut.inc(kind="node_noop")
+                        if audit is not None:
+                            audit.shortcircuit("node_noop", node=node)
                         continue
                 trial = node_base.copy()
                 for app_id in removable[:removals]:
@@ -837,13 +985,33 @@ class ApplicationPlacementController:
                     else None
                 )
                 score, utilities, allocations = evaluate(trial, tolerance=tolerance)
-                if score.utilities > best_score.utilities:
+                adopted = score.utilities > best_score.utilities
+                if audit is not None:
+                    audit.candidate(
+                        stage="search",
+                        accepted=adopted,
+                        reason="improved" if adopted else "no_improvement",
+                        utilities=utilities,
+                        comparison=lex_explain(
+                            score.utilities, best_score.utilities
+                        ),
+                        node=node,
+                        removals=removals,
+                        churn=score.num_changes,
+                        cached=(
+                            eval_info["cached"] if eval_info is not None else None
+                        ),
+                        tolerance=score.utilities.tolerance,
+                    )
+                if adopted:
                     best_state, best_score = trial, score
                     best_utilities, best_allocations = utilities, allocations
                     improved = True
                     if bound_reached is not None and bound_reached(best_score):
                         if self._c_shortcut is not None:
                             self._c_shortcut.inc(kind="upper_bound")
+                        if audit is not None:
+                            audit.shortcircuit("upper_bound", node=node)
                         return (
                             improved,
                             best_state,
@@ -917,6 +1085,8 @@ class ApplicationPlacementController:
             and state.instances(c).get(node, 0) == 0
         ]
         eligible.sort(key=lambda a: utilities.get(a, specs[a].rpf.max_utility))
+        if self._audit is not None and eligible:
+            self._audit.note_fill(node, eligible)
         if self._config.incremental:
             # Maintain the node's committed-min sum across placements
             # instead of rescanning every hosted application per check.

@@ -42,6 +42,36 @@ def _lex_compare(
     return 0
 
 
+def lex_explain(candidate: "UtilityVector", incumbent: "UtilityVector") -> dict:
+    """Explain a lexicographic comparison for the decision flight recorder.
+
+    Mirrors :func:`_lex_compare` exactly (same tolerance resolution as the
+    rich comparisons) but additionally reports *which* vector element
+    decided the outcome.  Returns a JSON-friendly dict::
+
+        {"result": -1 | 0 | 1,          # candidate vs. incumbent
+         "index": int | None,           # deciding position in the sorted
+                                        # vectors (None = tie / length)
+         "candidate": float | None,     # value at that position
+         "incumbent": float | None,
+         "tolerance": float}
+    """
+    tol = max(candidate.tolerance, incumbent.tolerance)
+    a, b = candidate.values, incumbent.values
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x < y - tol:
+            return {"result": -1, "index": i, "candidate": x,
+                    "incumbent": y, "tolerance": tol}
+        if x > y + tol:
+            return {"result": 1, "index": i, "candidate": x,
+                    "incumbent": y, "tolerance": tol}
+    if len(a) != len(b):
+        return {"result": -1 if len(a) < len(b) else 1, "index": None,
+                "candidate": None, "incumbent": None, "tolerance": tol}
+    return {"result": 0, "index": None, "candidate": None,
+            "incumbent": None, "tolerance": tol}
+
+
 @functools.total_ordering
 class UtilityVector:
     """An ascending-sorted vector of relative performance values.

@@ -125,6 +125,7 @@ def run_experiment_one(
     registry=None,
     trace=None,
     decision_clock=None,
+    audit=None,
 ) -> ExperimentOneResult:
     """Run Experiment One at the given scale.
 
@@ -140,7 +141,9 @@ def run_experiment_one(
     receives the labeled series; ``trace`` is a
     :class:`~repro.sim.trace.SimulationTrace` (optionally sink-backed);
     ``decision_clock`` overrides the wall clock used for
-    ``decision_seconds``.
+    ``decision_seconds``; ``audit`` (a
+    :class:`~repro.obs.audit.DecisionAudit`) attaches the decision
+    flight recorder to the placement controller.
     """
     # Deferred: repro.scenario itself imports repro.experiments.common,
     # so a module-level import here would cycle through the package init.
@@ -170,6 +173,7 @@ def run_experiment_one(
         registry=registry,
         trace=trace,
         decision_clock=decision_clock,
+        audit=audit,
     )
     jobs = simulation.jobs
     metrics = simulation.run()

@@ -8,13 +8,25 @@ Three pieces, composable and individually optional:
   the simulator's subsystems publish into, with Prometheus text
   exposition;
 * :mod:`repro.obs.sink` — streaming JSON-lines export of trace events,
-  span records, and metric samples under a versioned schema.
+  span records, metric samples, and decision-audit records under a
+  versioned schema;
+* :mod:`repro.obs.audit` — the decision flight recorder
+  (:class:`~repro.obs.audit.DecisionAudit`): per-cycle audit of every
+  candidate placement the controller scored, with
+  :mod:`repro.obs.explain` (``repro explain``) and
+  :mod:`repro.obs.report` (``repro report``) as its reading surfaces.
 
-Everything here is opt-in: with no profiler, registry, or sink attached
-the instrumented code paths do nothing, and simulation results are
-byte-identical to an un-instrumented build.
+Everything here is opt-in: with no profiler, registry, sink, or audit
+attached the instrumented code paths do nothing, and simulation results
+are byte-identical to an un-instrumented build.
 """
 
+from repro.obs.audit import (
+    ADMISSION_REASONS,
+    SHORTCIRCUIT_REASONS,
+    DecisionAudit,
+)
+from repro.obs.explain import explain_cycle
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
     Counter,
@@ -23,9 +35,13 @@ from repro.obs.registry import (
     MetricRegistry,
     render_prometheus,
 )
+from repro.obs.report import render_report, write_report
 from repro.obs.sink import (
+    AUDIT_RECORD_TYPES,
+    MIN_AUDIT_SCHEMA_VERSION,
     SCHEMA_VERSION,
     JsonlSink,
+    read_audit_records,
     read_jsonl,
     validate_jsonl,
     validate_record,
@@ -39,14 +55,23 @@ from repro.obs.spans import (
 )
 
 __all__ = [
+    "ADMISSION_REASONS",
+    "SHORTCIRCUIT_REASONS",
+    "DecisionAudit",
+    "explain_cycle",
+    "render_report",
+    "write_report",
     "DEFAULT_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricRegistry",
     "render_prometheus",
+    "AUDIT_RECORD_TYPES",
+    "MIN_AUDIT_SCHEMA_VERSION",
     "SCHEMA_VERSION",
     "JsonlSink",
+    "read_audit_records",
     "read_jsonl",
     "validate_jsonl",
     "validate_record",

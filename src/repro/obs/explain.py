@@ -1,0 +1,182 @@
+"""Reconstruct a placement-decision narrative from recorded audit JSONL.
+
+``repro explain --cycle N`` answers "why did the controller do that?"
+for one control cycle — purely from the decision flight recorder's
+records (:class:`~repro.obs.audit.DecisionAudit` via a schema-v3
+:class:`~repro.obs.sink.JsonlSink` stream), with no re-simulation.  The
+narrative covers the utility vector before and after, the hypothetical-
+RPF inputs of queued candidates (§4.2), the LRPF-ordered greedy
+admission verdicts, and every scored candidate with the lexicographic
+comparison (§3.3) that accepted or rejected it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.obs.sink import read_audit_records
+
+Source = Union[str, Path, IO[str], List[Dict[str, object]]]
+
+
+def _fmt_vector(values: List[float]) -> str:
+    if not values:
+        return "[]"
+    return "[" + ", ".join(f"{v:.3f}" for v in values) + "]"
+
+
+def _mentions(record: Dict[str, object], app: str) -> bool:
+    if record.get("app") == app:
+        return True
+    utilities = record.get("utilities")
+    if isinstance(utilities, dict) and app in utilities:
+        return True
+    fill = record.get("fill_order")
+    return isinstance(fill, list) and app in fill
+
+
+def _describe_comparison(comparison: Dict[str, object]) -> str:
+    result = comparison.get("result")
+    index = comparison.get("index")
+    tol = comparison.get("tolerance")
+    if result == 0 or index is None:
+        return f"tie with the incumbent within tolerance {tol}"
+    relation = "beats" if result == 1 else "loses to"
+    return (
+        f"{relation} the incumbent at sorted position {index} "
+        f"({comparison.get('candidate'):.3f} vs "
+        f"{comparison.get('incumbent'):.3f}, tolerance {tol})"
+    )
+
+
+def _describe_candidate(record: Dict[str, object]) -> List[str]:
+    where = []
+    if record.get("node") is not None:
+        where.append(f"node {record['node']}")
+    if record.get("removals") is not None:
+        where.append(f"{record['removals']} removal(s)")
+    head = f"{record['stage']} trial" + (f" ({', '.join(where)})" if where else "")
+    verdict = "ACCEPTED" if record["accepted"] else f"rejected: {record['reason']}"
+    lines = [f"{head} -> {verdict}"]
+    if record.get("cached"):
+        lines.append("  (evaluation served from the per-cycle memo)")
+    comparison = record.get("comparison")
+    if isinstance(comparison, dict):
+        lines.append("  " + _describe_comparison(comparison))
+    utilities = record.get("utilities")
+    if isinstance(utilities, dict) and utilities:
+        vec = _fmt_vector(sorted(utilities.values()))
+        lines.append(f"  candidate utility vector: {vec}")
+    if record.get("churn") is not None:
+        lines.append(f"  placement changes vs. incumbent: {record['churn']}")
+    fill = record.get("fill_order")
+    if isinstance(fill, list) and fill:
+        lines.append("  refill order (LRPF): " + ", ".join(fill))
+    return lines
+
+
+def explain_cycle(source: Source, cycle: int, app: Optional[str] = None) -> str:
+    """Render the decision narrative of one recorded control cycle.
+
+    ``source`` is a JSONL path/stream or a parsed record list; ``app``
+    restricts the narrative to records mentioning one application.
+    Raises :class:`~repro.errors.ConfigurationError` when the stream has
+    no audit records or no such cycle.
+    """
+    records = read_audit_records(source)
+    by_cycle: Dict[int, List[Dict[str, object]]] = {}
+    for record in records:
+        by_cycle.setdefault(int(record["cycle"]), []).append(record)
+    if cycle not in by_cycle:
+        known = sorted(by_cycle)
+        if known == list(range(known[0], known[-1] + 1)):
+            available = f"{known[0]}..{known[-1]}"
+        else:
+            available = ", ".join(str(c) for c in known)
+        raise ConfigurationError(
+            f"no audit records for cycle {cycle} (recorded cycles: {available})"
+        )
+    selected = by_cycle[cycle]
+    if app is not None:
+        selected = [r for r in selected if _mentions(r, app)]
+        if not selected:
+            raise ConfigurationError(
+                f"no cycle-{cycle} audit records mention application {app!r}"
+            )
+
+    summary = next((r for r in selected if r["type"] == "audit_cycle"), None)
+    rpf = [r for r in selected if r["type"] == "audit_rpf"]
+    admissions = [r for r in selected if r["type"] == "audit_admission"]
+    candidates = [r for r in selected if r["type"] == "audit_candidate"]
+
+    lines: List[str] = []
+    time = selected[0].get("time", 0.0)
+    title = f"cycle {cycle} @ t={time:.1f}s"
+    if app is not None:
+        title += f" (filtered to {app!r})"
+    lines.append(title)
+    lines.append("=" * len(title))
+
+    if summary is not None:
+        before = _fmt_vector(summary["utilities_before"])
+        after = _fmt_vector(summary["utilities_after"])
+        lines.append(f"utility vector before: {before}")
+        lines.append(f"utility vector after:  {after}")
+        if summary["utilities_before"] and summary["utilities_after"]:
+            delta = summary["utilities_after"][0] - summary["utilities_before"][0]
+            lines.append(f"worst-app delta:       {delta:+.3f}")
+        lines.append(
+            "placement {} ({} candidate evaluation(s), {} memo hit(s))".format(
+                "CHANGED" if summary["changed"] else "unchanged",
+                summary["evaluations"],
+                summary.get("cache_hits", 0),
+            )
+        )
+
+    if rpf:
+        lines.append("")
+        lines.append("queued candidates (hypothetical-RPF inputs, §4.2):")
+        for record in rpf:
+            lines.append(
+                "  {}: max_utility={:.3f} saturation_cpu={:.0f}MHz "
+                "min_cpu={:.0f}MHz memory={:.0f}MB{}".format(
+                    record["app"],
+                    record["max_utility"],
+                    record.get("saturation_cpu", float("nan")),
+                    record.get("min_cpu", float("nan")),
+                    record.get("memory_mb", float("nan")),
+                    " divisible" if record.get("divisible") else "",
+                )
+            )
+
+    if admissions:
+        lines.append("")
+        lines.append("greedy admission (LRPF order):")
+        for record in admissions:
+            verdict = (
+                "placed on " + ", ".join(record.get("nodes", []))
+                if record["accepted"]
+                else f"rejected: {record['reason']}"
+            )
+            lines.append(
+                "  #{} {} (utility {:.3f}) -> {}".format(
+                    record.get("lrpf_rank", "?"),
+                    record["app"],
+                    record.get("utility", float("nan")),
+                    verdict,
+                )
+            )
+
+    if candidates:
+        lines.append("")
+        lines.append("scored candidates:")
+        for record in candidates:
+            for line in _describe_candidate(record):
+                lines.append("  " + line)
+
+    return "\n".join(lines)
+
+
+__all__ = ["explain_cycle"]

@@ -1,0 +1,288 @@
+"""Self-contained static HTML report over a recorded telemetry stream.
+
+``repro report`` turns one schema-v3 JSONL stream into a single HTML
+file — inline CSS, inline JS, Python-generated SVG charts, no network
+access — so a run can be archived and inspected anywhere a browser
+opens files.  Charts: the per-cycle utility vector (worst and mean of
+the sorted relative-performance vector after each decision), SLA
+attainment (fraction of applications at or above goal), placement churn
+per cycle, and the APC per-cycle phase-time breakdown from the span
+profiler.
+
+Each chart degrades gracefully: a stream recorded without an audit (or
+without a profiler) renders the sections it can and notes what is
+missing.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.sink import AUDIT_RECORD_TYPES, read_jsonl
+
+Source = Union[str, Path, IO[str], List[Dict[str, object]]]
+
+#: Line colors, cycled across series.
+_PALETTE = ("#2563eb", "#dc2626", "#16a34a", "#9333ea", "#ea580c", "#0891b2")
+
+_CSS = """
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 60rem;
+       color: #1f2937; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table.meta td { padding: 0.1rem 0.8rem 0.1rem 0; color: #4b5563; }
+.chart { border: 1px solid #e5e7eb; border-radius: 6px; padding: 0.6rem;
+         margin: 0.8rem 0; }
+.legend span { margin-right: 1.2rem; font-size: 0.85rem; }
+.legend i { display: inline-block; width: 0.9rem; height: 0.2rem;
+            vertical-align: middle; margin-right: 0.3rem; }
+.note { color: #6b7280; font-style: italic; }
+details summary { cursor: pointer; color: #2563eb; }
+"""
+
+_JS = """
+document.querySelectorAll('polyline[data-series]').forEach(function (line) {
+  line.addEventListener('mouseenter', function () {
+    line.setAttribute('stroke-width', '3');
+  });
+  line.addEventListener('mouseleave', function () {
+    line.setAttribute('stroke-width', '1.5');
+  });
+});
+"""
+
+
+def _svg_chart(
+    series: Sequence[Tuple[str, List[float]]],
+    *,
+    width: int = 640,
+    height: int = 180,
+    pad: int = 28,
+) -> str:
+    """One inline SVG with a polyline per (label, values) series."""
+    values = [v for _, points in series for v in points if v == v]
+    if not values:
+        return '<p class="note">no data points</p>'
+    lo, hi = min(values), max(values)
+    if hi - lo < 1e-12:
+        lo, hi = lo - 0.5, hi + 0.5
+    n = max(len(points) for _, points in series)
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" role="img" '
+        f'preserveAspectRatio="none" style="width:100%;height:{height}px">'
+    ]
+    parts.append(
+        f'<line x1="{pad}" y1="{height - pad}" x2="{width - 4}" '
+        f'y2="{height - pad}" stroke="#9ca3af"/>'
+        f'<line x1="{pad}" y1="4" x2="{pad}" y2="{height - pad}" '
+        f'stroke="#9ca3af"/>'
+        f'<text x="2" y="12" font-size="10" fill="#6b7280">{hi:.3g}</text>'
+        f'<text x="2" y="{height - pad}" font-size="10" '
+        f'fill="#6b7280">{lo:.3g}</text>'
+    )
+    for i, (label, points) in enumerate(series):
+        color = _PALETTE[i % len(_PALETTE)]
+        coords = []
+        for j, value in enumerate(points):
+            if value != value:
+                continue
+            x = pad + (width - pad - 8) * (j / max(n - 1, 1))
+            y = (height - pad) - (height - pad - 8) * ((value - lo) / (hi - lo))
+            coords.append(f"{x:.1f},{y:.1f}")
+        if coords:
+            parts.append(
+                f'<polyline data-series="{_html.escape(label)}" '
+                f'points="{" ".join(coords)}" fill="none" '
+                f'stroke="{color}" stroke-width="1.5"/>'
+            )
+    parts.append("</svg>")
+    legend = "".join(
+        f'<span><i style="background:{_PALETTE[i % len(_PALETTE)]}"></i>'
+        f"{_html.escape(label)}</span>"
+        for i, (label, _) in enumerate(series)
+    )
+    return f'<div class="legend">{legend}</div>' + "".join(parts)
+
+
+def _chart_section(title: str, body: str) -> str:
+    return f"<h2>{_html.escape(title)}</h2><div class=\"chart\">{body}</div>"
+
+
+def _missing(what: str) -> str:
+    return f'<p class="note">{_html.escape(what)}</p>'
+
+
+def _phase_series(
+    spans: List[Dict[str, object]],
+) -> Tuple[List[str], Dict[str, List[float]]]:
+    """Per-cycle APC phase durations, keyed by phase leaf name.
+
+    One ``apc.place`` span per control cycle; each direct-child phase
+    span is assigned to the place occurrence containing its start.
+    """
+    places = sorted(
+        (s for s in spans if s.get("name") == "apc.place"),
+        key=lambda s: s["start"],
+    )
+    if not places:
+        return [], {}
+    phases: Dict[str, List[float]] = {}
+    for span in spans:
+        path = str(span.get("path", ""))
+        parts = path.split("/")
+        if len(parts) < 2 or parts[-2] != "apc.place":
+            continue
+        start = span["start"]
+        index = None
+        for i, place in enumerate(places):
+            if place["start"] <= start <= place["start"] + place["duration"]:
+                index = i
+                break
+        if index is None:
+            continue
+        name = str(span["name"])
+        phases.setdefault(name, [0.0] * len(places))
+        phases[name][index] += span["duration"]
+    labels = sorted(phases)
+    return labels, phases
+
+
+def render_report(source: Source, title: Optional[str] = None) -> str:
+    """Render one telemetry JSONL stream as a self-contained HTML page."""
+    if isinstance(source, list):
+        records = source
+    else:
+        records = read_jsonl(source)
+    meta = next((r for r in records if r.get("type") == "meta"), {})
+    audit = [r for r in records if r.get("type") in AUDIT_RECORD_TYPES]
+    cycles = [r for r in audit if r.get("type") == "audit_cycle"]
+    events = [r for r in records if r.get("type") == "event"]
+    spans = [r for r in records if r.get("type") == "span"]
+
+    sections: List[str] = []
+
+    # -- utility vector -------------------------------------------------
+    if cycles:
+        worst = [
+            (r["utilities_after"][0] if r["utilities_after"] else float("nan"))
+            for r in cycles
+        ]
+        mean = [
+            (
+                sum(r["utilities_after"]) / len(r["utilities_after"])
+                if r["utilities_after"]
+                else float("nan")
+            )
+            for r in cycles
+        ]
+        sections.append(
+            _chart_section(
+                "Utility vector per cycle (after decision)",
+                _svg_chart([("worst app", worst), ("mean", mean)]),
+            )
+        )
+        attainment = [
+            (
+                sum(1 for u in r["utilities_after"] if u >= 0.0)
+                / len(r["utilities_after"])
+                if r["utilities_after"]
+                else float("nan")
+            )
+            for r in cycles
+        ]
+        sections.append(
+            _chart_section(
+                "SLA attainment per cycle (fraction of apps at/above goal)",
+                _svg_chart([("attainment", attainment)]),
+            )
+        )
+    else:
+        sections.append(
+            _chart_section(
+                "Utility vector per cycle",
+                _missing(
+                    "no audit records in this stream — record the run "
+                    "with a DecisionAudit attached for utility and "
+                    "attainment charts"
+                ),
+            )
+        )
+
+    # -- churn ----------------------------------------------------------
+    cycle_events = [e for e in events if e.get("kind") == "cycle"]
+    if cycle_events:
+        changes = [
+            float(e.get("detail", {}).get("changes", 0)) for e in cycle_events
+        ]
+        sections.append(
+            _chart_section(
+                "Placement changes per cycle",
+                _svg_chart([("changes", changes)]),
+            )
+        )
+    else:
+        sections.append(
+            _chart_section(
+                "Placement changes per cycle",
+                _missing("no cycle trace events in this stream"),
+            )
+        )
+
+    # -- APC phase times ------------------------------------------------
+    labels, phases = _phase_series(spans)
+    if labels:
+        sections.append(
+            _chart_section(
+                "APC phase time per cycle (seconds)",
+                _svg_chart([(name, phases[name]) for name in labels]),
+            )
+        )
+    else:
+        sections.append(
+            _chart_section(
+                "APC phase time per cycle",
+                _missing("no apc.place spans in this stream"),
+            )
+        )
+
+    # -- raw counts -----------------------------------------------------
+    counts: Dict[str, int] = {}
+    for record in records:
+        rtype = str(record.get("type"))
+        counts[rtype] = counts.get(rtype, 0) + 1
+    count_rows = "".join(
+        f"<tr><td>{_html.escape(k)}</td><td>{v}</td></tr>"
+        for k, v in sorted(counts.items())
+    )
+    sections.append(
+        "<h2>Stream contents</h2>"
+        f'<table class="meta">{count_rows}</table>'
+        "<details><summary>meta record</summary><pre>"
+        + _html.escape(json.dumps(meta, indent=2, sort_keys=True))
+        + "</pre></details>"
+    )
+
+    page_title = title or "repro run report"
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        f"<title>{_html.escape(page_title)}</title>"
+        f"<style>{_CSS}</style></head><body>"
+        f"<h1>{_html.escape(page_title)}</h1>"
+        + "".join(sections)
+        + f"<script>{_JS}</script></body></html>\n"
+    )
+
+
+def write_report(
+    source: Source, out_path: Union[str, Path], title: Optional[str] = None
+) -> Path:
+    """Render and write the report; returns the output path."""
+    out = Path(out_path)
+    out.write_text(render_report(source, title=title), encoding="utf-8")
+    return out
+
+
+__all__ = ["render_report", "write_report"]

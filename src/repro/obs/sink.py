@@ -4,14 +4,25 @@ Long runs outgrow any in-memory trace bound; the sink streams every
 record to disk the moment it is emitted, so history is never lost to the
 trace's capacity eviction.  One line per record, each self-describing:
 
-``{"v": 1, "type": "meta", "stream": "repro.telemetry", ...}``
-``{"v": 1, "type": "event", "time": ..., "kind": ..., "subject": ..., "detail": {...}}``
-``{"v": 1, "type": "span", "path": ..., "name": ..., "depth": ..., "start": ..., "duration": ...}``
-``{"v": 1, "type": "metric", "name": ..., "kind": ..., "labels": {...}, ...}``
+``{"v": 3, "type": "meta", "stream": "repro.telemetry", ...}``
+``{"v": 3, "type": "event", "time": ..., "kind": ..., "subject": ..., "detail": {...}}``
+``{"v": 3, "type": "span", "path": ..., "name": ..., "depth": ..., "start": ..., "duration": ...}``
+``{"v": 3, "type": "metric", "name": ..., "kind": ..., "labels": {...}, ...}``
 
 Schema version policy: ``v`` is bumped whenever a required field is
-added, removed, or changes meaning; adding *optional* fields is not a
-bump.  :func:`validate_record` accepts exactly the current version.
+added, removed, or changes meaning, or a record type is added; adding
+*optional* fields is not a bump.  :func:`validate_record` accepts
+exactly the current version.
+
+Version history:
+
+* **v1** — ``meta`` / ``event`` / ``span`` / ``metric`` record types.
+* **v2** — never emitted by this stream.  The tabular export schema
+  (:mod:`repro.sim.export`) used that number while the JSONL stream
+  stayed at 1; from v3 on the two schemas share a single version line.
+* **v3** — decision flight recorder: adds the ``audit_cycle`` /
+  ``audit_candidate`` / ``audit_admission`` / ``audit_rpf`` record
+  types emitted by :class:`repro.obs.audit.DecisionAudit`.
 """
 
 from __future__ import annotations
@@ -24,10 +35,18 @@ from typing import Dict, IO, Iterable, List, Optional, Union
 from repro.errors import ConfigurationError
 
 #: Version of the JSONL record schema (see policy in the module docstring).
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 3
+
+#: First schema version whose streams can carry audit records.
+MIN_AUDIT_SCHEMA_VERSION = 3
 
 #: Stream identifier written in the leading meta record.
 STREAM_NAME = "repro.telemetry"
+
+#: Record types emitted by the decision flight recorder (schema v3+).
+AUDIT_RECORD_TYPES = frozenset(
+    {"audit_cycle", "audit_candidate", "audit_admission", "audit_rpf"}
+)
 
 #: Required fields (beyond ``v``/``type``) per record type.
 _REQUIRED: Dict[str, Dict[str, type]] = {
@@ -41,6 +60,35 @@ _REQUIRED: Dict[str, Dict[str, type]] = {
         "duration": (int, float),
     },
     "metric": {"name": str, "kind": str, "labels": dict},
+    "audit_cycle": {
+        "time": (int, float),
+        "cycle": int,
+        "utilities_before": list,
+        "utilities_after": list,
+        "changed": bool,
+        "evaluations": int,
+    },
+    "audit_candidate": {
+        "time": (int, float),
+        "cycle": int,
+        "stage": str,
+        "accepted": bool,
+        "reason": str,
+        "utilities": dict,
+    },
+    "audit_admission": {
+        "time": (int, float),
+        "cycle": int,
+        "app": str,
+        "accepted": bool,
+        "reason": str,
+    },
+    "audit_rpf": {
+        "time": (int, float),
+        "cycle": int,
+        "app": str,
+        "max_utility": (int, float),
+    },
 }
 
 
@@ -193,10 +241,54 @@ def validate_jsonl(source: Union[str, Path, IO[str]]) -> int:
     return len(records)
 
 
+def read_audit_records(
+    source: Union[str, Path, IO[str], List[Dict[str, object]]],
+) -> List[Dict[str, object]]:
+    """Read and validate the audit records of a telemetry stream.
+
+    ``source`` may be a path, an open stream, or an already-parsed record
+    list (as produced by :func:`read_jsonl`).  Returns only the decision
+    flight recorder records (:data:`AUDIT_RECORD_TYPES`), validated, in
+    stream order.  Raises :class:`~repro.errors.ConfigurationError` with
+    a reason-specific message when the stream is empty, predates schema
+    v3, or was recorded without a ``DecisionAudit`` attached.
+    """
+    if isinstance(source, list):
+        records = source
+    else:
+        records = read_jsonl(source)
+    if not records:
+        raise ConfigurationError("empty telemetry stream")
+    audit = [r for r in records if r.get("type") in AUDIT_RECORD_TYPES]
+    if not audit:
+        versions = {r.get("v") for r in records}
+        old = sorted(
+            v for v in versions
+            if isinstance(v, int) and v < MIN_AUDIT_SCHEMA_VERSION
+        )
+        if old:
+            raise ConfigurationError(
+                f"schema v{old[0]} stream predates the decision flight "
+                f"recorder (audit records require "
+                f"v{MIN_AUDIT_SCHEMA_VERSION}); re-record the run with a "
+                f"current sink and a DecisionAudit attached"
+            )
+        raise ConfigurationError(
+            "stream contains no audit records — was the run recorded "
+            "with a DecisionAudit attached?"
+        )
+    for record in audit:
+        validate_record(record)
+    return audit
+
+
 __all__ = [
+    "AUDIT_RECORD_TYPES",
+    "MIN_AUDIT_SCHEMA_VERSION",
     "SCHEMA_VERSION",
     "STREAM_NAME",
     "JsonlSink",
+    "read_audit_records",
     "read_jsonl",
     "validate_jsonl",
     "validate_record",

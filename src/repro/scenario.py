@@ -33,6 +33,7 @@ from repro.experiments.common import (
     PAPER_NODES,
     PAPER_PROCESSORS_PER_NODE,
 )
+from repro.obs.audit import DecisionAudit
 from repro.obs.registry import MetricRegistry
 from repro.obs.spans import SpanProfiler
 from repro.sim.metrics import MetricsRecorder
@@ -215,12 +216,15 @@ class Simulation:
         registry: Optional[MetricRegistry] = None,
         trace: Optional[SimulationTrace] = None,
         decision_clock: Optional[Callable[[], float]] = None,
+        audit: Optional[DecisionAudit] = None,
     ) -> "Simulation":
         """Assemble the full object graph for one scenario.
 
         The telemetry knobs are all opt-in (:mod:`repro.obs`); the
         profiler is shared between simulator and controller so APC
-        phases nest under the cycle spans.  ``decision_clock`` overrides
+        phases nest under the cycle spans, and ``audit`` (a
+        :class:`~repro.obs.audit.DecisionAudit`) attaches the decision
+        flight recorder to the controller.  ``decision_clock`` overrides
         the scenario's simulation config for this build only (it is a
         live callable and deliberately not part of the serialized
         scenario).
@@ -238,7 +242,8 @@ class Simulation:
         if registry is not None:
             batch_model.bind_registry(registry)
         controller = ApplicationPlacementController(
-            cluster, scenario.apc, profiler=profiler, registry=registry
+            cluster, scenario.apc, profiler=profiler, registry=registry,
+            audit=audit,
         )
         policy = APCPolicy(controller, [batch_model])
         config = scenario.sim

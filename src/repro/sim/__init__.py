@@ -14,6 +14,7 @@ from repro.sim.metrics import (
     MetricsRecorder,
     CycleSample,
     JobCompletionRecord,
+    sla_summary,
 )
 from repro.sim.policies import (
     PlacementPolicy,
@@ -50,6 +51,7 @@ __all__ = [
     "MetricsRecorder",
     "CycleSample",
     "JobCompletionRecord",
+    "sla_summary",
     "PlacementPolicy",
     "APCPolicy",
     "FCFSPolicy",

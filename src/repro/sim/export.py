@@ -19,6 +19,7 @@ from repro.sim.metrics import (
     CycleSample,
     JobCompletionRecord,
     MetricsRecorder,
+    sla_summary,
 )
 
 PathLike = Union[str, Path]
@@ -29,7 +30,11 @@ PathLike = Union[str, Path]
 #:   written before versioning carry no ``schema_version`` field).
 #: * **2** — adds fault accounting: the ``faults`` section and its
 #:   summary aggregates in JSON, and :func:`faults_to_csv`.
-SCHEMA_VERSION = 2
+#: * **3** — SLA attainment accounting: per-cycle ``churn_instances`` /
+#:   ``migration_distance_mb`` columns and the JSON ``sla`` section.
+#:   From this version on, the export and JSONL-stream schemas
+#:   (:mod:`repro.obs.sink`) share one version line.
+SCHEMA_VERSION = 3
 
 #: Column order for cycle samples (stable export schema).
 CYCLE_COLUMNS = (
@@ -41,6 +46,8 @@ CYCLE_COLUMNS = (
     "queued_jobs",
     "placement_changes",
     "decision_seconds",
+    "churn_instances",
+    "migration_distance_mb",
 )
 
 #: Column order for the per-action-type fault accounting rows
@@ -172,6 +179,7 @@ def metrics_to_json(
         "cycles": [_cycle_row(s) for s in metrics.cycles],
         "completions": [_completion_row(r) for r in metrics.completions],
         "faults": faults.as_dict(),
+        "sla": sla_summary(metrics),
     }
 
     def default(value):

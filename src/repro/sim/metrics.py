@@ -181,6 +181,14 @@ class CycleSample:
     placement_changes: int = 0
     #: Wall-clock seconds the policy spent deciding this cycle.
     decision_seconds: float = 0.0
+    #: Instances that moved between the previous cycle's placement and
+    #: this one (removals + additions in the matrix diff) — the churn
+    #: the controller's tie-breaking is meant to minimize (§3.2).
+    churn_instances: int = 0
+    #: Memory footprint relocated by migrations this cycle (MB): the
+    #: paper's dominant migration cost is state transfer, so distance is
+    #: measured in megabytes moved, not hops.
+    migration_distance_mb: float = 0.0
 
     @property
     def txn_allocation_mhz(self) -> float:
@@ -293,6 +301,26 @@ class MetricsRecorder:
                 "Relative performance at completion time",
                 buckets=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
             )
+            self._g_attainment = registry.gauge(
+                "repro_sla_attainment",
+                "Relative performance vs. goal this cycle (>= 0 meets the "
+                "SLA); app='batch' is the hypothetical batch average",
+                ("app",),
+            )
+            self._c_breaches = registry.counter(
+                "repro_sla_breaches_total",
+                "SLA breaches: below-goal cycles per transactional app, "
+                "missed deadlines for app='batch'",
+                ("app",),
+            )
+            self._c_churn = registry.counter(
+                "repro_placement_churn_instances_total",
+                "Instances moved between consecutive cycle placements",
+            )
+            self._c_migration_mb = registry.counter(
+                "repro_migration_distance_mb_total",
+                "Memory footprint relocated by migrations (MB)",
+            )
 
     # ------------------------------------------------------------------
     # Recording
@@ -307,12 +335,20 @@ class MetricsRecorder:
         self._g_batch_alloc.set(sample.batch_allocation_mhz)
         if sample.batch_hypothetical_utility == sample.batch_hypothetical_utility:
             self._g_batch_hypo.set(sample.batch_hypothetical_utility)
+            self._g_attainment.set(sample.batch_hypothetical_utility, app="batch")
         for app_id, mhz in sample.txn_allocations_mhz.items():
             self._g_txn_alloc.set(mhz, app=app_id)
         for app_id, utility in sample.txn_utilities.items():
             self._g_txn_perf.set(utility, app=app_id)
+            self._g_attainment.set(utility, app=app_id)
+            if utility < 0.0:
+                self._c_breaches.inc(app=app_id)
         if sample.placement_changes:
             self._c_changes.inc(sample.placement_changes)
+        if sample.churn_instances:
+            self._c_churn.inc(sample.churn_instances)
+        if sample.migration_distance_mb:
+            self._c_migration_mb.inc(sample.migration_distance_mb)
         self._h_decision.observe(sample.decision_seconds)
 
     def record_completion(self, job: Job) -> None:
@@ -321,6 +357,11 @@ class MetricsRecorder:
         if self.registry is not None:
             self._c_completions.inc(met_deadline=str(record.met_deadline).lower())
             self._h_job_perf.observe(record.relative_performance)
+            if not record.met_deadline:
+                # Batch SLA breaches are missed deadlines, counted once
+                # at completion (the per-cycle hypothetical is a
+                # prediction, not an outcome).
+                self._c_breaches.inc(app="batch")
 
     # ------------------------------------------------------------------
     # Figure 3: deadline satisfaction
@@ -407,3 +448,55 @@ class MetricsRecorder:
         if not self.cycles:
             return float("nan")
         return sum(s.decision_seconds for s in self.cycles) / len(self.cycles)
+
+    # ------------------------------------------------------------------
+    # SLA attainment and churn accounting
+    # ------------------------------------------------------------------
+    def sla_attainment(self) -> Dict[str, float]:
+        """SLA attainment per application.
+
+        Transactional apps: the fraction of recorded cycles with
+        relative performance >= 0 (meeting the goal).  ``"batch"``: the
+        deadline satisfaction rate over completed jobs.  Apps with no
+        observations are omitted; ``"batch"`` is NaN with no
+        completions.
+        """
+        met: Dict[str, int] = {}
+        seen: Dict[str, int] = {}
+        for sample in self.cycles:
+            for app_id, utility in sample.txn_utilities.items():
+                seen[app_id] = seen.get(app_id, 0) + 1
+                if utility >= 0.0:
+                    met[app_id] = met.get(app_id, 0) + 1
+        out = {app: met.get(app, 0) / count for app, count in seen.items()}
+        out["batch"] = self.deadline_satisfaction_rate()
+        return out
+
+    def sla_breaches(self) -> Dict[str, int]:
+        """Below-goal cycle counts per transactional app, plus
+        ``"batch"`` = completed jobs that missed their deadline."""
+        out: Dict[str, int] = {}
+        for sample in self.cycles:
+            for app_id, utility in sample.txn_utilities.items():
+                if utility < 0.0:
+                    out[app_id] = out.get(app_id, 0) + 1
+        out["batch"] = sum(1 for c in self.completions if not c.met_deadline)
+        return out
+
+    def total_churn_instances(self) -> int:
+        """Instances moved between consecutive cycle placements."""
+        return sum(s.churn_instances for s in self.cycles)
+
+    def total_migration_distance_mb(self) -> float:
+        """Memory footprint relocated by migrations (MB), whole run."""
+        return sum(s.migration_distance_mb for s in self.cycles)
+
+
+def sla_summary(metrics: "MetricsRecorder") -> Dict[str, object]:
+    """One JSON-friendly SLA/churn digest of a recorded run."""
+    return {
+        "attainment": metrics.sla_attainment(),
+        "breaches": metrics.sla_breaches(),
+        "churn_instances": metrics.total_churn_instances(),
+        "migration_distance_mb": metrics.total_migration_distance_mb(),
+    }

@@ -59,7 +59,7 @@ from repro.sim.reconcile import Decision, Directive, PendingAction, Reconciler
 from repro.sim.trace import SimulationTrace, TraceEventKind
 from repro.txn.application import TransactionalApp
 from repro.units import EPSILON
-from repro.virt.actions import ActionType, CHANGE_ACTIONS
+from repro.virt.actions import ActionType, CHANGE_ACTIONS, diff_placements
 from repro.virt.costs import PAPER_COST_MODEL, VirtualizationCostModel
 from repro.virt.faults import ActionFaultModel, RetryPolicy
 
@@ -299,6 +299,9 @@ class MixedWorkloadSimulator:
         #: Placement changes committed by mid-cycle retries, credited to
         #: the next cycle sample.
         self._deferred_changes = 0
+        #: Memory moved by mid-cycle retried migrations, likewise
+        #: credited to the next cycle sample.
+        self._deferred_moved_mb = 0.0
 
     # ------------------------------------------------------------------
     # Public API
@@ -575,15 +578,20 @@ class MixedWorkloadSimulator:
         # 3. Apply the placement diff as VM control actions.  With a
         #    fault model active, each action may fail or stall; the
         #    *effective* state patches failures out of the desired one.
+        prev_matrix = self._state.as_matrix()
         if self._reconciler is not None:
-            changes, delays, effective = self._apply_placement_fallible(
+            changes, delays, moved_mb, effective = self._apply_placement_fallible(
                 new_state, now, events
             )
         else:
-            changes, delays = self._apply_placement(new_state, now)
+            changes, delays, moved_mb = self._apply_placement(new_state, now)
             effective = new_state
         changes += self._deferred_changes
         self._deferred_changes = 0
+        moved_mb += self._deferred_moved_mb
+        self._deferred_moved_mb = 0.0
+        removed, added = diff_placements(prev_matrix, effective.as_matrix())
+        churn = sum(c for _, _, c in removed) + sum(c for _, _, c in added)
 
         # 4. Refresh execution speeds and schedule in-cycle progress
         #    events (stage boundaries and completions).  Jobs frozen by
@@ -605,7 +613,7 @@ class MixedWorkloadSimulator:
             self._schedule_progress(job, start, events)
 
         # 5. Record the cycle sample.
-        self._record_cycle(effective, now, changes, decision_seconds)
+        self._record_cycle(effective, now, changes, decision_seconds, churn, moved_mb)
         if self.trace is not None:
             self.trace.emit(
                 now, TraceEventKind.CYCLE, "controller",
@@ -631,11 +639,11 @@ class MixedWorkloadSimulator:
     # ------------------------------------------------------------------
     def _apply_placement(
         self, new_state: PlacementState, now: float
-    ) -> Tuple[int, Dict[str, float]]:
+    ) -> Tuple[int, Dict[str, float], float]:
         """Classify per-job placement changes and update job state.
 
-        Returns ``(change_count, per-job execution delays)``.  Change
-        semantics (and Figure 4's counting):
+        Returns ``(change_count, per-job execution delays, migrated
+        memory MB)``.  Change semantics (and Figure 4's counting):
 
         * queued job placed            -> BOOT (not a "change")
         * running job unplaced         -> SUSPEND (1 change)
@@ -645,6 +653,7 @@ class MixedWorkloadSimulator:
         """
         costs = self._config.cost_model
         changes = 0
+        moved_mb = 0.0
         delays: Dict[str, float] = {}
         for job in self._queue.incomplete():
             old_set = set(self._state.nodes_of(job.job_id))
@@ -689,6 +698,7 @@ class MixedWorkloadSimulator:
                         )
                 else:
                     job.migration_count += 1
+                    moved_mb += job.memory_mb
                     delays[job.job_id] = costs.migrate_cost(
                         job.memory_mb
                     ) + costs.resume_cost(job.memory_mb)
@@ -708,6 +718,7 @@ class MixedWorkloadSimulator:
                     # parallel job booting on extra nodes) is dispatch,
                     # not reconfiguration churn.
                     job.migration_count += 1
+                    moved_mb += job.memory_mb
                     delays[job.job_id] = costs.migrate_cost(job.memory_mb)
                     changes += 1
                     if self.trace is not None:
@@ -718,7 +729,7 @@ class MixedWorkloadSimulator:
                         )
                 if job.node not in new_set:
                     job.node = primary
-        return changes, delays
+        return changes, delays, moved_mb
 
     # ------------------------------------------------------------------
     # Fallible placement application (fault-injection extension)
@@ -735,11 +746,12 @@ class MixedWorkloadSimulator:
 
     def _apply_placement_fallible(
         self, new_state: PlacementState, now: float, events: EventQueue
-    ) -> Tuple[int, Dict[str, float], PlacementState]:
+    ) -> Tuple[int, Dict[str, float], float, PlacementState]:
         """Like :meth:`_apply_placement`, but every action attempt is
         sampled against the fault model.
 
-        Returns ``(change_count, per-job delays, effective state)``.  The
+        Returns ``(change_count, per-job delays, migrated memory MB,
+        effective state)``.  The
         effective state starts as a copy of the desired one and is
         patched for every failed action: the instance goes back exactly
         where it was, so capacity is never double-counted and the next
@@ -747,6 +759,7 @@ class MixedWorkloadSimulator:
         """
         costs = self._config.cost_model
         changes = 0
+        moved_mb = 0.0
         delays: Dict[str, float] = {}
         actual = new_state.copy()
         for job in self._queue.incomplete():
@@ -805,6 +818,8 @@ class MixedWorkloadSimulator:
                 )
                 if action in CHANGE_ACTIONS:
                     changes += 1
+                if action is ActionType.MIGRATE:
+                    moved_mb += job.memory_mb
             elif directive.decision is Decision.STALL:
                 self._begin_stall(pending, job, directive, now, events)
             else:
@@ -815,7 +830,7 @@ class MixedWorkloadSimulator:
                 if not self._revert_in(actual, job, pending, now):
                     changes += 1  # degraded to a forced suspension
                 self._dispatch_followup(pending, directive, now, events)
-        return changes, delays, actual
+        return changes, delays, moved_mb, actual
 
     def _commit_transition(
         self,
@@ -1033,6 +1048,8 @@ class MixedWorkloadSimulator:
         )
         if pending.action in CHANGE_ACTIONS:
             self._deferred_changes += 1
+        if pending.action is ActionType.MIGRATE:
+            self._deferred_moved_mb += pending.memory_mb
         if job.status is not JobStatus.RUNNING:
             return  # committed suspend: nothing left to schedule
         speed = min(self._state.cpu_of(job.job_id), job.max_speed)
@@ -1191,6 +1208,8 @@ class MixedWorkloadSimulator:
         now: float,
         changes: int,
         decision_seconds: float,
+        churn_instances: int = 0,
+        migration_distance_mb: float = 0.0,
     ) -> None:
         incomplete = self._queue.incomplete()
         batch_alloc = sum(
@@ -1218,5 +1237,7 @@ class MixedWorkloadSimulator:
                 queued_jobs=len(incomplete) - running,
                 placement_changes=changes,
                 decision_seconds=decision_seconds,
+                churn_instances=churn_instances,
+                migration_distance_mb=migration_distance_mb,
             )
         )

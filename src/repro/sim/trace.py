@@ -17,6 +17,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Iterable, List, Optional
 
+from repro._compat import warn_once
+
 
 class TraceEventKind(enum.Enum):
     ARRIVAL = "arrival"
@@ -26,6 +28,11 @@ class TraceEventKind(enum.Enum):
     MIGRATE = "migrate"
     COMPLETION = "completion"
     CYCLE = "cycle"
+    #: One-line per-cycle summary from the decision flight recorder
+    #: (:class:`repro.obs.audit.DecisionAudit`): did the controller
+    #: change the placement, how many candidates it evaluated, and the
+    #: worst relative performance before/after.
+    DECISION = "decision"
     #: Fallible-actuator events (fault-injection extension): an action
     #: attempt failed, a retry was scheduled, a stalled action is holding
     #: resources, or the reconciler gave up on the action entirely.
@@ -94,7 +101,11 @@ class SimulationTrace:
 
     @property
     def dropped(self) -> int:
-        """Alias of :attr:`dropped_events` (original name)."""
+        """Deprecated alias of :attr:`dropped_events` (original name)."""
+        warn_once(
+            "SimulationTrace.dropped",
+            "SimulationTrace.dropped is deprecated; use dropped_events",
+        )
         return self._dropped
 
     def __len__(self) -> int:

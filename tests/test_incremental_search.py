@@ -137,3 +137,98 @@ def test_naive_solver_reports_no_cache_hits():
     scenario = _bench_scenario(10, seed=7)
     run = _run_cycles(scenario, cycles=4, incremental=False)
     assert len(run["timings"]) == 4  # naive path still times every cycle
+
+
+# ----------------------------------------------------------------------
+# Decision flight recorder vs the fast path
+# ----------------------------------------------------------------------
+MEMO_SCENARIO = Scenario(
+    name="audit-memo",
+    nodes=5,
+    workload="experiment2",
+    job_count=40,
+    interarrival=30.0,
+    seed=7,
+    queue_window=16,
+)
+
+
+def _run_audited(scenario, cycles, *, incremental, audit=None, sweeps=3):
+    """Drive the controller loop directly (as ``repro bench`` does) with
+    an optional audit attached; returns the per-cycle matrices."""
+    cluster = scenario.build_cluster()
+    queue = JobQueue()
+    model = BatchWorkloadModel(queue, queue_window=scenario.queue_window)
+    controller = ApplicationPlacementController(
+        cluster,
+        APCConfig(incremental=incremental, search_sweeps=sweeps),
+        audit=audit,
+    )
+    state = PlacementState(cluster)
+    pending = sorted(scenario.build_jobs(), key=lambda j: j.submit_time)
+    now, horizon = 0.0, 600.0
+    matrices = []
+    for _ in range(cycles):
+        while pending and pending[0].submit_time <= now:
+            queue.submit(pending.pop(0))
+        result = controller.place([model], state, now)
+        state = result.state
+        matrices.append(state.as_matrix())
+        now += horizon
+    return matrices
+
+
+def _scrub(record):
+    """Strip the fields that legitimately differ between the naive and
+    incremental paths: memo-hit flags, the refill-order stash (the naive
+    path refills zero-removal trials the fast path proves no-ops without
+    running), and the per-cycle work accounting (fewer evaluations is
+    exactly what the fast path buys)."""
+    skip = ("cached", "fill_order", "evaluations", "cache_hits")
+    return {k: v for k, v in record.items() if k not in skip}
+
+
+@pytest.mark.parametrize("incremental", [False, True])
+def test_audit_attachment_never_changes_placements(incremental):
+    from repro.obs.audit import DecisionAudit
+
+    plain = _run_audited(MEMO_SCENARIO, 6, incremental=incremental)
+    audit = DecisionAudit()
+    audited = _run_audited(MEMO_SCENARIO, 6, incremental=incremental,
+                           audit=audit)
+    assert plain == audited
+    assert len(audit) > 0
+
+
+def test_audit_decision_records_identical_across_paths():
+    """The decision *content* the recorder captures — accepted
+    candidates, admission verdicts, RPF inputs — must agree between the
+    naive and incremental solvers; only bookkeeping-only fields and
+    short-circuit markers may differ."""
+    from repro.obs.audit import DecisionAudit
+
+    naive, fast = DecisionAudit(), DecisionAudit()
+    m0 = _run_audited(MEMO_SCENARIO, 6, incremental=False, audit=naive)
+    m1 = _run_audited(MEMO_SCENARIO, 6, incremental=True, audit=fast)
+    assert m0 == m1
+
+    def decisions(audit):
+        keep = []
+        for r in audit.records:
+            if r["type"] in ("audit_cycle", "audit_admission", "audit_rpf"):
+                keep.append(_scrub(r))
+            elif r["type"] == "audit_candidate" and r["accepted"]:
+                keep.append(_scrub(r))
+        return keep
+
+    assert decisions(naive) == decisions(fast)
+
+
+def test_audit_marks_memo_hits_in_memo_regime():
+    from repro.obs.audit import DecisionAudit
+
+    audit = DecisionAudit()
+    _run_audited(MEMO_SCENARIO, 6, incremental=True, audit=audit)
+    candidates = [r for r in audit.records if r["type"] == "audit_candidate"]
+    assert any(r.get("cached") for r in candidates)
+    assert any(r.get("cached") is False for r in candidates)

@@ -14,8 +14,11 @@ from repro.obs.registry import (
     render_prometheus,
 )
 from repro.obs.sink import (
+    AUDIT_RECORD_TYPES,
+    MIN_AUDIT_SCHEMA_VERSION,
     SCHEMA_VERSION,
     JsonlSink,
+    read_audit_records,
     read_jsonl,
     validate_jsonl,
     validate_record,
@@ -318,3 +321,107 @@ class TestJsonlSink:
             validate_jsonl(no_meta)
         with pytest.raises(ConfigurationError):
             validate_jsonl(io.StringIO(""))
+
+
+def _audit_record(rtype, **overrides):
+    """A minimal schema-valid v3 audit record of the given type."""
+    base = {
+        "audit_cycle": {
+            "time": 0.0, "cycle": 0, "utilities_before": [],
+            "utilities_after": [0.5], "changed": True, "evaluations": 1,
+        },
+        "audit_candidate": {
+            "time": 0.0, "cycle": 0, "stage": "search", "accepted": False,
+            "reason": "no_improvement", "utilities": {"a": 0.5},
+        },
+        "audit_admission": {
+            "time": 0.0, "cycle": 0, "app": "a", "accepted": True,
+            "reason": "placed",
+        },
+        "audit_rpf": {
+            "time": 0.0, "cycle": 0, "app": "a", "max_utility": 0.6,
+        },
+    }[rtype]
+    record = {"v": SCHEMA_VERSION, "type": rtype, **base}
+    record.update(overrides)
+    return record
+
+
+class TestSchemaV3:
+    def test_current_version_is_three(self):
+        assert SCHEMA_VERSION == 3
+        assert MIN_AUDIT_SCHEMA_VERSION == 3
+
+    def test_all_audit_record_types_validate(self):
+        for rtype in sorted(AUDIT_RECORD_TYPES):
+            validate_record(_audit_record(rtype))
+
+    def test_sink_accepts_audit_records(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        for rtype in sorted(AUDIT_RECORD_TYPES):
+            record = _audit_record(rtype)
+            record.pop("v")  # the sink stamps the version itself
+            sink.write(record)
+        sink.close()
+        assert validate_jsonl(io.StringIO(buf.getvalue())) == 5
+
+    def test_older_versions_rejected(self):
+        for old in (1, 2):
+            with pytest.raises(ConfigurationError, match="unsupported schema"):
+                validate_record(_audit_record("audit_cycle", v=old))
+        with pytest.raises(ConfigurationError, match="unsupported schema"):
+            validate_record({"v": 1, "type": "event", "time": 0.0,
+                             "kind": "k", "subject": "s", "detail": {}})
+
+    def test_malformed_audit_records_rejected(self):
+        broken = _audit_record("audit_candidate")
+        del broken["reason"]
+        with pytest.raises(ConfigurationError, match="missing field 'reason'"):
+            validate_record(broken)
+        wrong_type = _audit_record("audit_cycle", utilities_after="oops")
+        with pytest.raises(ConfigurationError, match="wrong type"):
+            validate_record(wrong_type)
+
+    def test_read_audit_records_returns_only_audit_lines(self):
+        records = [
+            {"v": 3, "type": "meta", "stream": "repro.telemetry"},
+            {"v": 3, "type": "event", "time": 0.0, "kind": "cycle",
+             "subject": "controller", "detail": {}},
+            _audit_record("audit_cycle"),
+            _audit_record("audit_admission"),
+        ]
+        audit = read_audit_records(records)
+        assert [r["type"] for r in audit] == ["audit_cycle", "audit_admission"]
+
+    def test_read_audit_records_empty_stream(self):
+        with pytest.raises(ConfigurationError, match="empty telemetry stream"):
+            read_audit_records([])
+
+    def test_read_audit_records_v1_stream_explains_version_gap(self):
+        v1_only = [
+            {"v": 1, "type": "meta", "stream": "repro.telemetry"},
+            {"v": 1, "type": "event", "time": 0.0, "kind": "cycle",
+             "subject": "controller", "detail": {}},
+        ]
+        with pytest.raises(ConfigurationError,
+                           match="predates the decision flight recorder"):
+            read_audit_records(v1_only)
+
+    def test_read_audit_records_v3_stream_without_audit(self):
+        v3_no_audit = [
+            {"v": 3, "type": "meta", "stream": "repro.telemetry"},
+            {"v": 3, "type": "event", "time": 0.0, "kind": "cycle",
+             "subject": "controller", "detail": {}},
+        ]
+        with pytest.raises(ConfigurationError,
+                           match="DecisionAudit attached"):
+            read_audit_records(v3_no_audit)
+
+    def test_read_audit_records_validates_each_audit_line(self):
+        stream = [
+            {"v": 3, "type": "meta", "stream": "repro.telemetry"},
+            _audit_record("audit_rpf", max_utility="not-a-number"),
+        ]
+        with pytest.raises(ConfigurationError, match="wrong type"):
+            read_audit_records(stream)

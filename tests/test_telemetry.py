@@ -58,6 +58,20 @@ class TestByteIdentity:
             instrumented.metrics
         )
 
+    def test_audit_attached_vs_detached_identical_results(self):
+        # The decision flight recorder observes every candidate the
+        # controller scores; attaching it must never change a decision.
+        from repro.obs import DecisionAudit
+
+        frozen = lambda: 0.0
+        plain = run_tiny(decision_clock=frozen)
+        audit = DecisionAudit()
+        audited = run_tiny(decision_clock=frozen, audit=audit)
+        assert metrics_to_json(plain.metrics) == metrics_to_json(
+            audited.metrics
+        )
+        assert len(audit) > 0  # the recorder did observe the run
+
     def test_default_run_allocates_no_telemetry(self):
         result = run_tiny(decision_clock=lambda: 0.0)
         assert result.metrics.registry is None
@@ -175,7 +189,13 @@ class TestTraceSinkAndDropCounter:
             trace.emit(float(t), TraceEventKind.CYCLE, "controller", n=t)
         assert len(trace) == 3
         assert trace.dropped_events == 7
-        assert trace.dropped == 7  # original name kept as alias
+        # Original name kept as a (deprecated) alias.
+        from repro._compat import reset_deprecation_warnings
+
+        reset_deprecation_warnings()
+        with pytest.deprecated_call(match="dropped_events"):
+            assert trace.dropped == 7
+        reset_deprecation_warnings()
         summary = trace.summary()
         assert summary["dropped_events"] == 7
         assert summary["retained_events"] == 3
@@ -226,8 +246,9 @@ class TestFaultExport:
         recorder = MetricsRecorder()
         recorder.faults = self._stats_with_activity()
         doc = json.loads(metrics_to_json(recorder))
-        assert SCHEMA_VERSION == 2
+        assert SCHEMA_VERSION == 3
         assert doc["schema_version"] == SCHEMA_VERSION
+        assert "sla" in doc  # v3 SLA-attainment section
         assert doc["faults"]["attempts"] == {"suspend": 2, "migrate": 1}
         summary = doc["summary"]
         assert summary["total_action_attempts"] == 3
@@ -257,6 +278,20 @@ class TestTelemetryCli:
         types = {r["type"] for r in records}
         assert types == {"meta", "event", "span", "metric"}
 
+    def test_telemetry_audit_flag_streams_audit_records(self, capsys, tmp_path):
+        path = tmp_path / "audited.jsonl"
+        assert main([
+            "telemetry", "--scale", "tiny", "--audit",
+            "--jsonl", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "decision audit:" in out
+        records = [json.loads(l) for l in path.read_text().splitlines()]
+        types = {r["type"] for r in records}
+        assert "audit_cycle" in types
+        assert "audit_candidate" in types
+        assert validate_jsonl(path) > 0
+
     def test_telemetry_parser_defaults(self):
         from repro.cli import build_parser
 
@@ -264,3 +299,4 @@ class TestTelemetryCli:
         assert args.jsonl is None
         assert args.cycles == 5
         assert args.fail_prob == 0.0
+        assert args.audit is False

@@ -44,9 +44,26 @@ class TestSimulationTrace:
         for t in range(5):
             trace.emit(float(t), TraceEventKind.ARRIVAL, f"j{t}")
         assert len(trace) == 3
-        assert trace.dropped == 2
+        assert trace.dropped_events == 2
         assert trace.events()[0].time == 2.0
         assert "older events dropped" in trace.render()
+
+    def test_dropped_alias_warns_once(self):
+        from repro._compat import reset_deprecation_warnings
+
+        reset_deprecation_warnings()
+        trace = SimulationTrace(capacity=2)
+        for t in range(5):
+            trace.emit(float(t), TraceEventKind.ARRIVAL, f"j{t}")
+        with pytest.deprecated_call(match="dropped_events"):
+            assert trace.dropped == 3
+        # One-shot: the second read is silent.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert trace.dropped == 3
+        reset_deprecation_warnings()
 
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
