@@ -72,6 +72,7 @@ from repro.sim import (
     MixedWorkloadSimulator,
     NodeFailure,
     PartitionedPolicy,
+    SNAPSHOT_SCHEMA_VERSION,
     ScriptedPolicy,
     SimulationConfig,
     SimulationTrace,
@@ -148,6 +149,7 @@ from repro.obs import (
 from repro import __version__
 from repro._compat import reset_deprecation_warnings
 from repro.errors import (
+    CheckpointError,
     ConfigurationError,
     PlacementError,
     ReproError,
@@ -200,6 +202,7 @@ __all__ = [
     "NodeFailure",
     "PartitionedPolicy",
     "ScriptedPolicy",
+    "SNAPSHOT_SCHEMA_VERSION",
     "SimulationConfig",
     "SimulationTrace",
     "TraceEventKind",
@@ -256,6 +259,7 @@ __all__ = [
     "render_report",
     "write_report",
     # misc
+    "CheckpointError",
     "ConfigurationError",
     "PlacementError",
     "ReproError",

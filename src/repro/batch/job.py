@@ -60,6 +60,20 @@ class JobStage:
         """Seconds this stage takes at its maximum speed."""
         return self.work_mcycles / self.max_speed_mhz
 
+    def to_dict(self) -> dict:
+        """A plain JSON-serializable representation (round-trips through
+        :meth:`from_dict`)."""
+        return {
+            "work_mcycles": self.work_mcycles,
+            "max_speed_mhz": self.max_speed_mhz,
+            "min_speed_mhz": self.min_speed_mhz,
+            "memory_mb": self.memory_mb,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobStage":
+        return cls(**dict(data))
+
 
 class JobProfile:
     """A job's full resource usage profile: an ordered sequence of stages.
@@ -140,6 +154,15 @@ class JobProfile:
 
     def is_last_stage(self, cpu_consumed: float) -> bool:
         return self.stage_index_at(cpu_consumed) == len(self._stages) - 1
+
+    def to_dict(self) -> dict:
+        """A plain JSON-serializable representation (round-trips through
+        :meth:`from_dict`)."""
+        return {"stages": [stage.to_dict() for stage in self._stages]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobProfile":
+        return cls([JobStage.from_dict(s) for s in data["stages"]])
 
     def remaining_work(self, cpu_consumed: float) -> float:
         """Mcycles left after ``cpu_consumed`` (never negative)."""
@@ -380,6 +403,55 @@ class Job:
     def met_deadline(self) -> bool:
         """Whether the job completed at or before its goal (Figure 3)."""
         return self.deadline_distance() >= -EPSILON
+
+    # ------------------------------------------------------------------
+    # Serialization (crash-safe simulations)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Everything about the job — profile, goal *and* runtime state —
+        as plain JSON data (round-trips through :meth:`from_dict`)."""
+        return {
+            "job_id": self.job_id,
+            "profile": self.profile.to_dict(),
+            "submit_time": self.submit_time,
+            "completion_goal": self.completion_goal,
+            "desired_start": self.desired_start,
+            "parallelism": self.parallelism,
+            "status": self.status.value,
+            "cpu_consumed": self.cpu_consumed,
+            "node": self.node,
+            "start_time": self.start_time,
+            "completion_time": self.completion_time,
+            "suspend_count": self.suspend_count,
+            "resume_count": self.resume_count,
+            "migration_count": self.migration_count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Job":
+        """Rebuild a job, runtime state included.  Unknown keys are
+        rejected to surface serialization drift."""
+        payload = dict(data)
+        runtime = {
+            "status": JobStatus(payload.pop("status", JobStatus.NOT_STARTED.value)),
+            "cpu_consumed": payload.pop("cpu_consumed", 0.0),
+            "node": payload.pop("node", None),
+            "start_time": payload.pop("start_time", None),
+            "completion_time": payload.pop("completion_time", None),
+            "suspend_count": payload.pop("suspend_count", 0),
+            "resume_count": payload.pop("resume_count", 0),
+            "migration_count": payload.pop("migration_count", 0),
+        }
+        known = {"job_id", "profile", "submit_time", "completion_goal",
+                 "desired_start", "parallelism"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(f"unknown Job keys: {sorted(unknown)}")
+        payload["profile"] = JobProfile.from_dict(payload["profile"])
+        job = cls(**payload)
+        for name, value in runtime.items():
+            setattr(job, name, value)
+        return job
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

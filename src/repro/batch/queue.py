@@ -62,6 +62,32 @@ class JobQueue:
         except KeyError:
             raise SchedulingError(f"unknown job: {job_id!r}") from None
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore (crash-safe simulations)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Queue contents — every job with its runtime state, in
+        submission order — as plain JSON data."""
+        return {"jobs": [self._jobs[j].to_dict() for j in self._order]}
+
+    def load_state(self, jobs: Iterable[Job]) -> None:
+        """Replace the queue's contents wholesale (snapshot restore).
+
+        Mutates this queue in place — policies and workload models hold
+        it by reference — and deliberately bypasses the submission
+        counter: the jobs were already counted when first submitted in
+        the run being restored.  The depth gauge is refreshed.
+        """
+        self._jobs = {}
+        self._order = []
+        for job in jobs:
+            if job.job_id in self._jobs:
+                raise SchedulingError(f"duplicate job id: {job.job_id!r}")
+            self._jobs[job.job_id] = job
+            self._order.append(job.job_id)
+        if self._g_depth is not None:
+            self._g_depth.set(len(self._jobs))
+
     def __contains__(self, job_id: str) -> bool:
         return job_id in self._jobs
 

@@ -446,15 +446,43 @@ def cmd_sweep(args) -> int:
     """Run a batch of RunSpecs (JSON file) across worker processes."""
     import json
 
+    from repro.errors import CheckpointError, ConfigurationError
     from repro.experiments.runner import run_sweep
 
-    with open(args.config, "r", encoding="utf-8") as fh:
-        data = json.load(fh)
-    specs = data["specs"] if isinstance(data, dict) else data
-    result = run_sweep(specs, workers=args.workers)
-    print(f"{len(result)} runs on {result.workers} worker(s)")
+    if args.resume is None and args.config is None:
+        print("sweep needs a config file (or --resume DIR)", file=sys.stderr)
+        return 2
+    specs = None
+    if args.config is not None:
+        with open(args.config, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        specs = data["specs"] if isinstance(data, dict) else data
+    try:
+        result = run_sweep(
+            specs,
+            workers=args.workers,
+            run_dir=args.resume if args.resume is not None else args.run_dir,
+            resume=args.resume is not None,
+            spec_timeout=args.timeout,
+            max_attempts=1 + args.retries,
+        )
+    except (CheckpointError, ConfigurationError) as exc:
+        print(f"sweep checkpoint error: {exc}", file=sys.stderr)
+        return 2
+    failed = len(result.failures("failed"))
+    crashed = len(result.failures("crashed"))
+    ok = len(result) - failed - crashed
+    print(
+        f"{len(result)} runs on {result.workers} worker(s): {ok} ok, "
+        f"{failed} failed, {crashed} crashed, {result.total_retries} retries"
+    )
     for summary in result:
-        status = "ok" if summary.get("ok") else f"FAILED: {summary.get('error')}"
+        if summary.get("ok"):
+            status = "ok"
+        elif summary.get("crashed"):
+            status = f"CRASHED: {summary.get('error')}"
+        else:
+            status = f"FAILED: {summary.get('error')}"
         print(f"  {summary['name']} [{summary['kind']}] {status}")
     merged = result.merged_metrics()
     if merged:
@@ -465,7 +493,7 @@ def cmd_sweep(args) -> int:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(result.to_dict(), fh, indent=2)
         print(f"summaries written to {args.out}")
-    return 1 if result.failures else 0
+    return 1 if result.failures() else 0
 
 
 def cmd_ablations(args) -> int:
@@ -654,11 +682,24 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run a JSON batch of experiment/scenario specs across workers",
     )
-    p.add_argument("config", help="JSON file: list of RunSpec dicts or "
-                                  "{'specs': [...]}")
+    p.add_argument("config", nargs="?", default=None,
+                   help="JSON file: list of RunSpec dicts or "
+                        "{'specs': [...]} (omit with --resume)")
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes (default: min(len(specs), cores); "
                         "1 = inline)")
+    p.add_argument("--run-dir", metavar="DIR", default=None,
+                   help="checkpoint the sweep here (manifest + per-spec "
+                        "results; survives SIGKILL)")
+    p.add_argument("--resume", metavar="DIR", default=None,
+                   help="continue a checkpointed sweep from DIR (completed "
+                        "specs are not re-run)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="kill any pooled worker exceeding this many seconds "
+                        "per attempt")
+    p.add_argument("--retries", type=int, default=1,
+                   help="seed-stable retries for crashed/timed-out workers "
+                        "(default 1)")
     p.add_argument("--out", metavar="PATH", default=None,
                    help="write summaries JSON here")
     p.set_defaults(func=cmd_sweep)

@@ -106,6 +106,22 @@ class Cluster:
         """Sum of node memory capacities in MB."""
         return sum(n.memory_capacity for n in self._nodes.values())
 
+    # ------------------------------------------------------------------
+    # Availability windows (snapshot / restore)
+    # ------------------------------------------------------------------
+    def availability(self) -> Dict[str, bool]:
+        """``{name: available}`` for every node, in insertion order."""
+        return {name: node.available for name, node in self._nodes.items()}
+
+    def restore_availability(self, flags: Dict[str, bool]) -> None:
+        """Set each node's availability flag from a snapshot mapping.
+
+        Unknown node names raise :class:`PlacementError`; nodes absent
+        from ``flags`` are left untouched.
+        """
+        for name, available in flags.items():
+            self.node(name).available = bool(available)
+
     def subcluster(self, names: Iterable[str]) -> "Cluster":
         """A new cluster containing only the named nodes (for static
         partitioning experiments, e.g. Experiment Three's 9/16 split)."""

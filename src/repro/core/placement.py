@@ -279,6 +279,59 @@ class PlacementState:
         return clone
 
     # ------------------------------------------------------------------
+    # Snapshot / restore (crash-safe simulations)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Verbatim JSON form of the full state, caches included.
+
+        Two things are preserved deliberately: dict *insertion order*
+        (see :meth:`matrix_key` — iteration order is semantically
+        significant for tie-breaking and diffing, and JSON objects keep
+        key order through a dump/load round trip), and the accumulated
+        per-node usage caches (re-summing them fresh could differ in the
+        last float ulp from the values the original run accumulated,
+        breaking byte-identical resume).  Empty per-app entries are kept
+        for the same order-sensitivity reason: re-placing such an app
+        must land at its original dict position.
+        """
+        return {
+            "instances": {a: dict(n) for a, n in self._instances.items()},
+            "load": {a: dict(n) for a, n in self._load.items()},
+            "memory_demand": dict(self._memory_demand),
+            "node_memory_used": dict(self._node_memory_used),
+            "node_cpu_used": dict(self._node_cpu_used),
+        }
+
+    @classmethod
+    def from_dict(cls, cluster: Cluster, data: Dict[str, object]) -> "PlacementState":
+        """Rebuild a state captured by :meth:`to_dict` over ``cluster``."""
+        state = cls.__new__(cls)
+        state._cluster = cluster
+        state._instances = {
+            a: {n: int(c) for n, c in nodes.items()}
+            for a, nodes in data["instances"].items()
+        }
+        state._load = {
+            a: {n: float(c) for n, c in nodes.items()}
+            for a, nodes in data["load"].items()
+        }
+        state._memory_demand = {
+            a: float(m) for a, m in data["memory_demand"].items()
+        }
+        state._node_memory_used = {
+            n: float(v) for n, v in data["node_memory_used"].items()
+        }
+        state._node_cpu_used = {
+            n: float(v) for n, v in data["node_cpu_used"].items()
+        }
+        unknown = set(state._node_memory_used) - set(cluster.node_names)
+        if unknown:
+            raise PlacementError(
+                f"placement state references unknown nodes: {sorted(unknown)}"
+            )
+        return state
+
+    # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------
     def validate(self) -> None:

@@ -37,6 +37,17 @@ class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
 
 
+class CheckpointError(ReproError):
+    """A snapshot or sweep checkpoint could not be restored.
+
+    Raised when restoring state that is truncated, malformed, carries an
+    unsupported schema version, or does not belong to the object it is
+    being restored onto (different config, cluster, or spec set).  The
+    message always says *what* was wrong — a bad checkpoint must never
+    surface as a bare ``KeyError``.
+    """
+
+
 class ActionFailedError(SimulationError):
     """A placement action could not be committed against the cluster.
 

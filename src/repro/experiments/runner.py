@@ -25,13 +25,17 @@ simulation trace to a JSONL file as it executes.
 from __future__ import annotations
 
 import dataclasses
+import json
+import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _connection_wait
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro._compat import keyword_only
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.experiments.common import SCALES, Scale
 
 #: Handler registry: kind -> callable(RunSpec) -> summary dict.
@@ -247,6 +251,39 @@ def _run_scenario(spec: RunSpec) -> Dict[str, object]:
     }
 
 
+@register_kind("selftest")
+def _run_selftest(spec: RunSpec) -> Dict[str, object]:
+    """Harness-exercising spec: sleep, fail, or kill its own worker.
+
+    Exists so the fault-tolerant pool (timeouts, crash retries, degraded
+    workers) can be tested — and demonstrated — without contriving a
+    real workload that crashes.  Params: ``sleep`` (seconds), ``fail``
+    (raise), ``crash`` (kill the process), ``crash_once_path`` (crash
+    only while the marker file does not exist — the retry then
+    succeeds), ``value`` (echoed into the summary).
+    """
+    params = dict(spec.params)
+    sleep = float(params.pop("sleep", 0.0))
+    fail = params.pop("fail", False)
+    crash = params.pop("crash", False)
+    crash_once_path = params.pop("crash_once_path", None)
+    value = params.pop("value", None)
+    if params:
+        raise ConfigurationError(f"unknown selftest params: {sorted(params)}")
+    if crash_once_path is not None:
+        if not os.path.exists(crash_once_path):
+            with open(crash_once_path, "w", encoding="utf-8") as fh:
+                fh.write(spec.name)
+            os._exit(13)
+    if crash:
+        os._exit(13)
+    if sleep:
+        time.sleep(sleep)
+    if fail:
+        raise RuntimeError("selftest failure requested")
+    return {"value": value}
+
+
 # ----------------------------------------------------------------------
 # Sweep execution
 # ----------------------------------------------------------------------
@@ -279,9 +316,37 @@ class SweepResult:
     def __len__(self) -> int:
         return len(self.summaries)
 
+    def failures(self, kind: Optional[str] = None) -> List[Dict[str, object]]:
+        """Summaries that did not succeed.
+
+        ``kind`` filters the list: ``"failed"`` keeps runs whose spec
+        raised inside the handler (deterministic — a retry would fail
+        the same way), ``"crashed"`` keeps runs whose worker process
+        died or timed out (environmental — these *are* retried, up to
+        the sweep's attempt budget).  ``None`` returns both.
+        """
+        if kind not in (None, "failed", "crashed"):
+            raise ValueError(
+                f"kind must be None, 'failed' or 'crashed', got {kind!r}"
+            )
+        out: List[Dict[str, object]] = []
+        for summary in self.summaries:
+            if summary.get("ok"):
+                continue
+            crashed = bool(summary.get("crashed"))
+            if kind == "crashed" and not crashed:
+                continue
+            if kind == "failed" and crashed:
+                continue
+            out.append(summary)
+        return out
+
     @property
-    def failures(self) -> List[Dict[str, object]]:
-        return [s for s in self.summaries if not s.get("ok")]
+    def total_retries(self) -> int:
+        """Extra attempts beyond the first, summed over all runs."""
+        return sum(
+            max(0, int(s.get("attempts", 1)) - 1) for s in self.summaries
+        )
 
     def by_name(self, name: str) -> Dict[str, object]:
         for summary in self.summaries:
@@ -313,35 +378,317 @@ class SweepResult:
             "workers": self.workers,
             "specs": [s.to_dict() for s in self.specs],
             "summaries": self.summaries,
+            "failed": len(self.failures("failed")),
+            "crashed": len(self.failures("crashed")),
+            "retries": self.total_retries,
         }
 
 
 SpecLike = Union[RunSpec, Mapping[str, object]]
 
+#: Version stamped into the sweep manifest and every results line.
+CHECKPOINT_VERSION = 1
+
+_MANIFEST_NAME = "sweep.json"
+_RESULTS_NAME = "results.jsonl"
+
+
+# ----------------------------------------------------------------------
+# Run-directory checkpointing
+# ----------------------------------------------------------------------
+def _init_run_dir(run_dir: str, payloads: List[Dict[str, object]]) -> None:
+    """Prepare a fresh run directory: write the spec manifest atomically.
+
+    Refuses to start a *new* sweep into a directory that already holds
+    checkpointed results — that is what ``resume=True`` is for.
+    """
+    os.makedirs(run_dir, exist_ok=True)
+    results_path = os.path.join(run_dir, _RESULTS_NAME)
+    if os.path.exists(results_path) and os.path.getsize(results_path) > 0:
+        raise CheckpointError(
+            f"{run_dir!r} already holds checkpointed sweep results; "
+            "pass resume=True (repro sweep --resume) to continue it, or "
+            "use a fresh directory"
+        )
+    manifest = {"version": CHECKPOINT_VERSION, "specs": payloads}
+    tmp_path = os.path.join(run_dir, _MANIFEST_NAME + ".tmp")
+    with open(tmp_path, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp_path, os.path.join(run_dir, _MANIFEST_NAME))
+
+
+def _load_manifest(run_dir: str) -> List[Dict[str, object]]:
+    """The checkpointed spec payloads, validated."""
+    path = os.path.join(run_dir, _MANIFEST_NAME)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except FileNotFoundError:
+        raise CheckpointError(
+            f"{run_dir!r} has no sweep manifest ({_MANIFEST_NAME}); "
+            "it is not a resumable run directory"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"sweep manifest in {run_dir!r} is corrupt: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict) or "specs" not in manifest:
+        raise CheckpointError(
+            f"sweep manifest in {run_dir!r} is malformed (no 'specs')"
+        )
+    if manifest.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"sweep manifest version {manifest.get('version')!r} is not "
+            f"supported (this code reads version {CHECKPOINT_VERSION})"
+        )
+    return list(manifest["specs"])
+
+
+def _load_results(run_dir: str, spec_count: int) -> Dict[int, Dict[str, object]]:
+    """Checkpointed summaries by spec index.
+
+    A truncated *final* line is tolerated (the writer was killed
+    mid-append; that spec simply re-runs); corruption anywhere else
+    means the file cannot be trusted and raises
+    :class:`~repro.errors.CheckpointError`.
+    """
+    path = os.path.join(run_dir, _RESULTS_NAME)
+    done: Dict[int, Dict[str, object]] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    except FileNotFoundError:
+        return done
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if lineno == len(lines) - 1:
+                break  # killed mid-append: drop the partial record
+            raise CheckpointError(
+                f"sweep checkpoint {path!r} is corrupt at line "
+                f"{lineno + 1}: {exc}"
+            ) from exc
+        if entry.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"sweep checkpoint {path!r} line {lineno + 1} has "
+                f"unsupported version {entry.get('version')!r}"
+            )
+        index = entry.get("index")
+        if not isinstance(index, int) or not 0 <= index < spec_count:
+            raise CheckpointError(
+                f"sweep checkpoint {path!r} line {lineno + 1} references "
+                f"spec index {index!r}, outside the manifest's "
+                f"{spec_count} specs"
+            )
+        done[index] = entry["summary"]
+    return done
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerant worker pool
+# ----------------------------------------------------------------------
+def _pool_worker(payload: Dict[str, object], conn) -> None:
+    """Child-process entry: run one spec, ship the summary back."""
+    try:
+        conn.send(_execute(payload))
+    finally:
+        conn.close()
+
+
+def _run_pool(
+    todo: Sequence[Tuple[int, Dict[str, object]]],
+    workers: int,
+    spec_timeout: Optional[float],
+    max_attempts: int,
+    on_result: Callable[[int, Dict[str, object]], None],
+) -> None:
+    """Run payloads on a pool of single-shot worker processes.
+
+    One process per attempt, talking back over a pipe: a worker that
+    dies (any cause — OOM kill, segfault, ``os._exit``) or exceeds
+    ``spec_timeout`` only loses its own spec.  Crashed specs are
+    re-enqueued with the *identical* payload (seed-stable retry) until
+    ``max_attempts`` is exhausted, then recorded as ``crashed``; the
+    pool itself degrades but never dies.
+    """
+    ctx = multiprocessing.get_context()
+    queued = deque(todo)
+    attempts: Dict[int, int] = {}
+    #: conn -> (process, spec index, payload, absolute deadline or None)
+    running: Dict[object, Tuple[object, int, Dict[str, object], Optional[float]]] = {}
+
+    def settle_crash(index: int, payload: Dict[str, object], why: str) -> None:
+        if attempts[index] < max_attempts:
+            queued.append((index, payload))
+            return
+        on_result(index, {
+            "name": payload.get("name") or payload.get("kind", "?"),
+            "kind": payload.get("kind", "?"),
+            "ok": False,
+            "crashed": True,
+            "error": why,
+            "attempts": attempts[index],
+        })
+
+    try:
+        while queued or running:
+            while queued and len(running) < workers:
+                index, payload = queued.popleft()
+                attempts[index] = attempts.get(index, 0) + 1
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_pool_worker, args=(payload, child_conn), daemon=True
+                )
+                proc.start()
+                child_conn.close()
+                deadline = (
+                    time.monotonic() + spec_timeout
+                    if spec_timeout is not None else None
+                )
+                running[parent_conn] = (proc, index, payload, deadline)
+            for conn in _connection_wait(list(running), timeout=0.1):
+                proc, index, payload, _ = running.pop(conn)
+                try:
+                    result = conn.recv()
+                except (EOFError, OSError):
+                    result = None
+                conn.close()
+                proc.join()
+                if result is None:
+                    settle_crash(
+                        index, payload,
+                        f"worker died (exit code {proc.exitcode})",
+                    )
+                else:
+                    on_result(index, {**result, "attempts": attempts[index]})
+            if spec_timeout is not None:
+                now = time.monotonic()
+                for conn in list(running):
+                    proc, index, payload, deadline = running[conn]
+                    if deadline is not None and now > deadline:
+                        del running[conn]
+                        proc.kill()
+                        proc.join()
+                        conn.close()
+                        settle_crash(
+                            index, payload,
+                            f"worker timed out after {spec_timeout}s",
+                        )
+    finally:
+        for conn, (proc, _, _, _) in running.items():
+            proc.kill()
+            conn.close()
+
 
 def run_sweep(
-    specs: Sequence[SpecLike],
+    specs: Optional[Sequence[SpecLike]] = None,
     workers: Optional[int] = None,
+    *,
+    run_dir: Optional[str] = None,
+    resume: bool = False,
+    spec_timeout: Optional[float] = None,
+    max_attempts: int = 2,
 ) -> SweepResult:
     """Execute every spec and collect summaries in input order.
 
     ``workers=None`` sizes the pool to ``min(len(specs), cpu_count)``;
     ``workers<=1`` runs inline (no subprocesses — the debuggable path,
     and byte-identical summaries modulo ``*_seconds`` timing fields).
-    Worker failures never raise; they surface as ``ok: False`` summaries
-    with the error message.
+    A spec that raises never raises out of the sweep; it surfaces as an
+    ``ok: False`` summary with the error message.
+
+    Crash safety (all opt-in):
+
+    * ``run_dir`` checkpoints the sweep: the spec manifest is written up
+      front and each finished spec is appended (flushed and fsynced) to
+      ``results.jsonl`` — a SIGKILL at any point loses at most the specs
+      still in flight.
+    * ``resume=True`` continues a checkpointed sweep from ``run_dir``:
+      completed specs are served from the checkpoint, the rest run.
+      ``specs`` may be omitted (the manifest is authoritative); if given
+      they must match the manifest.
+    * ``spec_timeout`` kills any pooled worker that exceeds it (seconds
+      per attempt); ``max_attempts`` bounds seed-stable retries for
+      crashed or timed-out workers (deterministic in-handler failures
+      are *not* retried).  Both apply to the pooled path only — inline
+      runs execute in this process, which cannot outlive its own specs.
     """
-    normalized = [
-        s if isinstance(s, RunSpec) else RunSpec.from_dict(s) for s in specs
-    ]
+    if max_attempts < 1:
+        raise ConfigurationError(
+            f"max_attempts must be >= 1, got {max_attempts}"
+        )
+    if resume:
+        if run_dir is None:
+            raise ConfigurationError("resume=True requires run_dir")
+        payloads = _load_manifest(run_dir)
+        if specs is not None:
+            given = [
+                (s if isinstance(s, RunSpec) else RunSpec.from_dict(s)).to_dict()
+                for s in specs
+            ]
+            if given != payloads:
+                raise CheckpointError(
+                    f"the given specs do not match the sweep manifest in "
+                    f"{run_dir!r}; resume without specs to use the "
+                    "manifest, or start a fresh run directory"
+                )
+        try:
+            normalized = [RunSpec.from_dict(p) for p in payloads]
+        except (ConfigurationError, TypeError) as exc:
+            raise CheckpointError(
+                f"sweep manifest in {run_dir!r} holds an unreadable spec: {exc}"
+            ) from exc
+        done = _load_results(run_dir, len(normalized))
+    else:
+        if specs is None:
+            raise ConfigurationError(
+                "run_sweep needs specs (or resume=True with a run_dir)"
+            )
+        normalized = [
+            s if isinstance(s, RunSpec) else RunSpec.from_dict(s) for s in specs
+        ]
+        payloads = [s.to_dict() for s in normalized]
+        done = {}
+        if run_dir is not None and normalized:
+            _init_run_dir(run_dir, payloads)
     if not normalized:
         return SweepResult(specs=[], summaries=[], workers=0)
     if workers is None:
         workers = min(len(normalized), os.cpu_count() or 1)
-    payloads = [s.to_dict() for s in normalized]
-    if workers <= 1:
-        summaries = [_execute(p) for p in payloads]
-        return SweepResult(specs=normalized, summaries=summaries, workers=1)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        summaries = list(pool.map(_execute, payloads))
+    todo = [(i, payloads[i]) for i in range(len(payloads)) if i not in done]
+    summaries_by_index: Dict[int, Dict[str, object]] = dict(done)
+
+    results_fh = None
+    if run_dir is not None:
+        results_fh = open(
+            os.path.join(run_dir, _RESULTS_NAME), "a", encoding="utf-8"
+        )
+
+    def on_result(index: int, summary: Dict[str, object]) -> None:
+        summaries_by_index[index] = summary
+        if results_fh is not None:
+            results_fh.write(json.dumps({
+                "version": CHECKPOINT_VERSION,
+                "index": index,
+                "summary": summary,
+            }) + "\n")
+            results_fh.flush()
+            os.fsync(results_fh.fileno())
+
+    try:
+        if workers <= 1:
+            for index, payload in todo:
+                on_result(index, {**_execute(payload), "attempts": 1})
+            workers = 1
+        else:
+            _run_pool(todo, workers, spec_timeout, max_attempts, on_result)
+    finally:
+        if results_fh is not None:
+            results_fh.close()
+    summaries = [summaries_by_index[i] for i in range(len(normalized))]
     return SweepResult(specs=normalized, summaries=summaries, workers=workers)

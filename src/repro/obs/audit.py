@@ -99,6 +99,20 @@ class DecisionAudit:
         self._utilities_before = []
         self._pending_fill = None
 
+    def resume_at(self, cycles_completed: int) -> None:
+        """Continue cycle numbering after a snapshot restore.
+
+        A restored simulation replays no history through the audit; this
+        aligns the next ``begin_cycle`` with the first cycle the resumed
+        run will actually execute, so streamed records from the original
+        and resumed runs concatenate into one consistent sequence.
+        """
+        if cycles_completed < 0:
+            raise ValueError(
+                f"cycles_completed must be >= 0, got {cycles_completed}"
+            )
+        self._cycle = cycles_completed - 1
+
     def incumbent(self, utilities: Dict[str, float]) -> None:
         """Record the baseline (no-change) utility vector."""
         self._utilities_before = sorted(utilities.values())

@@ -26,7 +26,7 @@ from repro.batch.model import BatchWorkloadModel
 from repro.batch.queue import JobQueue
 from repro.cluster import Cluster
 from repro.core.apc import APCConfig, ApplicationPlacementController
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.experiments.common import (
     PAPER_CPU_PER_PROCESSOR,
     PAPER_MEMORY_PER_NODE,
@@ -39,6 +39,7 @@ from repro.obs.spans import SpanProfiler
 from repro.sim.metrics import MetricsRecorder
 from repro.sim.policies import APCPolicy
 from repro.sim.simulator import MixedWorkloadSimulator, SimulationConfig
+from repro.sim.snapshot import SNAPSHOT_SCHEMA_VERSION, check_version, require
 from repro.sim.trace import SimulationTrace
 from repro.workloads.generators import experiment_one_jobs, experiment_two_jobs
 
@@ -271,6 +272,69 @@ class Simulation:
             simulator=simulator,
         )
 
-    def run(self) -> MetricsRecorder:
-        """Run the simulation to completion; returns the metrics."""
-        return self.simulator.run()
+    def run(self, until: Optional[float] = None) -> MetricsRecorder:
+        """Run the simulation; returns the metrics.
+
+        ``until`` bounds this call (see
+        :meth:`~repro.sim.simulator.MixedWorkloadSimulator.run`): state
+        persists, and a later ``run()`` — or :meth:`snapshot` — picks up
+        exactly where this call stopped.
+        """
+        return self.simulator.run(until=until)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (crash-safe simulations)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """A self-contained checkpoint: the scenario plus the simulator's
+        full state, as plain JSON data.  Feed it to
+        :meth:`from_snapshot` (in this process or another) to continue
+        the run byte-identically."""
+        return {
+            "schema_version": SNAPSHOT_SCHEMA_VERSION,
+            "scenario": self.scenario.to_dict(),
+            "simulator": self.simulator.snapshot(),
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot: Mapping[str, object],
+        *,
+        profiler: Optional[SpanProfiler] = None,
+        registry: Optional[MetricRegistry] = None,
+        trace: Optional[SimulationTrace] = None,
+        decision_clock: Optional[Callable[[], float]] = None,
+        audit: Optional[DecisionAudit] = None,
+    ) -> "Simulation":
+        """Rebuild a simulation from a :meth:`snapshot` checkpoint.
+
+        The object graph is assembled from the embedded scenario (same
+        telemetry knobs as :meth:`from_scenario`), then the simulator
+        state is restored on top.  With an ``audit`` attached, its cycle
+        numbering resumes after the cycles the checkpoint already
+        recorded.  Raises :class:`~repro.errors.CheckpointError` on a
+        truncated, malformed, or version-mismatched checkpoint.
+        """
+        check_version(snapshot, "simulation checkpoint")
+        try:
+            scenario = Scenario.from_dict(
+                require(snapshot, "scenario", "simulation checkpoint")
+            )
+        except ConfigurationError as exc:
+            raise CheckpointError(
+                f"simulation checkpoint carries an unreadable scenario: {exc}"
+            ) from exc
+        sim = cls.from_scenario(
+            scenario,
+            profiler=profiler,
+            registry=registry,
+            trace=trace,
+            decision_clock=decision_clock,
+            audit=audit,
+        )
+        state = require(snapshot, "simulator", "simulation checkpoint")
+        sim.simulator.restore(state)
+        if audit is not None:
+            audit.resume_at(int(state.get("cycles_recorded", 0)))
+        return sim

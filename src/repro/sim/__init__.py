@@ -27,6 +27,7 @@ from repro.sim.policies import (
 )
 from repro.sim.reconcile import Decision, Directive, PendingAction, Reconciler
 from repro.sim.simulator import MixedWorkloadSimulator, NodeFailure, SimulationConfig
+from repro.sim.snapshot import SNAPSHOT_SCHEMA_VERSION
 from repro.sim.trace import SimulationTrace, TraceEvent, TraceEventKind
 from repro.sim.monitoring import (
     ActuatorHealthMonitor,
@@ -66,6 +67,7 @@ __all__ = [
     "MixedWorkloadSimulator",
     "NodeFailure",
     "SimulationConfig",
+    "SNAPSHOT_SCHEMA_VERSION",
     "SimulationTrace",
     "TraceEvent",
     "TraceEventKind",

@@ -115,6 +115,74 @@ class EventQueue:
             "live": self._live,
         }
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def dump_events(self) -> list:
+        """Every event still in the heap — live *and* cancelled — in pop
+        order.  Cancelled entries are included so a restored queue
+        replays compaction behavior (and therefore lifetime tallies)
+        identically; callers serialize each event's time, priority,
+        ``seq`` and payload."""
+        return sorted(self._heap)
+
+    def snapshot_base(self) -> dict:
+        """Clock, sequence-counter position and lifetime tallies.
+
+        The counter position matters: event ``seq`` is the FIFO
+        tie-break among simultaneous events, so a resumed run must hand
+        out exactly the sequence numbers the uninterrupted run would
+        have."""
+        return {
+            "now": self._now,
+            "next_seq": self._peek_counter(),
+            "scheduled_total": self._scheduled_total,
+            "cancelled_total": self._cancelled_total,
+            "compactions": self._compactions,
+        }
+
+    def _peek_counter(self) -> int:
+        """The next seq the counter would hand out, without consuming it."""
+        value = next(self._counter)
+        self._counter = itertools.count(value)
+        return value
+
+    def restore_base(self, data: dict) -> None:
+        """Reset clock, counter and tallies on an *empty* queue; the
+        caller then re-inserts events via :meth:`inject`."""
+        if self._heap:
+            raise SimulationError("cannot restore into a non-empty event queue")
+        self._now = data["now"]
+        self._counter = itertools.count(data["next_seq"])
+        self._scheduled_total = data["scheduled_total"]
+        self._cancelled_total = data["cancelled_total"]
+        self._compactions = data["compactions"]
+
+    def inject(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        payload: Any,
+        cancelled: bool = False,
+    ) -> ScheduledEvent:
+        """Re-insert a serialized event with its original ``seq``.
+
+        Unlike :meth:`schedule` this does not consume the counter or
+        bump the lifetime tallies — those are restored wholesale by
+        :meth:`restore_base`."""
+        event = ScheduledEvent(
+            time=time, priority=priority, seq=seq, payload=payload,
+            cancelled=cancelled,
+        )
+        heapq.heappush(self._heap, event)
+        if cancelled:
+            self._dead += 1
+        else:
+            event._queue = self
+            self._live += 1
+        return event
+
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` when empty."""
         self._drop_cancelled_head()

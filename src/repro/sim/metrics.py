@@ -160,6 +160,31 @@ class ActionFaultStats:
             "superseded": dict(self.superseded),
         }
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore (crash-safe simulations)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Full serializable state: :meth:`as_dict` plus reconcile times."""
+        out: Dict[str, object] = self.as_dict()
+        out["reconcile_times"] = list(self.reconcile_times)
+        return out
+
+    def restore_state(self, data: Dict[str, object]) -> None:
+        """Overwrite the counters in place from :meth:`state_dict` output.
+
+        In place because the reconciler holds this object by reference;
+        registry bindings are untouched (recording after restore keeps
+        publishing, but the registry's own series are not rewound).
+        """
+        self.attempts = {k: int(v) for k, v in data["attempts"].items()}
+        self.successes = {k: int(v) for k, v in data["successes"].items()}
+        self.failures = {k: int(v) for k, v in data["failures"].items()}
+        self.stalls = {k: int(v) for k, v in data["stalls"].items()}
+        self.retries = {k: int(v) for k, v in data["retries"].items()}
+        self.abandoned = {k: int(v) for k, v in data["abandoned"].items()}
+        self.superseded = {k: int(v) for k, v in data["superseded"].items()}
+        self.reconcile_times = [float(t) for t in data["reconcile_times"]]
+
 
 @dataclass
 class CycleSample:
@@ -195,6 +220,25 @@ class CycleSample:
         """Aggregate transactional allocation (Figure 7 plots one line)."""
         return sum(self.txn_allocations_mhz.values())
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "time": self.time,
+            "batch_hypothetical_utility": self.batch_hypothetical_utility,
+            "batch_allocation_mhz": self.batch_allocation_mhz,
+            "txn_utilities": dict(self.txn_utilities),
+            "txn_allocations_mhz": dict(self.txn_allocations_mhz),
+            "running_jobs": self.running_jobs,
+            "queued_jobs": self.queued_jobs,
+            "placement_changes": self.placement_changes,
+            "decision_seconds": self.decision_seconds,
+            "churn_instances": self.churn_instances,
+            "migration_distance_mb": self.migration_distance_mb,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CycleSample":
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class JobCompletionRecord:
@@ -216,6 +260,26 @@ class JobCompletionRecord:
     @property
     def met_deadline(self) -> bool:
         return self.deadline_distance >= 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "job_id": self.job_id,
+            "submit_time": self.submit_time,
+            "completion_time": self.completion_time,
+            "completion_goal": self.completion_goal,
+            "relative_goal": self.relative_goal,
+            "goal_factor": self.goal_factor,
+            "best_execution_time": self.best_execution_time,
+            "relative_performance": self.relative_performance,
+            "deadline_distance": self.deadline_distance,
+            "suspend_count": self.suspend_count,
+            "resume_count": self.resume_count,
+            "migration_count": self.migration_count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "JobCompletionRecord":
+        return cls(**data)
 
     @classmethod
     def from_job(cls, job: Job) -> "JobCompletionRecord":
@@ -362,6 +426,32 @@ class MetricsRecorder:
                 # at completion (the per-cycle hypothetical is a
                 # prediction, not an outcome).
                 self._c_breaches.inc(app="batch")
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (crash-safe simulations)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Everything recorded so far, as plain JSON data."""
+        return {
+            "cycles": [s.to_dict() for s in self.cycles],
+            "completions": [c.to_dict() for c in self.completions],
+            "faults": self.faults.state_dict(),
+        }
+
+    def restore_state(self, data: Dict[str, object]) -> None:
+        """Rebuild the recorded history from :meth:`state_dict` output.
+
+        ``faults`` is restored *in place* — the reconciler holds that
+        object by reference.  An attached registry is not replayed: its
+        series carry only what is recorded after the restore (sweep
+        resume works at whole-spec granularity, so merged registry
+        metrics are never assembled from a half-restored run).
+        """
+        self.cycles = [CycleSample.from_dict(s) for s in data["cycles"]]
+        self.completions = [
+            JobCompletionRecord.from_dict(c) for c in data["completions"]
+        ]
+        self.faults.restore_state(data["faults"])
 
     # ------------------------------------------------------------------
     # Figure 3: deadline satisfaction

@@ -118,6 +118,50 @@ class PendingAction:
     def action_name(self) -> str:
         return self.action.value
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore (crash-safe simulations)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain JSON form of everything needed to resume supervision.
+
+        ``event_handle`` is deliberately excluded — it is a live engine
+        handle; the simulator relinks it when the serialized retry/stall
+        event is re-injected into the restored event queue.
+        """
+        return {
+            "action": self.action.value,
+            "app_id": self.app_id,
+            "dest_nodes": dict(self.dest_nodes),
+            "dest_cpu": dict(self.dest_cpu),
+            "prior_nodes": dict(self.prior_nodes),
+            "prior_cpu": dict(self.prior_cpu),
+            "prior_status": self.prior_status.value,
+            "prior_node_attr": self.prior_node_attr,
+            "memory_mb": self.memory_mb,
+            "base_delay": self.base_delay,
+            "issued_at": self.issued_at,
+            "attempts": self.attempts,
+            "holding": self.holding,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PendingAction":
+        return cls(
+            action=ActionType(data["action"]),
+            app_id=data["app_id"],
+            dest_nodes={n: int(c) for n, c in data["dest_nodes"].items()},
+            dest_cpu={n: float(c) for n, c in data["dest_cpu"].items()},
+            prior_nodes={n: int(c) for n, c in data["prior_nodes"].items()},
+            prior_cpu={n: float(c) for n, c in data["prior_cpu"].items()},
+            prior_status=JobStatus(data["prior_status"]),
+            prior_node_attr=data["prior_node_attr"],
+            memory_mb=data["memory_mb"],
+            base_delay=data["base_delay"],
+            issued_at=data["issued_at"],
+            attempts=data["attempts"],
+            holding=data["holding"],
+        )
+
 
 class Reconciler:
     """Drives retry/backoff/abandon decisions for pending actions.
@@ -154,6 +198,10 @@ class Reconciler:
         self._stats = stats
         #: In-flight actions by app id (at most one per application).
         self.pending: Dict[str, PendingAction] = {}
+
+    @property
+    def sampler(self) -> FaultSampler:
+        return self._sampler
 
     @property
     def retry_policy(self) -> RetryPolicy:

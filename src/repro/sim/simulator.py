@@ -40,6 +40,7 @@ from repro.core.placement import PlacementState
 from repro.errors import (
     ActionFailedError,
     CapacityError,
+    CheckpointError,
     ConfigurationError,
     PlacementError,
     SimulationError,
@@ -56,6 +57,7 @@ from repro.obs.spans import NULL_SPAN, SpanProfiler
 from repro.sim.metrics import CycleSample, MetricsRecorder
 from repro.sim.policies import PlacementPolicy
 from repro.sim.reconcile import Decision, Directive, PendingAction, Reconciler
+from repro.sim.snapshot import SNAPSHOT_SCHEMA_VERSION, check_version, require
 from repro.sim.trace import SimulationTrace, TraceEventKind
 from repro.txn.application import TransactionalApp
 from repro.units import EPSILON
@@ -302,6 +304,10 @@ class MixedWorkloadSimulator:
         #: Memory moved by mid-cycle retried migrations, likewise
         #: credited to the next cycle sample.
         self._deferred_moved_mb = 0.0
+        #: The persistent event queue.  ``None`` until the first
+        #: :meth:`run` (or a :meth:`restore`) — its presence is what
+        #: distinguishes a fresh simulator from a started one.
+        self._events: Optional[EventQueue] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -315,35 +321,28 @@ class MixedWorkloadSimulator:
     def config(self) -> SimulationConfig:
         return self._config
 
-    def run(self) -> MetricsRecorder:
-        """Run to completion and return the metrics recorder."""
-        events = EventQueue()
-        fault_model = self._config.fault_model
-        if fault_model is not None and fault_model.enabled:
-            # A fresh sampler per run: re-running the same configuration
-            # replays the same seeded fault/jitter stream.
-            self._reconciler = Reconciler(
-                fault_model.sampler(),
-                self._config.retry_policy,
-                self._config.action_timeout,
-                self.metrics.faults,
-            )
-        self._schedule_next_arrival(events, 0.0)
-        for failure in self._config.failures:
-            if failure.node not in self._cluster:
-                raise SimulationError(f"failure targets unknown node {failure.node!r}")
-            events.schedule(
-                failure.fail_time, (_FAIL, failure), priority=PRIORITY_ARRIVAL
-            )
-            if failure.duration != float("inf"):
-                events.schedule(
-                    failure.fail_time + failure.duration,
-                    (_RESTORE, failure.node),
-                    priority=PRIORITY_ARRIVAL,
-                )
-        events.schedule(0.0, (_CYCLE, None), priority=PRIORITY_CYCLE)
+    def run(self, until: Optional[float] = None) -> MetricsRecorder:
+        """Run the simulation and return the metrics recorder.
 
-        while events:
+        With ``until`` set, events are processed only while the next
+        event's time is ``<= until``; the simulator keeps all state (the
+        event queue persists across calls) and a later ``run()`` — or a
+        :meth:`snapshot` followed by :meth:`restore` + ``run()`` on a
+        fresh simulator — continues byte-identically where this call
+        stopped.  Without ``until`` the run drains to completion.
+        """
+        if self._events is None:
+            self._events = EventQueue()
+            self._init_reconciler()
+            self._bootstrap(self._events)
+        events = self._events
+
+        while True:
+            next_time = events.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until + EPSILON:
+                break
             now, (kind, payload) = events.pop()
             if self._config.max_time is not None and now > self._config.max_time + EPSILON:
                 break
@@ -381,6 +380,251 @@ class MixedWorkloadSimulator:
             for tally, value in events.stats().items():
                 engine_gauge.set(value, tally=tally)
         return self.metrics
+
+    def _init_reconciler(self) -> None:
+        fault_model = self._config.fault_model
+        if fault_model is not None and fault_model.enabled:
+            # A fresh sampler per run: re-running the same configuration
+            # replays the same seeded fault/jitter stream.
+            self._reconciler = Reconciler(
+                fault_model.sampler(),
+                self._config.retry_policy,
+                self._config.action_timeout,
+                self.metrics.faults,
+            )
+
+    def _bootstrap(self, events: EventQueue) -> None:
+        """Seed the fresh event queue: first arrival, injected node
+        outages, and the control cycle at t = 0."""
+        self._schedule_next_arrival(events, 0.0)
+        for failure in self._config.failures:
+            if failure.node not in self._cluster:
+                raise SimulationError(f"failure targets unknown node {failure.node!r}")
+            events.schedule(
+                failure.fail_time, (_FAIL, failure), priority=PRIORITY_ARRIVAL
+            )
+            if failure.duration != float("inf"):
+                events.schedule(
+                    failure.fail_time + failure.duration,
+                    (_RESTORE, failure.node),
+                    priority=PRIORITY_ARRIVAL,
+                )
+        events.schedule(0.0, (_CYCLE, None), priority=PRIORITY_CYCLE)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (crash-safe simulations)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """The simulator's complete state as plain JSON data.
+
+        Captures everything a byte-identical continuation needs: the
+        queue and arrival stream (with per-job runtime state), placement
+        matrices, node availability windows, in-flight reconciliation
+        actions with their retry/stall timers, the event queue (live
+        *and* cancelled entries, with original sequence numbers), the
+        fault/jitter RNG stream, and all recorded metrics and trace
+        events.  ``restore(snapshot)`` on a freshly constructed simulator
+        with the same configuration, followed by ``run()``, produces
+        exactly the trace, metrics, and audit stream of an uninterrupted
+        run.
+
+        Snapshotting a never-started simulator is allowed (it bootstraps
+        first, so the restored run equals a straight ``run()``).
+        """
+        if self._events is None:
+            self._events = EventQueue()
+            self._init_reconciler()
+            self._bootstrap(self._events)
+        remaining = list(self._arrivals)
+        self._arrivals = iter(remaining)
+        rec = self._reconciler
+        return {
+            "schema_version": SNAPSHOT_SCHEMA_VERSION,
+            "config": self._config.to_dict(),
+            "cluster": {
+                "nodes": list(self._cluster.node_names),
+                "availability": self._cluster.availability(),
+                "down_count": dict(self._down_count),
+            },
+            "queue": self._queue.to_dict(),
+            "arrivals": [job.to_dict() for job in remaining],
+            "arrivals_done": self._arrivals_done,
+            "placement": self._state.to_dict(),
+            "speeds": dict(self._speeds),
+            "run_since": dict(self._run_since),
+            "cycle_end": self._cycle_end,
+            "deferred_changes": self._deferred_changes,
+            "deferred_moved_mb": self._deferred_moved_mb,
+            "reconciler": (
+                None
+                if rec is None
+                else {
+                    "rng": rec.sampler.rng_state(),
+                    "pending": {
+                        app_id: p.to_dict() for app_id, p in rec.pending.items()
+                    },
+                }
+            ),
+            "metrics": self.metrics.state_dict(),
+            "trace": None if self.trace is None else self.trace.state_dict(),
+            "engine": self._events.snapshot_base(),
+            "events": [self._encode_event(e) for e in self._events.dump_events()],
+            "cycles_recorded": len(self.metrics.cycles),
+        }
+
+    def restore(self, snapshot: Mapping[str, object]) -> None:
+        """Load a :meth:`snapshot` into this (fresh, same-config)
+        simulator; the next :meth:`run` continues where it left off.
+
+        Raises :class:`~repro.errors.CheckpointError` — never a bare
+        ``KeyError`` — when the snapshot is truncated, malformed, carries
+        an unsupported schema version, or was taken under a different
+        configuration or cluster.
+        """
+        if self._events is not None:
+            raise CheckpointError(
+                "restore() requires a fresh simulator (run() already started)"
+            )
+        try:
+            self._restore_impl(snapshot)
+        except CheckpointError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise CheckpointError(
+                f"snapshot is truncated or malformed: {exc!r}"
+            ) from exc
+
+    def _restore_impl(self, snapshot: Mapping[str, object]) -> None:
+        check_version(snapshot, "simulator snapshot")
+        config = require(snapshot, "config", "simulator snapshot")
+        if config != self._config.to_dict():
+            raise CheckpointError(
+                "snapshot was taken under a different SimulationConfig; "
+                "rebuild the simulator with the configuration it was "
+                "snapshotted with"
+            )
+        cluster_data = require(snapshot, "cluster", "simulator snapshot")
+        if list(cluster_data["nodes"]) != list(self._cluster.node_names):
+            raise CheckpointError(
+                "snapshot belongs to a different cluster: node sets differ"
+            )
+        self._cluster.restore_availability(cluster_data["availability"])
+        self._down_count = {
+            name: int(count) for name, count in cluster_data["down_count"].items()
+        }
+        self._queue.load_state(
+            Job.from_dict(j) for j in require(snapshot, "queue", "snapshot")["jobs"]
+        )
+        remaining = [Job.from_dict(j) for j in snapshot["arrivals"]]
+        self._arrivals = iter(remaining)
+        self._arrivals_done = bool(snapshot["arrivals_done"])
+        self._state = PlacementState.from_dict(self._cluster, snapshot["placement"])
+        # Metrics: the fault stats object is restored in place because
+        # the reconciler (rebuilt next) holds it by reference.
+        self.metrics.restore_state(snapshot["metrics"])
+        trace_state = snapshot["trace"]
+        if self.trace is not None and trace_state is not None:
+            self.trace.restore_state(trace_state)
+        self._init_reconciler()
+        rec_state = snapshot["reconciler"]
+        if rec_state is not None:
+            if self._reconciler is None:
+                raise CheckpointError(
+                    "snapshot carries reconciler state but this simulator's "
+                    "config has no active fault model"
+                )
+            self._reconciler.sampler.set_rng_state(rec_state["rng"])
+            self._reconciler.pending.clear()
+            for app_id, data in rec_state["pending"].items():
+                self._reconciler.pending[app_id] = PendingAction.from_dict(data)
+        events = EventQueue()
+        events.restore_base(require(snapshot, "engine", "snapshot"))
+        for entry in require(snapshot, "events", "snapshot"):
+            self._decode_event(entry, events)
+        self._speeds = {k: float(v) for k, v in snapshot["speeds"].items()}
+        self._run_since = {k: float(v) for k, v in snapshot["run_since"].items()}
+        self._cycle_end = float(snapshot["cycle_end"])
+        self._deferred_changes = int(snapshot["deferred_changes"])
+        self._deferred_moved_mb = float(snapshot["deferred_moved_mb"])
+        self._events = events
+
+    def _encode_event(self, event: ScheduledEvent) -> Dict[str, object]:
+        """One in-heap event as JSON data.
+
+        Cancelled entries keep only their heap key: the payload is never
+        delivered, but the entry must survive so dead-entry counts (and
+        therefore compaction sweeps and lifetime tallies) replay exactly.
+        """
+        base: Dict[str, object] = {
+            "time": event.time, "priority": event.priority, "seq": event.seq,
+        }
+        if event.cancelled:
+            base["cancelled"] = True
+            return base
+        kind, payload = event.payload
+        base["kind"] = kind
+        if kind == _ARRIVAL:
+            base["job"] = payload.to_dict()
+        elif kind in (_COMPLETION, _STAGE):
+            base["job_id"] = payload
+        elif kind == _FAIL:
+            base["failure"] = {
+                "node": payload.node,
+                "fail_time": payload.fail_time,
+                "duration": (
+                    None if payload.duration == float("inf") else payload.duration
+                ),
+                "lose_progress": payload.lose_progress,
+            }
+        elif kind == _RESTORE:
+            base["node"] = payload
+        elif kind in (_RETRY, _STALL_TIMEOUT):
+            base["app_id"] = payload.app_id
+        elif kind != _CYCLE:  # pragma: no cover - defensive
+            raise SimulationError(f"cannot serialize event kind {kind!r}")
+        return base
+
+    def _decode_event(self, entry: Mapping[str, object], events: EventQueue) -> None:
+        """Re-inject one serialized event, relinking live handles."""
+        time, priority, seq = entry["time"], entry["priority"], entry["seq"]
+        if entry.get("cancelled"):
+            events.inject(time, priority, seq, None, cancelled=True)
+            return
+        kind = entry["kind"]
+        if kind == _ARRIVAL:
+            payload: object = Job.from_dict(entry["job"])
+        elif kind in (_COMPLETION, _STAGE):
+            payload = entry["job_id"]
+        elif kind == _FAIL:
+            f = entry["failure"]
+            payload = NodeFailure(
+                node=f["node"],
+                fail_time=f["fail_time"],
+                duration=float("inf") if f["duration"] is None else f["duration"],
+                lose_progress=f["lose_progress"],
+            )
+        elif kind == _RESTORE:
+            payload = entry["node"]
+        elif kind in (_RETRY, _STALL_TIMEOUT):
+            rec = self._reconciler
+            if rec is None or entry["app_id"] not in rec.pending:
+                raise CheckpointError(
+                    f"snapshot event references unknown pending action "
+                    f"{entry['app_id']!r}"
+                )
+            # The restored event must reference the SAME PendingAction
+            # object the reconciler tracks: the simulator's staleness
+            # checks compare by identity.
+            payload = rec.pending[entry["app_id"]]
+        elif kind == _CYCLE:
+            payload = None
+        else:
+            raise CheckpointError(f"unknown event kind {kind!r} in snapshot")
+        handle = events.inject(time, priority, seq, (kind, payload))
+        if kind in (_COMPLETION, _STAGE):
+            self._progress_events[payload] = handle
+        elif kind in (_RETRY, _STALL_TIMEOUT):
+            payload.event_handle = handle
 
     # ------------------------------------------------------------------
     # Events

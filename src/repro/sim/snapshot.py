@@ -1,0 +1,49 @@
+"""Snapshot schema helpers for crash-safe simulations.
+
+A simulator snapshot is a plain JSON document (see
+``MixedWorkloadSimulator.snapshot``) carrying a ``schema_version`` so a
+checkpoint written by one version of the code is never silently
+misinterpreted by another.  This module centralizes the version constant
+and the defensive accessors every restore path uses: a truncated or
+malformed checkpoint must fail with a
+:class:`~repro.errors.CheckpointError` that says what was wrong, never a
+bare ``KeyError``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import CheckpointError
+
+#: Version written into every snapshot / checkpoint produced by this
+#: code.  Bump it whenever the layout changes incompatibly; restore
+#: refuses anything else.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+
+def require(data: Dict[str, Any], key: str, context: str) -> Any:
+    """``data[key]`` or a :class:`CheckpointError` naming the gap."""
+    if not isinstance(data, dict):
+        raise CheckpointError(
+            f"{context}: expected a JSON object, got {type(data).__name__}"
+        )
+    try:
+        return data[key]
+    except KeyError:
+        raise CheckpointError(
+            f"{context}: missing {key!r} — checkpoint truncated or malformed"
+        ) from None
+
+
+def check_version(data: Dict[str, Any], context: str) -> None:
+    """Verify ``data`` carries the supported ``schema_version``."""
+    version = require(data, "schema_version", context)
+    if version != SNAPSHOT_SCHEMA_VERSION:
+        raise CheckpointError(
+            f"{context}: schema version {version!r} is not supported "
+            f"(this code reads version {SNAPSHOT_SCHEMA_VERSION})"
+        )
+
+
+__all__ = ["SNAPSHOT_SCHEMA_VERSION", "check_version", "require"]

@@ -151,6 +151,52 @@ class SimulationTrace:
         out["dropped_events"] = self._dropped
         return out
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore (crash-safe simulations)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Retained events, drop counter, and capacity as JSON data.
+
+        Only the in-memory window is captured; events already evicted by
+        the capacity bound live (at most) in the streaming sink, which is
+        an append-only file and needs no restoring.
+        """
+        return {
+            "capacity": self._events.maxlen,
+            "dropped": self._dropped,
+            "events": [
+                {
+                    "time": e.time,
+                    "kind": e.kind.value,
+                    "subject": e.subject,
+                    "detail": dict(e.detail),
+                }
+                for e in self._events
+            ],
+        }
+
+    def restore_state(self, data: Dict[str, object]) -> None:
+        """Overwrite this trace in place from :meth:`state_dict` output.
+
+        In place because the simulator, audit, and CLI hold the trace by
+        reference.  The sink is left untouched: restored events were
+        already streamed when first emitted, so replaying them would
+        duplicate lines in the JSONL file.
+        """
+        self._events = deque(
+            (
+                TraceEvent(
+                    time=e["time"],
+                    kind=TraceEventKind(e["kind"]),
+                    subject=e["subject"],
+                    detail=dict(e["detail"]),
+                )
+                for e in data["events"]
+            ),
+            maxlen=int(data["capacity"]),
+        )
+        self._dropped = int(data["dropped"])
+
     def render(self, **filters) -> str:
         """A text log of the (filtered) events."""
         lines = [event.render() for event in self.events(**filters)]

@@ -225,6 +225,25 @@ class FaultSampler:
     def model(self) -> ActionFaultModel:
         return self._model
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore (crash-safe simulations)
+    # ------------------------------------------------------------------
+    def rng_state(self) -> list:
+        """The RNG's exact state as a JSON-serializable list.
+
+        ``random.Random.getstate()`` returns nested tuples; JSON turns
+        tuples into lists, so the canonical serialized form is the
+        list shape — :meth:`set_rng_state` converts back.
+        """
+        version, internal, gauss_next = self.rng.getstate()
+        return [version, list(internal), gauss_next]
+
+    def set_rng_state(self, state) -> None:
+        """Restore a state captured by :meth:`rng_state` (resuming the
+        fault/jitter stream exactly where a snapshot left it)."""
+        version, internal, gauss_next = state
+        self.rng.setstate((version, tuple(internal), gauss_next))
+
     def sample(self, action: ActionType, node: Optional[str]) -> FaultOutcome:
         """Verdict for one attempt of ``action`` against ``node``."""
         spec = self._model.specs.get(action)

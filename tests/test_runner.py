@@ -80,7 +80,7 @@ def _strip_timing(summary):
 
 def test_empty_sweep():
     result = run_sweep([])
-    assert len(result) == 0 and result.failures == []
+    assert len(result) == 0 and result.failures() == []
 
 
 def test_inline_sweep_scenario_summary():
@@ -127,8 +127,11 @@ def test_failure_is_isolated():
     ]
     result = run_sweep(specs, workers=1)
     assert [s["ok"] for s in result.summaries] == [False, True]
-    assert len(result.failures) == 1
-    assert "ConfigurationError" in result.failures[0]["error"]
+    assert len(result.failures()) == 1
+    assert "ConfigurationError" in result.failures()[0]["error"]
+    # A spec that raises is a deterministic failure, not a crash.
+    assert result.failures("failed") == result.failures()
+    assert result.failures("crashed") == []
 
 
 def test_merged_metrics_sums_counters():

@@ -147,12 +147,29 @@ def test_placement_state_valid_every_cycle(specs):
 @settings(max_examples=20, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 def test_action_costs_only_delay(specs):
-    """With the paper's cost model every completion is at or after the
-    free-cost completion of the same workload under the same policy."""
+    """Action costs push every job past its cost-inclusive lower bound.
+
+    Per-job paid-vs-free monotonicity is NOT a sound property under
+    contention: delaying one job reshuffles EDF's allocations, and a
+    classic scheduling anomaly can finish a *different* job earlier than
+    in the free-cost run.  What costs do guarantee: every job boots
+    exactly once before progressing, so its completion is at or after
+    submit + boot + best execution time; and with a single job (no
+    contention, no reshuffling) the paid run can never beat the free one.
+    """
     jobs_free = build_jobs(specs)
     jobs_paid = build_jobs(specs)
     _, _, free = run_policy("EDF", jobs_free, costs=FREE_COST_MODEL)
     _, _, paid = run_policy("EDF", jobs_paid, costs=PAPER_COST_MODEL)
-    free_by_id = {c.job_id: c.completion_time for c in free.completions}
+    by_id = {j.job_id: j for j in jobs_paid}
     for c in paid.completions:
-        assert c.completion_time >= free_by_id[c.job_id] - 1e-6
+        job = by_id[c.job_id]
+        bound = (job.submit_time
+                 + PAPER_COST_MODEL.boot_cost(
+                     max(s.memory_mb for s in job.profile.stages))
+                 + job.profile.best_execution_time)
+        assert c.completion_time >= bound - 1e-6
+    if len(specs) == 1:
+        free_by_id = {c.job_id: c.completion_time for c in free.completions}
+        for c in paid.completions:
+            assert c.completion_time >= free_by_id[c.job_id] - 1e-6

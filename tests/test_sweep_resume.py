@@ -1,0 +1,290 @@
+"""Crash-safe sweeps: checkpointed run directories, resume-after-SIGKILL,
+and the fault-tolerant worker pool (timeouts, crash retries)."""
+
+import copy
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.errors import CheckpointError, ConfigurationError
+from repro.experiments.runner import run_sweep
+from repro.scenario import Scenario
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def scenario_spec(name, seed=1, job_count=5):
+    return {
+        "kind": "scenario",
+        "name": name,
+        "params": {
+            "scenario": Scenario(
+                name=name,
+                nodes=2,
+                job_count=job_count,
+                interarrival=80.0,
+                seed=seed,
+            ).to_dict()
+        },
+    }
+
+
+def _comparable(summary):
+    """Strip wall-clock timing and pool bookkeeping, keep the physics."""
+    out = {
+        k: v
+        for k, v in copy.deepcopy(summary).items()
+        if not k.endswith("_seconds") and k != "attempts"
+    }
+    if "metrics" in out:
+        out["metrics"] = [
+            s for s in out["metrics"] if s["name"] != "repro_decision_seconds"
+        ]
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerant pool (selftest kind)
+# ----------------------------------------------------------------------
+def test_crashed_worker_degrades_pool_and_is_retried(tmp_path):
+    marker = tmp_path / "crash-once.marker"
+    specs = [
+        {"kind": "selftest", "name": "fine", "params": {"value": 7}},
+        {"kind": "selftest", "name": "raises", "params": {"fail": True}},
+        {"kind": "selftest", "name": "dies", "params": {"crash": True}},
+        {
+            "kind": "selftest",
+            "name": "dies-once",
+            "params": {"crash_once_path": str(marker)},
+        },
+    ]
+    result = run_sweep(specs, workers=2, max_attempts=2)
+    by_name = {s["name"]: s for s in result.summaries}
+    assert by_name["fine"]["ok"] and by_name["fine"]["value"] == 7
+    # In-handler exceptions are deterministic: fail once, never retry.
+    assert not by_name["raises"]["ok"]
+    assert not by_name["raises"].get("crashed")
+    assert by_name["raises"]["attempts"] == 1
+    # A dead worker is retried seed-stably until attempts run out.
+    assert not by_name["dies"]["ok"] and by_name["dies"]["crashed"]
+    assert by_name["dies"]["attempts"] == 2
+    # ... and a transient crash succeeds on the retry.
+    assert by_name["dies-once"]["ok"]
+    assert by_name["dies-once"]["attempts"] == 2
+    assert len(result.failures()) == 2
+    assert [f["name"] for f in result.failures("crashed")] == ["dies"]
+    assert [f["name"] for f in result.failures("failed")] == ["raises"]
+    assert result.total_retries == 2  # dies + dies-once each retried once
+    counts = result.to_dict()
+    assert counts["failed"] == 1 and counts["crashed"] == 1
+    assert counts["retries"] == 2
+    with pytest.raises(ValueError):
+        result.failures("exploded")
+
+
+def test_hung_worker_is_killed_at_the_deadline():
+    specs = [
+        {"kind": "selftest", "name": "hangs", "params": {"sleep": 60.0}},
+        {"kind": "selftest", "name": "fine", "params": {}},
+    ]
+    start = time.monotonic()
+    result = run_sweep(specs, workers=2, spec_timeout=1.0, max_attempts=1)
+    assert time.monotonic() - start < 30.0
+    by_name = {s["name"]: s for s in result.summaries}
+    assert by_name["fine"]["ok"]
+    assert by_name["hangs"]["crashed"]
+    assert "timed out" in by_name["hangs"]["error"]
+
+
+def test_max_attempts_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        run_sweep([], max_attempts=0)
+
+
+# ----------------------------------------------------------------------
+# Checkpointed run directories
+# ----------------------------------------------------------------------
+def test_checkpoint_then_resume_serves_results_verbatim(tmp_path):
+    run_dir = str(tmp_path / "run")
+    specs = [scenario_spec(f"r{seed}", seed) for seed in (1, 2)]
+    first = run_sweep(specs, workers=1, run_dir=run_dir)
+    resumed = run_sweep(run_dir=run_dir, resume=True, workers=1)
+    assert resumed.summaries == first.summaries
+    # The manifest is authoritative: specs may be repeated but must match.
+    again = run_sweep(specs, run_dir=run_dir, resume=True, workers=1)
+    assert again.summaries == first.summaries
+
+
+def test_partial_checkpoint_resumes_only_the_missing_specs(tmp_path):
+    full_dir = str(tmp_path / "full")
+    specs = [scenario_spec(f"p{seed}", seed) for seed in (1, 2, 3)]
+    reference = run_sweep(specs, workers=1, run_dir=full_dir)
+
+    # Simulate a crash after the first spec: copy the manifest plus the
+    # first checkpoint line into a fresh directory and resume there.
+    partial_dir = tmp_path / "partial"
+    partial_dir.mkdir()
+    manifest = (tmp_path / "full" / "sweep.json").read_text()
+    (partial_dir / "sweep.json").write_text(manifest)
+    first_line = (tmp_path / "full" / "results.jsonl").read_text().splitlines()[0]
+    (partial_dir / "results.jsonl").write_text(first_line + "\n")
+
+    resumed = run_sweep(run_dir=str(partial_dir), resume=True, workers=1)
+    assert [s["name"] for s in resumed.summaries] == ["p1", "p2", "p3"]
+    assert [_comparable(s) for s in resumed.summaries] == [
+        _comparable(s) for s in reference.summaries
+    ]
+    # The resumed directory is now complete and can be resumed again.
+    lines = (partial_dir / "results.jsonl").read_text().splitlines()
+    assert len(lines) == 3
+
+
+def test_truncated_final_line_is_tolerated(tmp_path):
+    run_dir = tmp_path / "run"
+    specs = [scenario_spec(f"t{seed}", seed) for seed in (1, 2)]
+    reference = run_sweep(specs, workers=1, run_dir=str(run_dir))
+    results = run_dir / "results.jsonl"
+    text = results.read_text()
+    results.write_text(text[: len(text) // 2].rstrip("\n") or text[:30])
+    resumed = run_sweep(run_dir=str(run_dir), resume=True, workers=1)
+    assert [_comparable(s) for s in resumed.summaries] == [
+        _comparable(s) for s in reference.summaries
+    ]
+
+
+def test_mid_file_corruption_is_a_checkpoint_error(tmp_path):
+    run_dir = tmp_path / "run"
+    specs = [scenario_spec(f"c{seed}", seed) for seed in (1, 2)]
+    run_sweep(specs, workers=1, run_dir=str(run_dir))
+    results = run_dir / "results.jsonl"
+    lines = results.read_text().splitlines()
+    results.write_text("{not json\n" + lines[1] + "\n")
+    with pytest.raises(CheckpointError, match="corrupt at line 1"):
+        run_sweep(run_dir=str(run_dir), resume=True, workers=1)
+
+
+def test_checkpoint_version_and_index_are_validated(tmp_path):
+    run_dir = tmp_path / "run"
+    specs = [scenario_spec("v1", 1)]
+    run_sweep(specs, workers=1, run_dir=str(run_dir))
+    results = run_dir / "results.jsonl"
+    entry = json.loads(results.read_text().splitlines()[0])
+
+    bad_version = dict(entry, version=99)
+    results.write_text(json.dumps(bad_version) + "\n")
+    with pytest.raises(CheckpointError, match="unsupported version"):
+        run_sweep(run_dir=str(run_dir), resume=True, workers=1)
+
+    bad_index = dict(entry, index=5)
+    results.write_text(json.dumps(bad_index) + "\n")
+    with pytest.raises(CheckpointError, match="outside the manifest"):
+        run_sweep(run_dir=str(run_dir), resume=True, workers=1)
+
+
+def test_fresh_sweep_refuses_a_used_directory(tmp_path):
+    run_dir = str(tmp_path / "run")
+    specs = [scenario_spec("u1", 1)]
+    run_sweep(specs, workers=1, run_dir=run_dir)
+    with pytest.raises(CheckpointError, match="already holds"):
+        run_sweep(specs, workers=1, run_dir=run_dir)
+
+
+def test_resume_guards(tmp_path):
+    with pytest.raises(ConfigurationError):
+        run_sweep(resume=True)  # resume needs a run_dir
+    with pytest.raises(CheckpointError, match="no sweep manifest"):
+        run_sweep(run_dir=str(tmp_path / "nowhere"), resume=True)
+    run_dir = str(tmp_path / "run")
+    run_sweep([scenario_spec("g1", 1)], workers=1, run_dir=run_dir)
+    with pytest.raises(CheckpointError, match="do not match"):
+        run_sweep(
+            [scenario_spec("other", 2)],
+            run_dir=run_dir,
+            resume=True,
+            workers=1,
+        )
+    manifest = tmp_path / "run" / "sweep.json"
+    data = json.loads(manifest.read_text())
+    data["version"] = 99
+    manifest.write_text(json.dumps(data))
+    with pytest.raises(CheckpointError, match="version"):
+        run_sweep(run_dir=run_dir, resume=True, workers=1)
+
+
+# ----------------------------------------------------------------------
+# The headline contract: SIGKILL the sweep, resume, byte-identical merge
+# ----------------------------------------------------------------------
+def test_sigkill_mid_sweep_then_resume_matches_uninterrupted(tmp_path):
+    specs = [scenario_spec(f"k{seed}", seed, job_count=40) for seed in range(6)]
+    config = tmp_path / "sweep-config.json"
+    config.write_text(json.dumps({"specs": specs}))
+    run_dir = tmp_path / "run"
+
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "sweep",
+            str(config),
+            "--run-dir",
+            str(run_dir),
+            "--workers",
+            "2",
+        ],
+        env=env,
+        start_new_session=True,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    results = run_dir / "results.jsonl"
+    try:
+        # Wait for at least one checkpointed spec, then pull the plug.
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break  # finished before we could kill it — still a valid run
+            if results.exists() and results.read_text().count("\n") >= 1:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("sweep produced no checkpoint within 60s")
+    finally:
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+
+    checkpointed = results.read_text().count("\n")
+    assert checkpointed >= 1
+
+    # Resume through the CLI, exactly as an operator would.
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "sweep",
+            "--resume",
+            str(run_dir),
+            "--workers",
+            "2",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "6 runs" in completed.stdout
+
+    resumed = run_sweep(run_dir=str(run_dir), resume=True, workers=1)
+    reference = run_sweep(specs, workers=1)
+    assert [_comparable(s) for s in resumed.summaries] == [
+        _comparable(s) for s in reference.summaries
+    ]
