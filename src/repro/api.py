@@ -96,10 +96,12 @@ from repro.scenario import Scenario, Simulation
 # --- parallel sweeps and the scaling benchmark -------------------------
 from repro.experiments.benchmark import (
     bench_apc_scale,
+    compare_bench_reports,
     validate_bench_report,
     write_bench_report,
 )
 from repro.experiments.runner import RunSpec, SweepResult, known_kinds, run_sweep
+from repro.experiments.watch import load_watch_state, render_watch
 
 # --- experiment drivers ------------------------------------------------
 from repro.experiments import (
@@ -133,11 +135,18 @@ from repro.workloads import (
 
 # --- observability -----------------------------------------------------
 from repro.obs import (
+    Alert,
+    AlertConfig,
+    AlertEngine,
     DecisionAudit,
+    HealthLevel,
+    HealthReport,
     JsonlSink,
     MetricRegistry,
     SpanProfiler,
     explain_cycle,
+    health_from_alerts,
+    read_alert_records,
     read_audit_records,
     render_profile,
     render_prometheus,
@@ -223,8 +232,11 @@ __all__ = [
     "known_kinds",
     "run_sweep",
     "bench_apc_scale",
+    "compare_bench_reports",
     "validate_bench_report",
     "write_bench_report",
+    "load_watch_state",
+    "render_watch",
     # experiments
     "Scale",
     "SCALES",
@@ -248,11 +260,18 @@ __all__ = [
     "experiment_one_jobs",
     "experiment_two_jobs",
     # observability
+    "Alert",
+    "AlertConfig",
+    "AlertEngine",
     "DecisionAudit",
+    "HealthLevel",
+    "HealthReport",
     "JsonlSink",
     "MetricRegistry",
     "SpanProfiler",
     "explain_cycle",
+    "health_from_alerts",
+    "read_alert_records",
     "read_audit_records",
     "render_profile",
     "render_prometheus",

@@ -10,6 +10,7 @@ Installed as the ``repro`` console script::
     repro telemetry --jsonl t.jsonl    # span profile + registry + stream
     repro explain t.jsonl --cycle 3    # decision narrative for one cycle
     repro report t.jsonl --out r.html  # self-contained HTML run report
+    repro watch runs/sweep1            # live sweep control tower
 
 Every experiment subcommand accepts ``--scale`` (tiny/small/half/paper)
 and ``--seed``; series-producing ones accept ``--chart`` (render text
@@ -309,6 +310,11 @@ def cmd_telemetry(args) -> int:
     audit = None
     if args.audit:
         audit = DecisionAudit(sink=sink, trace=trace)
+    alerts = None
+    if args.alerts:
+        from repro.obs import AlertConfig
+
+        alerts = AlertConfig()
 
     fault_model = None
     if args.fail_prob > 0.0:
@@ -332,6 +338,7 @@ def cmd_telemetry(args) -> int:
         trace=trace,
         fault_model=fault_model,
         audit=audit,
+        alerts=alerts,
     )
     print(f"scale: {scale.name} ({scale.nodes} nodes, {scale.job_count} jobs)")
     print(f"deadline satisfaction: {percent(result.deadline_satisfaction)}; "
@@ -341,6 +348,21 @@ def cmd_telemetry(args) -> int:
               f"{len(audit.cycles())} cycles"
               + (f" ({audit.dropped_records} dropped)"
                  if audit.dropped_records else ""))
+    if alerts is not None:
+        # The watchdog publishes into the registry we already hold.
+        totals = registry.get("repro_alerts_total")
+        fired = resolved = 0
+        per_rule = {}
+        if totals is not None:
+            for labels, child in totals.children():
+                if labels.get("event") == "fired":
+                    fired += int(child.value)
+                    per_rule[labels.get("rule", "?")] = int(child.value)
+                elif labels.get("event") == "resolved":
+                    resolved += int(child.value)
+        print(f"SLO watchdog: {fired} alert(s) fired, {resolved} resolved"
+              + (" — " + ", ".join(f"{r}={n}" for r, n in sorted(per_rule.items()))
+                 if per_rule else ""))
 
     def leaf_totals(bucket):
         """Total seconds per phase (leaf span name), summed over paths."""
@@ -439,6 +461,45 @@ def cmd_bench(args) -> int:
         for problem in problems:
             print(f"invalid report: {problem}", file=sys.stderr)
         return 1
+    if args.baseline:
+        import json
+
+        from repro.experiments.benchmark import compare_bench_reports
+
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        regressions = compare_bench_reports(
+            report, baseline, tolerance_pct=args.tolerance
+        )
+        if regressions:
+            for line in regressions:
+                print(f"perf regression: {line}", file=sys.stderr)
+            if args.check:
+                return 1
+        else:
+            print(f"no regressions vs {args.baseline} "
+                  f"(tolerance {args.tolerance:g}%)")
+    elif args.check:
+        print("--check needs --baseline BENCH_apc.json", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_watch(args) -> int:
+    """Live control tower for a checkpointed sweep run directory."""
+    from repro.errors import CheckpointError
+    from repro.experiments.watch import watch_loop
+
+    try:
+        watch_loop(
+            args.run_dir,
+            interval=args.interval,
+            once=args.once,
+            stale_after=args.stale_after,
+        )
+    except CheckpointError as exc:
+        print(f"watch failed: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -637,6 +698,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--audit", action="store_true",
                    help="attach the decision flight recorder (audit "
                         "records stream to --jsonl when given)")
+    p.add_argument("--alerts", action="store_true",
+                   help="arm the live SLO watchdog (alert records stream "
+                        "to --jsonl when given)")
     p.set_defaults(func=cmd_telemetry)
 
     p = sub.add_parser(
@@ -676,6 +740,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7, help="workload seed")
     p.add_argument("--out", metavar="PATH", default=None,
                    help="write the JSON report here (e.g. BENCH_apc.json)")
+    p.add_argument("--baseline", metavar="PATH", default=None,
+                   help="compare against a stored report "
+                        "(per-size median incremental place() latency)")
+    p.add_argument("--check", action="store_true",
+                   help="exit nonzero when the baseline comparison finds "
+                        "a regression (perf gate)")
+    p.add_argument("--tolerance", type=float, default=25.0,
+                   help="allowed median slowdown vs baseline, percent "
+                        "(default 25)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -703,6 +776,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="PATH", default=None,
                    help="write summaries JSON here")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "watch",
+        help="live control tower for a checkpointed sweep "
+             "(worker liveness, per-spec progress, firing alerts)",
+    )
+    p.add_argument("run_dir", help="sweep run directory "
+                                   "(the --run-dir/--resume DIR)")
+    p.add_argument("--once", action="store_true",
+                   help="render a single frame and exit (no screen "
+                        "clearing; scriptable)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="refresh interval in seconds (default 2)")
+    p.add_argument("--stale-after", type=float, default=30.0,
+                   help="mark a worker stale after this many seconds "
+                        "without a heartbeat (default 30)")
+    p.set_defaults(func=cmd_watch)
 
     p = sub.add_parser("ablations", help="design-choice studies")
     _add_common(p)

@@ -197,6 +197,52 @@ def write_bench_report(
     return path
 
 
+def compare_bench_reports(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance_pct: float = 25.0,
+) -> List[str]:
+    """Regression check: current vs stored baseline report.
+
+    Compares the median incremental ``place()`` latency per cluster
+    size; a size regresses when the current median exceeds the baseline
+    median by more than ``tolerance_pct`` percent.  Sizes present in
+    only one report are reported as coverage notes, not regressions
+    (the ladder may legitimately change between runs).  Returns
+    human-readable regression lines (empty = pass) — the CI perf gate
+    exits nonzero on any.
+    """
+    factor = 1.0 + tolerance_pct / 100.0
+    base_by_nodes = {
+        row["nodes"]: row for row in baseline.get("results", [])
+        if isinstance(row, dict) and "nodes" in row
+    }
+    regressions: List[str] = []
+    seen = set()
+    for row in current.get("results", []):
+        nodes = row.get("nodes")
+        seen.add(nodes)
+        base = base_by_nodes.get(nodes)
+        if base is None:
+            continue  # new ladder rung; nothing to compare against
+        cur_ms = float(row["incremental_ms"])
+        base_ms = float(base["incremental_ms"])
+        if base_ms > 0 and cur_ms > base_ms * factor:
+            regressions.append(
+                f"{nodes} nodes: incremental place() median "
+                f"{cur_ms:.1f}ms vs baseline {base_ms:.1f}ms "
+                f"(+{(cur_ms / base_ms - 1.0) * 100.0:.0f}%, "
+                f"tolerance {tolerance_pct:g}%)"
+            )
+    missing = sorted(n for n in base_by_nodes if n not in seen)
+    if missing:
+        regressions.append(
+            "baseline sizes not measured in the current run: "
+            + ", ".join(str(n) for n in missing)
+        )
+    return regressions
+
+
 def format_bench_report(report: Dict[str, object]) -> str:
     lines = [f"APC place() scaling (median over {report['cycles']} cycles)"]
     lines.append(f"{'nodes':>6} {'jobs':>6} {'naive':>10} {'incr.':>10} {'speedup':>8}")
@@ -215,6 +261,7 @@ __all__ = [
     "DEFAULT_SIZES",
     "QUICK_SIZES",
     "bench_apc_scale",
+    "compare_bench_reports",
     "validate_bench_report",
     "write_bench_report",
     "format_bench_report",

@@ -126,6 +126,7 @@ def run_experiment_one(
     trace=None,
     decision_clock=None,
     audit=None,
+    alerts=None,
 ) -> ExperimentOneResult:
     """Run Experiment One at the given scale.
 
@@ -143,7 +144,9 @@ def run_experiment_one(
     ``decision_clock`` overrides the wall clock used for
     ``decision_seconds``; ``audit`` (a
     :class:`~repro.obs.audit.DecisionAudit`) attaches the decision
-    flight recorder to the placement controller.
+    flight recorder to the placement controller; ``alerts`` (an
+    :class:`~repro.obs.alerts.AlertConfig`) arms the live SLO watchdog
+    inside the control loop (alert records stream to ``trace``'s sink).
     """
     # Deferred: repro.scenario itself imports repro.experiments.common,
     # so a module-level import here would cycle through the package init.
@@ -165,6 +168,7 @@ def run_experiment_one(
             fault_model=fault_model,
             retry_policy=retry_policy or RetryPolicy(),
             action_timeout=action_timeout,
+            alerts=alerts,
         ),
     )
     simulation = Simulation.from_scenario(

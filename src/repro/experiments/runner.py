@@ -37,9 +37,57 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 from repro._compat import keyword_only
 from repro.errors import CheckpointError, ConfigurationError
 from repro.experiments.common import SCALES, Scale
+from repro.obs.sink import SCHEMA_VERSION
 
 #: Handler registry: kind -> callable(RunSpec) -> summary dict.
 _KINDS: Dict[str, Callable[["RunSpec"], Dict[str, object]]] = {}
+
+#: Heartbeat file inside a sweep run directory (schema-v4 ``heartbeat``
+#: JSON lines; see :mod:`repro.obs.sink`).
+HEARTBEATS_NAME = "heartbeats.jsonl"
+
+#: Cycles per ``run(until=...)`` chunk between progress heartbeats.
+_HEARTBEAT_CHUNK_CYCLES = 25
+
+#: The active spec's heartbeat writer, set around handler execution.
+#: Module-global (not threaded through handler signatures) because
+#: handlers run in single-shot worker processes — one spec per process —
+#: and the registry's handler signature must stay picklable-simple.
+_HEARTBEAT: Optional["_HeartbeatWriter"] = None
+
+
+class _HeartbeatWriter:
+    """Appends liveness/progress records to a run directory.
+
+    One JSON line per emit, written with ``O_APPEND`` in a single
+    ``write`` call, so concurrent workers interleave whole lines (POSIX
+    append atomicity) and a killed worker leaves at most one torn final
+    line — which readers tolerate.
+    """
+
+    def __init__(self, path: str, spec: str, index: int) -> None:
+        self.path = path
+        self.spec = spec
+        self.index = index
+        self.started = time.time()
+
+    def emit(self, status: str, **fields: object) -> None:
+        record = {
+            "v": SCHEMA_VERSION,
+            "type": "heartbeat",
+            "time": time.time(),
+            "spec": self.spec,
+            "index": self.index,
+            "pid": os.getpid(),
+            "status": status,
+            **fields,
+        }
+        line = json.dumps(record, sort_keys=True) + "\n"
+        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
 
 
 def register_kind(
@@ -236,11 +284,14 @@ def _run_scenario(spec: RunSpec) -> Dict[str, object]:
         simulation = Simulation.from_scenario(
             scenario, registry=registry, trace=trace
         )
-        metrics = simulation.run()
+        if _HEARTBEAT is None:
+            metrics = simulation.run()
+        else:
+            metrics = _run_with_heartbeats(simulation, scenario, _HEARTBEAT)
     finally:
         if sink is not None:
             sink.close()
-    return {
+    summary = {
         "scenario": scenario.name,
         "deadline_satisfaction": metrics.deadline_satisfaction_rate(),
         "placement_changes": metrics.total_placement_changes(),
@@ -249,6 +300,51 @@ def _run_scenario(spec: RunSpec) -> Dict[str, object]:
         "metrics": registry.collect(),
         "trace_path": trace_path,
     }
+    engine = simulation.simulator.alert_engine
+    if engine is not None:
+        summary["alerts"] = engine.summary()
+    return summary
+
+
+def _run_with_heartbeats(simulation, scenario, hb: "_HeartbeatWriter"):
+    """Drive the simulation in ``run(until=...)`` chunks, emitting one
+    progress heartbeat per chunk.
+
+    Chunked execution is result-identical to one straight ``run()`` (the
+    event queue persists across calls); only the wall-clock heartbeat
+    side channel differs.
+    """
+    cycle_length = scenario.sim.cycle_length
+    chunk = cycle_length * _HEARTBEAT_CHUNK_CYCLES
+    horizon = chunk
+    while True:
+        metrics = simulation.run(until=horizon)
+        sim = simulation.simulator
+        next_time = sim.next_event_time
+        if next_time is None:
+            return metrics
+        completed = len(metrics.completions)
+        remaining = (
+            metrics.cycles[-1].running_jobs + metrics.cycles[-1].queued_jobs
+            if metrics.cycles else scenario.job_count
+        )
+        elapsed = time.time() - hb.started
+        eta = elapsed * remaining / completed if completed else None
+        fields: Dict[str, object] = {
+            "cycle": len(metrics.cycles),
+            "sim_time": metrics.cycles[-1].time if metrics.cycles else 0.0,
+            "completed": completed,
+            "remaining": remaining,
+        }
+        if eta is not None:
+            fields["eta_seconds"] = round(eta, 1)
+        engine = sim.alert_engine
+        if engine is not None:
+            fields["alerts_active"] = len(engine.active)
+            fields["alerts_total"] = engine.fired_count
+            fields["alert_keys"] = engine.active_keys()[:8]
+        hb.emit("running", **fields)
+        horizon = max(horizon + chunk, next_time)
 
 
 @register_kind("selftest")
@@ -287,13 +383,42 @@ def _run_selftest(spec: RunSpec) -> Dict[str, object]:
 # ----------------------------------------------------------------------
 # Sweep execution
 # ----------------------------------------------------------------------
-def _execute(spec_data: Dict[str, object]) -> Dict[str, object]:
-    """Worker entry point: run one spec, never raise."""
+def _execute(
+    spec_data: Dict[str, object],
+    heartbeat_path: Optional[str] = None,
+    index: int = 0,
+) -> Dict[str, object]:
+    """Worker entry point: run one spec, never raise.
+
+    With ``heartbeat_path`` set (sweeps with a run directory), the
+    spec's start/end and in-flight progress are appended there as
+    schema-v4 ``heartbeat`` records.  The path travels out-of-band —
+    never inside the spec payload, which must stay identical to the
+    manifest for resume validation.
+    """
+    global _HEARTBEAT
+    hb = None
+    if heartbeat_path is not None:
+        hb = _HeartbeatWriter(
+            heartbeat_path,
+            str(spec_data.get("name") or spec_data.get("kind", "?")),
+            index,
+        )
     try:
         spec = RunSpec.from_dict(spec_data)
-        summary = _KINDS[spec.kind](spec)
+        if hb is not None:
+            hb.emit("start", run_kind=spec.kind)
+            _HEARTBEAT = hb
+        try:
+            summary = _KINDS[spec.kind](spec)
+        finally:
+            _HEARTBEAT = None
+        if hb is not None:
+            hb.emit("ok")
         return {"name": spec.name, "kind": spec.kind, "ok": True, **summary}
     except Exception as exc:  # surface, don't poison the pool
+        if hb is not None:
+            hb.emit("failed", error=f"{type(exc).__name__}: {exc}")
         return {
             "name": spec_data.get("name") or spec_data.get("kind", "?"),
             "kind": spec_data.get("kind", "?"),
@@ -492,10 +617,15 @@ def _load_results(run_dir: str, spec_count: int) -> Dict[int, Dict[str, object]]
 # ----------------------------------------------------------------------
 # Fault-tolerant worker pool
 # ----------------------------------------------------------------------
-def _pool_worker(payload: Dict[str, object], conn) -> None:
+def _pool_worker(
+    payload: Dict[str, object],
+    conn,
+    heartbeat_path: Optional[str] = None,
+    index: int = 0,
+) -> None:
     """Child-process entry: run one spec, ship the summary back."""
     try:
-        conn.send(_execute(payload))
+        conn.send(_execute(payload, heartbeat_path, index))
     finally:
         conn.close()
 
@@ -506,6 +636,7 @@ def _run_pool(
     spec_timeout: Optional[float],
     max_attempts: int,
     on_result: Callable[[int, Dict[str, object]], None],
+    heartbeat_path: Optional[str] = None,
 ) -> None:
     """Run payloads on a pool of single-shot worker processes.
 
@@ -542,7 +673,9 @@ def _run_pool(
                 attempts[index] = attempts.get(index, 0) + 1
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
                 proc = ctx.Process(
-                    target=_pool_worker, args=(payload, child_conn), daemon=True
+                    target=_pool_worker,
+                    args=(payload, child_conn, heartbeat_path, index),
+                    daemon=True,
                 )
                 proc.start()
                 child_conn.close()
@@ -664,10 +797,12 @@ def run_sweep(
     summaries_by_index: Dict[int, Dict[str, object]] = dict(done)
 
     results_fh = None
+    heartbeat_path = None
     if run_dir is not None:
         results_fh = open(
             os.path.join(run_dir, _RESULTS_NAME), "a", encoding="utf-8"
         )
+        heartbeat_path = os.path.join(run_dir, HEARTBEATS_NAME)
 
     def on_result(index: int, summary: Dict[str, object]) -> None:
         summaries_by_index[index] = summary
@@ -683,10 +818,16 @@ def run_sweep(
     try:
         if workers <= 1:
             for index, payload in todo:
-                on_result(index, {**_execute(payload), "attempts": 1})
+                on_result(
+                    index,
+                    {**_execute(payload, heartbeat_path, index), "attempts": 1},
+                )
             workers = 1
         else:
-            _run_pool(todo, workers, spec_timeout, max_attempts, on_result)
+            _run_pool(
+                todo, workers, spec_timeout, max_attempts, on_result,
+                heartbeat_path=heartbeat_path,
+            )
     finally:
         if results_fh is not None:
             results_fh.close()

@@ -1,0 +1,267 @@
+"""Live sweep control tower: render a run directory's current state.
+
+A checkpointed sweep (``run_sweep(..., run_dir=...)``) leaves three
+artifacts behind while it runs: the spec manifest (``sweep.json``),
+the append-only results checkpoint (``results.jsonl``), and the
+heartbeat feed (``heartbeats.jsonl``) every worker appends liveness and
+progress records to.  This module folds the three into one terminal
+view — per-spec status and progress, worker liveness, and the alerts
+currently firing inside scenario runs — without talking to the workers:
+the filesystem is the only channel, so watching works from any process
+(or machine, over a shared filesystem) and never perturbs the sweep.
+
+``repro watch <run-dir>`` renders it on a refresh loop;
+:func:`render_watch` is the pure core the CLI and tests share.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.runner import (
+    HEARTBEATS_NAME,
+    _load_manifest,
+    _load_results,
+)
+
+#: A worker whose newest heartbeat is older than this is shown stale.
+DEFAULT_STALE_AFTER = 30.0
+
+
+@dataclass
+class SpecView:
+    """One spec's folded state: checkpoint verdict + latest heartbeat."""
+
+    index: int
+    name: str
+    kind: str
+    status: str = "pending"  # pending|running|stale|ok|failed|crashed
+    pid: Optional[int] = None
+    heartbeat_age: Optional[float] = None
+    cycle: Optional[int] = None
+    completed: Optional[int] = None
+    remaining: Optional[int] = None
+    eta_seconds: Optional[float] = None
+    alerts_active: int = 0
+    alerts_total: int = 0
+    alert_keys: List[str] = field(default_factory=list)
+    error: str = ""
+
+
+@dataclass
+class WatchState:
+    """Everything one render needs, decoupled from the filesystem."""
+
+    specs: List[SpecView]
+    heartbeat_records: int = 0
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for view in self.specs:
+            out[view.status] = out.get(view.status, 0) + 1
+        return out
+
+    @property
+    def done(self) -> int:
+        return sum(
+            1 for v in self.specs if v.status in ("ok", "failed", "crashed")
+        )
+
+
+def read_heartbeats(run_dir: str) -> List[Dict[str, object]]:
+    """Parse the heartbeat feed, tolerating a torn final line and any
+    malformed line (a worker killed mid-append loses one record, never
+    the feed)."""
+    path = os.path.join(run_dir, HEARTBEATS_NAME)
+    records: List[Dict[str, object]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    except FileNotFoundError:
+        return records
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn append
+        if isinstance(record, dict) and record.get("type") == "heartbeat":
+            records.append(record)
+    return records
+
+
+def load_watch_state(
+    run_dir: str,
+    now: Optional[float] = None,
+    stale_after: float = DEFAULT_STALE_AFTER,
+) -> WatchState:
+    """Fold manifest + results + heartbeats into a :class:`WatchState`.
+
+    ``now`` defaults to the wall clock; tests inject a fixed time so
+    staleness is deterministic.  Raises
+    :class:`~repro.errors.CheckpointError` when ``run_dir`` is not a
+    sweep run directory.
+    """
+    if now is None:
+        now = time.time()
+    payloads = _load_manifest(run_dir)
+    done = _load_results(run_dir, len(payloads))
+    heartbeats = read_heartbeats(run_dir)
+
+    views = [
+        SpecView(
+            index=i,
+            name=str(p.get("name") or p.get("kind", "?")),
+            kind=str(p.get("kind", "?")),
+        )
+        for i, p in enumerate(payloads)
+    ]
+    # Newest heartbeat per spec index wins (feed is append-ordered).
+    latest: Dict[int, Dict[str, object]] = {}
+    for record in heartbeats:
+        index = record.get("index")
+        if isinstance(index, int) and 0 <= index < len(views):
+            latest[index] = record
+    for index, record in latest.items():
+        view = views[index]
+        view.pid = record.get("pid")
+        view.heartbeat_age = max(0.0, now - float(record.get("time", now)))
+        view.cycle = record.get("cycle")
+        view.completed = record.get("completed")
+        view.remaining = record.get("remaining")
+        view.eta_seconds = record.get("eta_seconds")
+        view.alerts_active = int(record.get("alerts_active", 0) or 0)
+        view.alerts_total = int(record.get("alerts_total", 0) or 0)
+        keys = record.get("alert_keys")
+        view.alert_keys = [str(k) for k in keys] if isinstance(keys, list) else []
+        status = str(record.get("status", ""))
+        if status in ("start", "running"):
+            view.status = (
+                "stale" if view.heartbeat_age > stale_after else "running"
+            )
+        elif status == "failed":
+            view.status = "failed"
+            view.error = str(record.get("error", ""))
+    # The results checkpoint is authoritative over heartbeats.
+    for index, summary in done.items():
+        view = views[index]
+        if summary.get("ok"):
+            view.status = "ok"
+        else:
+            view.status = "crashed" if summary.get("crashed") else "failed"
+            view.error = str(summary.get("error", ""))
+        alerts = summary.get("alerts")
+        if isinstance(alerts, dict):
+            view.alerts_total = int(alerts.get("fired", 0) or 0)
+            view.alerts_active = int(alerts.get("active", 0) or 0)
+    return WatchState(specs=views, heartbeat_records=len(heartbeats))
+
+
+def _format_eta(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return ""
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+def render_watch(
+    run_dir: str,
+    now: Optional[float] = None,
+    stale_after: float = DEFAULT_STALE_AFTER,
+) -> str:
+    """One frame of the control tower as plain text."""
+    state = load_watch_state(run_dir, now=now, stale_after=stale_after)
+    counts = state.counts
+    header = (
+        f"sweep {run_dir}  —  {state.done}/{len(state.specs)} done  ("
+        + ", ".join(f"{counts[k]} {k}" for k in sorted(counts))
+        + ")"
+    )
+    lines = [header, ""]
+    lines.append(
+        f"{'#':>3} {'spec':<28} {'kind':<14} {'status':<8} "
+        f"{'progress':<18} {'eta':<6} {'alerts':<7} worker"
+    )
+    firing: List[str] = []
+    for view in state.specs:
+        if view.completed is not None and view.status not in ("ok",):
+            progress = f"{view.completed} done / {view.remaining or 0} left"
+        elif view.cycle is not None:
+            progress = f"cycle {view.cycle}"
+        else:
+            progress = ""
+        alerts = (
+            f"{view.alerts_active}/{view.alerts_total}"
+            if view.alerts_total else ""
+        )
+        if view.alert_keys:
+            firing.extend(f"{view.name}: {key}" for key in view.alert_keys)
+        worker = ""
+        if view.pid is not None and view.status in ("running", "stale"):
+            age = (
+                f" ({view.heartbeat_age:.0f}s ago)"
+                if view.heartbeat_age is not None else ""
+            )
+            worker = f"pid {view.pid}{age}"
+        lines.append(
+            f"{view.index:>3} {view.name:<28.28} {view.kind:<14.14} "
+            f"{view.status:<8} {progress:<18.18} "
+            f"{_format_eta(view.eta_seconds):<6} {alerts:<7} {worker}".rstrip()
+        )
+        if view.error:
+            lines.append(f"      └─ {view.error}")
+    if firing:
+        lines.append("")
+        lines.append("firing alerts:")
+        lines.extend(f"  {entry}" for entry in sorted(set(firing)))
+    return "\n".join(lines)
+
+
+def watch_loop(
+    run_dir: str,
+    interval: float = 2.0,
+    once: bool = False,
+    out=None,
+    stale_after: float = DEFAULT_STALE_AFTER,
+) -> None:
+    """Render on a refresh loop (clear screen between frames) until the
+    sweep finishes or the user interrupts; ``once=True`` renders a
+    single frame with no clearing (scriptable / CI mode)."""
+    import sys
+
+    stream = out or sys.stdout
+    while True:
+        frame = render_watch(run_dir, stale_after=stale_after)
+        if once:
+            stream.write(frame + "\n")
+            return
+        stream.write("\x1b[2J\x1b[H" + frame + "\n")
+        stream.flush()
+        state = load_watch_state(run_dir, stale_after=stale_after)
+        if state.specs and state.done == len(state.specs):
+            return
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return
+
+
+__all__ = [
+    "DEFAULT_STALE_AFTER",
+    "SpecView",
+    "WatchState",
+    "load_watch_state",
+    "read_heartbeats",
+    "render_watch",
+    "watch_loop",
+]

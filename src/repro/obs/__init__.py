@@ -14,19 +14,39 @@ Three pieces, composable and individually optional:
   (:class:`~repro.obs.audit.DecisionAudit`): per-cycle audit of every
   candidate placement the controller scored, with
   :mod:`repro.obs.explain` (``repro explain``) and
-  :mod:`repro.obs.report` (``repro report``) as its reading surfaces.
+  :mod:`repro.obs.report` (``repro report``) as its reading surfaces;
+* :mod:`repro.obs.alerts` — the live SLO watchdog
+  (:class:`~repro.obs.alerts.AlertEngine`): streaming burn-rate,
+  starvation, thrash, stall, and overload detection evaluated inside
+  the control loop, emitting versioned ``alert_fired`` /
+  ``alert_resolved`` records through the sink;
+* :mod:`repro.obs.health` — roll-up of active alerts into per-app /
+  per-node / controller ok-degraded-critical verdicts.
 
 Everything here is opt-in: with no profiler, registry, sink, or audit
 attached the instrumented code paths do nothing, and simulation results
 are byte-identical to an un-instrumented build.
 """
 
+from repro.obs.alerts import (
+    ALERT_RULES,
+    Alert,
+    AlertConfig,
+    AlertEngine,
+    CycleObservation,
+)
 from repro.obs.audit import (
     ADMISSION_REASONS,
     SHORTCIRCUIT_REASONS,
     DecisionAudit,
 )
 from repro.obs.explain import explain_cycle
+from repro.obs.health import (
+    ComponentHealth,
+    HealthLevel,
+    HealthReport,
+    health_from_alerts,
+)
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
     Counter,
@@ -37,10 +57,14 @@ from repro.obs.registry import (
 )
 from repro.obs.report import render_report, write_report
 from repro.obs.sink import (
+    ALERT_RECORD_TYPES,
     AUDIT_RECORD_TYPES,
+    MIN_ALERT_SCHEMA_VERSION,
     MIN_AUDIT_SCHEMA_VERSION,
+    MIN_SUPPORTED_SCHEMA_VERSION,
     SCHEMA_VERSION,
     JsonlSink,
+    read_alert_records,
     read_audit_records,
     read_jsonl,
     validate_jsonl,
@@ -57,6 +81,15 @@ from repro.obs.spans import (
 __all__ = [
     "ADMISSION_REASONS",
     "SHORTCIRCUIT_REASONS",
+    "ALERT_RULES",
+    "Alert",
+    "AlertConfig",
+    "AlertEngine",
+    "CycleObservation",
+    "ComponentHealth",
+    "HealthLevel",
+    "HealthReport",
+    "health_from_alerts",
     "DecisionAudit",
     "explain_cycle",
     "render_report",
@@ -67,10 +100,14 @@ __all__ = [
     "Histogram",
     "MetricRegistry",
     "render_prometheus",
+    "ALERT_RECORD_TYPES",
     "AUDIT_RECORD_TYPES",
+    "MIN_ALERT_SCHEMA_VERSION",
     "MIN_AUDIT_SCHEMA_VERSION",
+    "MIN_SUPPORTED_SCHEMA_VERSION",
     "SCHEMA_VERSION",
     "JsonlSink",
+    "read_alert_records",
     "read_audit_records",
     "read_jsonl",
     "validate_jsonl",

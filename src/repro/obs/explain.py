@@ -2,12 +2,14 @@
 
 ``repro explain --cycle N`` answers "why did the controller do that?"
 for one control cycle — purely from the decision flight recorder's
-records (:class:`~repro.obs.audit.DecisionAudit` via a schema-v3
-:class:`~repro.obs.sink.JsonlSink` stream), with no re-simulation.  The
-narrative covers the utility vector before and after, the hypothetical-
-RPF inputs of queued candidates (§4.2), the LRPF-ordered greedy
-admission verdicts, and every scored candidate with the lexicographic
-comparison (§3.3) that accepted or rejected it.
+records (:class:`~repro.obs.audit.DecisionAudit` via a
+:class:`~repro.obs.sink.JsonlSink` stream, schema v3+), with no
+re-simulation.  The narrative covers the utility vector before and
+after, the hypothetical-RPF inputs of queued candidates (§4.2), the
+LRPF-ordered greedy admission verdicts, every scored candidate with the
+lexicographic comparison (§3.3) that accepted or rejected it, and —
+when the run was recorded with the SLO watchdog armed — the alerts
+firing during the explained cycle.
 """
 
 from __future__ import annotations
@@ -16,7 +18,7 @@ from pathlib import Path
 from typing import Dict, IO, List, Optional, Union
 
 from repro.errors import ConfigurationError
-from repro.obs.sink import read_audit_records
+from repro.obs.sink import ALERT_RECORD_TYPES, read_audit_records, read_jsonl
 
 Source = Union[str, Path, IO[str], List[Dict[str, object]]]
 
@@ -85,7 +87,8 @@ def explain_cycle(source: Source, cycle: int, app: Optional[str] = None) -> str:
     Raises :class:`~repro.errors.ConfigurationError` when the stream has
     no audit records or no such cycle.
     """
-    records = read_audit_records(source)
+    raw = source if isinstance(source, list) else read_jsonl(source)
+    records = read_audit_records(raw)
     by_cycle: Dict[int, List[Dict[str, object]]] = {}
     for record in records:
         by_cycle.setdefault(int(record["cycle"]), []).append(record)
@@ -176,7 +179,38 @@ def explain_cycle(source: Source, cycle: int, app: Optional[str] = None) -> str:
             for line in _describe_candidate(record):
                 lines.append("  " + line)
 
+    active = _alerts_active_at(raw, cycle)
+    if active:
+        lines.append("")
+        lines.append("alerts active during this cycle (SLO watchdog):")
+        for rule, subject, severity in active:
+            lines.append(f"  [{severity}] {rule} on {subject}")
+
     return "\n".join(lines)
+
+
+def _alerts_active_at(records, cycle: int):
+    """(rule, subject, severity) triples firing as of control cycle
+    ``cycle`` — fired at or before it and not yet resolved by it.
+
+    Replays the stream's fire/resolve sequence per (rule, subject); a
+    stream recorded without the watchdog simply yields nothing.
+    """
+    state: Dict[tuple, str] = {}
+    for record in records:
+        if record.get("type") not in ALERT_RECORD_TYPES:
+            continue
+        if int(record.get("cycle", -1)) > cycle:
+            continue
+        key = (str(record.get("rule")), str(record.get("subject")))
+        if record["type"] == "alert_fired":
+            state[key] = str(record.get("severity", "warning"))
+        else:
+            state.pop(key, None)
+    return sorted(
+        (rule, subject, severity)
+        for (rule, subject), severity in state.items()
+    )
 
 
 __all__ = ["explain_cycle"]

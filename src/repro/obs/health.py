@@ -1,0 +1,135 @@
+"""Health roll-up: active alerts condensed into ok/degraded/critical.
+
+An operator glancing at a control tower does not read raw alerts; they
+read a per-component verdict.  This module folds the watchdog's active
+alerts (:mod:`repro.obs.alerts`) into per-app, per-node, and controller
+health scores with the firing rules as reasons:
+
+* a ``critical`` alert makes its component **critical**;
+* a ``warning`` alert makes it **degraded**;
+* no active alert means **ok**;
+* the controller inherits the worst component verdict — a cluster with
+  a critical app is not a healthy cluster — on top of its own
+  controller-scoped alerts (reconciler stalls).
+
+The mapping from rule to component follows the alert's subject:
+transactional-app rules score the app, ``node_overload`` scores the
+node, batch rules (starvation, deadline-miss) score the synthetic
+``batch`` app entry, and ``reconciler_stall`` scores the controller.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.obs.alerts import (
+    Alert,
+    RULE_BATCH_STARVATION,
+    RULE_DEADLINE_MISS,
+    RULE_NODE_OVERLOAD,
+    RULE_RECONCILER_STALL,
+)
+
+
+class HealthLevel(enum.Enum):
+    OK = "ok"
+    DEGRADED = "degraded"
+    CRITICAL = "critical"
+
+    @property
+    def rank(self) -> int:
+        return {"ok": 0, "degraded": 1, "critical": 2}[self.value]
+
+    def __or__(self, other: "HealthLevel") -> "HealthLevel":
+        """The worse of two verdicts."""
+        return self if self.rank >= other.rank else other
+
+
+#: Alert severity → component verdict.
+_SEVERITY_LEVEL = {
+    "warning": HealthLevel.DEGRADED,
+    "critical": HealthLevel.CRITICAL,
+}
+
+
+@dataclass
+class ComponentHealth:
+    """One component's verdict with the reasons that produced it."""
+
+    level: HealthLevel = HealthLevel.OK
+    reasons: List[str] = field(default_factory=list)
+
+    def worsen(self, level: HealthLevel, reason: str) -> None:
+        self.level = self.level | level
+        self.reasons.append(reason)
+
+    def render(self) -> str:
+        tail = f" ({'; '.join(self.reasons)})" if self.reasons else ""
+        return f"{self.level.value}{tail}"
+
+
+@dataclass
+class HealthReport:
+    """Per-app / per-node / controller verdicts at one point in time."""
+
+    apps: Dict[str, ComponentHealth] = field(default_factory=dict)
+    nodes: Dict[str, ComponentHealth] = field(default_factory=dict)
+    controller: ComponentHealth = field(default_factory=ComponentHealth)
+
+    @property
+    def overall(self) -> HealthLevel:
+        level = self.controller.level
+        for component in (*self.apps.values(), *self.nodes.values()):
+            level = level | component.level
+        return level
+
+    def render(self) -> str:
+        lines = [f"overall: {self.overall.value}"]
+        lines.append(f"controller: {self.controller.render()}")
+        for name in sorted(self.apps):
+            lines.append(f"app {name}: {self.apps[name].render()}")
+        for name in sorted(self.nodes):
+            lines.append(f"node {name}: {self.nodes[name].render()}")
+        return "\n".join(lines)
+
+
+def health_from_alerts(active: Iterable[Alert]) -> HealthReport:
+    """Fold currently-firing alerts into a :class:`HealthReport`.
+
+    An empty iterable yields an all-ok report (with no app/node entries —
+    callers that want explicit ok rows seed the dicts before rendering).
+    """
+    report = HealthReport()
+    for alert in active:
+        level = _SEVERITY_LEVEL.get(alert.severity, HealthLevel.DEGRADED)
+        reason = f"{alert.rule} since t={alert.fired_at:.0f}s"
+        if alert.rule == RULE_RECONCILER_STALL:
+            report.controller.worsen(level, reason)
+        elif alert.rule == RULE_NODE_OVERLOAD:
+            report.nodes.setdefault(
+                alert.subject, ComponentHealth()
+            ).worsen(level, reason)
+        elif alert.rule in (RULE_BATCH_STARVATION, RULE_DEADLINE_MISS):
+            report.apps.setdefault("batch", ComponentHealth()).worsen(level, reason)
+        else:
+            report.apps.setdefault(
+                alert.subject, ComponentHealth()
+            ).worsen(level, reason)
+    # The controller owns the cluster: it cannot be healthier than
+    # "degraded" while any component is unhealthy.
+    worst = HealthLevel.OK
+    for component in (*report.apps.values(), *report.nodes.values()):
+        worst = worst | component.level
+    if worst is not HealthLevel.OK and report.controller.level is HealthLevel.OK:
+        report.controller.worsen(HealthLevel.DEGRADED, "unhealthy components")
+    return report
+
+
+__all__ = [
+    "ComponentHealth",
+    "HealthLevel",
+    "HealthReport",
+    "health_from_alerts",
+]

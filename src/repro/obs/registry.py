@@ -17,7 +17,8 @@ twice returns the same child, so increments accumulate in one series.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+import time as _time
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -154,6 +155,32 @@ class _HistogramChild:
             out.append(running)
         return out
 
+    def time(self, clock: Optional[Callable[[], float]] = None) -> "_Timer":
+        """Context manager observing the elapsed seconds of its block."""
+        return _Timer(self, clock or _time.perf_counter)
+
+
+class _Timer:
+    """``with hist.time():`` — observes block duration on exit.
+
+    Exceptions propagate, but the duration is still observed (a failing
+    operation took time too).
+    """
+
+    __slots__ = ("_child", "_clock", "_start")
+
+    def __init__(self, child: _HistogramChild, clock: Callable[[], float]) -> None:
+        self._child = child
+        self._clock = clock
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._child.observe(max(0.0, self._clock() - self._start))
+
 
 class Histogram(_Metric):
     """Bucketed distribution with sum and count.
@@ -187,6 +214,19 @@ class Histogram(_Metric):
 
     def observe(self, value: float, **labels: object) -> None:
         self.labels(**labels).observe(value)
+
+    def time(
+        self, clock: Optional[Callable[[], float]] = None, **labels: object
+    ) -> _Timer:
+        """Context manager timing a block into this histogram::
+
+            with registry.histogram("repro_place_seconds").time():
+                controller.place(...)
+
+        ``clock`` defaults to the monotonic wall clock; tests inject a
+        deterministic counter.
+        """
+        return self.labels(**labels).time(clock)
 
 
 class MetricRegistry:
@@ -271,6 +311,41 @@ class MetricRegistry:
                     sample["value"] = child.value
                 samples.append(sample)
         return samples
+
+    def snapshot(self) -> Dict[str, object]:
+        """A point-in-time flat dict view of every series.
+
+        Keys are ``name{label=value,...}`` (labels sorted by name, no
+        braces for label-less series) — the same key format
+        ``SweepResult.merged_metrics`` uses, so snapshots from different
+        runs diff and merge trivially.  Counter/gauge values are floats;
+        histogram values are ``{"sum", "count", "buckets"}`` dicts with
+        cumulative per-edge counts.  The returned structure shares
+        nothing with the live registry: later observations do not mutate
+        a taken snapshot.
+        """
+        out: Dict[str, object] = {}
+        for metric in self._metrics.values():
+            for labels, child in metric.children():
+                label_part = ",".join(
+                    f"{k}={v}" for k, v in sorted(labels.items())
+                )
+                key = f"{metric.name}{{{label_part}}}" if label_part else metric.name
+                if metric.kind == "histogram":
+                    out[key] = {
+                        "sum": child.sum,
+                        "count": child.count,
+                        "buckets": {
+                            str(edge): cum
+                            for edge, cum in zip(
+                                list(metric.buckets) + ["+Inf"],
+                                child.cumulative(),
+                            )
+                        },
+                    }
+                else:
+                    out[key] = child.value
+        return out
 
 
 def _format_value(value: float) -> str:

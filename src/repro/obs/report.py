@@ -1,13 +1,14 @@
 """Self-contained static HTML report over a recorded telemetry stream.
 
-``repro report`` turns one schema-v3 JSONL stream into a single HTML
+``repro report`` turns one telemetry JSONL stream into a single HTML
 file — inline CSS, inline JS, Python-generated SVG charts, no network
 access — so a run can be archived and inspected anywhere a browser
 opens files.  Charts: the per-cycle utility vector (worst and mean of
 the sorted relative-performance vector after each decision), SLA
 attainment (fraction of applications at or above goal), placement churn
-per cycle, and the APC per-cycle phase-time breakdown from the span
-profiler.
+per cycle, the APC per-cycle phase-time breakdown from the span
+profiler, and the SLO watchdog's alert timeline (fired/resolved pairs
+from :mod:`repro.obs.alerts`).
 
 Each chart degrades gracefully: a stream recorded without an audit (or
 without a profiler) renders the sections it can and notes what is
@@ -21,7 +22,7 @@ import json
 from pathlib import Path
 from typing import Dict, IO, List, Optional, Sequence, Tuple, Union
 
-from repro.obs.sink import AUDIT_RECORD_TYPES, read_jsonl
+from repro.obs.sink import ALERT_RECORD_TYPES, AUDIT_RECORD_TYPES, read_jsonl
 
 Source = Union[str, Path, IO[str], List[Dict[str, object]]]
 
@@ -244,6 +245,58 @@ def render_report(source: Source, title: Optional[str] = None) -> str:
             _chart_section(
                 "APC phase time per cycle",
                 _missing("no apc.place spans in this stream"),
+            )
+        )
+
+    # -- alert timeline -------------------------------------------------
+    alert_records = [r for r in records if r.get("type") in ALERT_RECORD_TYPES]
+    if alert_records:
+        # Pair each fire with the next resolve for the same (rule,
+        # subject); an unpaired fire was still active when the run ended.
+        open_by_key: Dict[Tuple[str, str], Dict[str, object]] = {}
+        timeline: List[Dict[str, object]] = []
+        for record in alert_records:
+            key = (str(record.get("rule")), str(record.get("subject")))
+            if record.get("type") == "alert_fired":
+                entry = dict(record)
+                open_by_key[key] = entry
+                timeline.append(entry)
+            elif key in open_by_key:
+                open_by_key.pop(key)["resolved_time"] = record.get("time")
+        rows = []
+        for entry in timeline:
+            resolved = entry.get("resolved_time")
+            if resolved is None:
+                status = "active at end"
+                duration = ""
+            else:
+                status = f"t={float(resolved):,.0f}s"
+                duration = f"{float(resolved) - float(entry['time']):,.0f}s"
+            rows.append(
+                "<tr>"
+                f"<td>{_html.escape(str(entry.get('rule')))}</td>"
+                f"<td>{_html.escape(str(entry.get('subject')))}</td>"
+                f"<td>{_html.escape(str(entry.get('severity')))}</td>"
+                f"<td>t={float(entry['time']):,.0f}s</td>"
+                f"<td>{_html.escape(status)}</td>"
+                f"<td>{duration}</td>"
+                "</tr>"
+            )
+        sections.append(
+            "<h2>Alert timeline</h2>"
+            '<table class="meta"><tr><th>rule</th><th>subject</th>'
+            "<th>severity</th><th>fired</th><th>resolved</th>"
+            "<th>duration</th></tr>"
+            + "".join(rows)
+            + "</table>"
+        )
+    else:
+        sections.append(
+            "<h2>Alert timeline</h2>"
+            + _missing(
+                "no alert records in this stream — record the run with "
+                "the SLO watchdog armed (SimulationConfig(alerts=...)) "
+                "for a timeline"
             )
         )
 

@@ -4,15 +4,18 @@ Long runs outgrow any in-memory trace bound; the sink streams every
 record to disk the moment it is emitted, so history is never lost to the
 trace's capacity eviction.  One line per record, each self-describing:
 
-``{"v": 3, "type": "meta", "stream": "repro.telemetry", ...}``
-``{"v": 3, "type": "event", "time": ..., "kind": ..., "subject": ..., "detail": {...}}``
-``{"v": 3, "type": "span", "path": ..., "name": ..., "depth": ..., "start": ..., "duration": ...}``
-``{"v": 3, "type": "metric", "name": ..., "kind": ..., "labels": {...}, ...}``
+``{"v": 4, "type": "meta", "stream": "repro.telemetry", ...}``
+``{"v": 4, "type": "event", "time": ..., "kind": ..., "subject": ..., "detail": {...}}``
+``{"v": 4, "type": "span", "path": ..., "name": ..., "depth": ..., "start": ..., "duration": ...}``
+``{"v": 4, "type": "metric", "name": ..., "kind": ..., "labels": {...}, ...}``
 
 Schema version policy: ``v`` is bumped whenever a required field is
 added, removed, or changes meaning, or a record type is added; adding
-*optional* fields is not a bump.  :func:`validate_record` accepts
-exactly the current version.
+*optional* fields is not a bump.  :func:`validate_record` accepts the
+supported version range (:data:`MIN_SUPPORTED_SCHEMA_VERSION` through
+:data:`SCHEMA_VERSION`), and record types introduced after a stream's
+version are skipped with a counted warning rather than rejected, so
+older readers tolerate newer streams (forward compatibility).
 
 Version history:
 
@@ -23,22 +26,35 @@ Version history:
 * **v3** — decision flight recorder: adds the ``audit_cycle`` /
   ``audit_candidate`` / ``audit_admission`` / ``audit_rpf`` record
   types emitted by :class:`repro.obs.audit.DecisionAudit`.
+* **v4** — live SLO watchdog: adds the ``alert_fired`` /
+  ``alert_resolved`` record types emitted by
+  :class:`repro.obs.alerts.AlertEngine` and the ``heartbeat`` records
+  sweep workers write into run directories.
 """
 
 from __future__ import annotations
 
 import io
 import json
+import warnings
 from pathlib import Path
 from typing import Dict, IO, Iterable, List, Optional, Union
 
 from repro.errors import ConfigurationError
 
 #: Version of the JSONL record schema (see policy in the module docstring).
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
+
+#: Oldest schema version current readers still accept.  v1/v2 streams
+#: predate the unified version line and are rejected with an upgrade
+#: hint; v3 streams simply lack the alert/heartbeat record types.
+MIN_SUPPORTED_SCHEMA_VERSION = 3
 
 #: First schema version whose streams can carry audit records.
 MIN_AUDIT_SCHEMA_VERSION = 3
+
+#: First schema version whose streams can carry alert records.
+MIN_ALERT_SCHEMA_VERSION = 4
 
 #: Stream identifier written in the leading meta record.
 STREAM_NAME = "repro.telemetry"
@@ -47,6 +63,9 @@ STREAM_NAME = "repro.telemetry"
 AUDIT_RECORD_TYPES = frozenset(
     {"audit_cycle", "audit_candidate", "audit_admission", "audit_rpf"}
 )
+
+#: Record types emitted by the live SLO watchdog (schema v4+).
+ALERT_RECORD_TYPES = frozenset({"alert_fired", "alert_resolved"})
 
 #: Required fields (beyond ``v``/``type``) per record type.
 _REQUIRED: Dict[str, Dict[str, type]] = {
@@ -88,6 +107,25 @@ _REQUIRED: Dict[str, Dict[str, type]] = {
         "cycle": int,
         "app": str,
         "max_utility": (int, float),
+    },
+    "alert_fired": {
+        "time": (int, float),
+        "cycle": int,
+        "rule": str,
+        "subject": str,
+        "severity": str,
+        "detail": dict,
+    },
+    "alert_resolved": {
+        "time": (int, float),
+        "cycle": int,
+        "rule": str,
+        "subject": str,
+    },
+    "heartbeat": {
+        "time": (int, float),
+        "spec": str,
+        "status": str,
     },
 }
 
@@ -181,13 +219,17 @@ def _jsonable(detail: Dict[str, object]) -> Dict[str, object]:
 # ----------------------------------------------------------------------
 def validate_record(record: object) -> None:
     """Raise :class:`~repro.errors.ConfigurationError` unless ``record``
-    is a schema-valid telemetry record of the current version."""
+    is a schema-valid telemetry record of a supported version."""
     if not isinstance(record, dict):
         raise ConfigurationError(f"record must be an object, got {type(record)}")
     version = record.get("v")
-    if version != SCHEMA_VERSION:
+    if (
+        not isinstance(version, int)
+        or not MIN_SUPPORTED_SCHEMA_VERSION <= version <= SCHEMA_VERSION
+    ):
         raise ConfigurationError(
-            f"unsupported schema version {version!r} (expected {SCHEMA_VERSION})"
+            f"unsupported schema version {version!r} (expected "
+            f"{MIN_SUPPORTED_SCHEMA_VERSION}..{SCHEMA_VERSION})"
         )
     rtype = record.get("type")
     required = _REQUIRED.get(rtype)  # type: ignore[arg-type]
@@ -217,6 +259,30 @@ def validate_record(record: object) -> None:
             raise ConfigurationError(f"unknown metric kind {kind!r}")
 
 
+def _skip_unknown_types(
+    records: List[Dict[str, object]], context: str
+) -> List[Dict[str, object]]:
+    """Drop records whose type this reader does not know, with one
+    counted warning — forward compatibility with newer streams."""
+    known: List[Dict[str, object]] = []
+    skipped: Dict[object, int] = {}
+    for record in records:
+        rtype = record.get("type") if isinstance(record, dict) else None
+        if isinstance(record, dict) and rtype not in _REQUIRED:
+            skipped[rtype] = skipped.get(rtype, 0) + 1
+        else:
+            known.append(record)
+    if skipped:
+        total = sum(skipped.values())
+        names = ", ".join(repr(t) for t in sorted(skipped, key=repr))
+        warnings.warn(
+            f"{context}: skipped {total} record(s) of unknown type(s) "
+            f"{names} — emitted by a schema newer than v{SCHEMA_VERSION}?",
+            stacklevel=3,
+        )
+    return known
+
+
 def read_jsonl(source: Union[str, Path, IO[str]]) -> List[Dict[str, object]]:
     """Parse (without validating) every record in a JSONL stream."""
     if isinstance(source, (str, Path)):
@@ -227,15 +293,20 @@ def read_jsonl(source: Union[str, Path, IO[str]]) -> List[Dict[str, object]]:
 
 
 def validate_jsonl(source: Union[str, Path, IO[str]]) -> int:
-    """Validate every record in a JSONL stream; returns the record count.
+    """Validate every record in a JSONL stream; returns the count of
+    records validated.
 
     The stream must be non-empty and lead with a ``meta`` record.
+    Records of unknown type are skipped with a counted warning (and do
+    not count toward the return value) so current readers tolerate
+    streams written by newer schemas.
     """
     records = read_jsonl(source)
     if not records:
         raise ConfigurationError("empty telemetry stream")
     if records[0].get("type") != "meta":
         raise ConfigurationError("telemetry stream must start with a meta record")
+    records = _skip_unknown_types(records, "validate_jsonl")
     for record in records:
         validate_record(record)
     return len(records)
@@ -259,20 +330,10 @@ def read_audit_records(
         records = read_jsonl(source)
     if not records:
         raise ConfigurationError("empty telemetry stream")
+    records = _skip_unknown_types(records, "read_audit_records")
     audit = [r for r in records if r.get("type") in AUDIT_RECORD_TYPES]
     if not audit:
-        versions = {r.get("v") for r in records}
-        old = sorted(
-            v for v in versions
-            if isinstance(v, int) and v < MIN_AUDIT_SCHEMA_VERSION
-        )
-        if old:
-            raise ConfigurationError(
-                f"schema v{old[0]} stream predates the decision flight "
-                f"recorder (audit records require "
-                f"v{MIN_AUDIT_SCHEMA_VERSION}); re-record the run with a "
-                f"current sink and a DecisionAudit attached"
-            )
+        _explain_version_gap(records, MIN_AUDIT_SCHEMA_VERSION, "decision flight recorder", "audit")
         raise ConfigurationError(
             "stream contains no audit records — was the run recorded "
             "with a DecisionAudit attached?"
@@ -282,12 +343,60 @@ def read_audit_records(
     return audit
 
 
+def read_alert_records(
+    source: Union[str, Path, IO[str], List[Dict[str, object]]],
+) -> List[Dict[str, object]]:
+    """Read and validate the alert records of a telemetry stream.
+
+    Mirrors :func:`read_audit_records` for the live SLO watchdog:
+    returns only :data:`ALERT_RECORD_TYPES` records, validated, in
+    stream order.  Raises :class:`~repro.errors.ConfigurationError` when
+    the stream is empty, predates schema v4, or was recorded without
+    alerting enabled.
+    """
+    if isinstance(source, list):
+        records = source
+    else:
+        records = read_jsonl(source)
+    if not records:
+        raise ConfigurationError("empty telemetry stream")
+    records = _skip_unknown_types(records, "read_alert_records")
+    alerts = [r for r in records if r.get("type") in ALERT_RECORD_TYPES]
+    if not alerts:
+        _explain_version_gap(records, MIN_ALERT_SCHEMA_VERSION, "live SLO watchdog", "alert")
+        raise ConfigurationError(
+            "stream contains no alert records — was the run recorded with "
+            "alerting enabled (SimulationConfig(alerts=AlertConfig(...)))?"
+        )
+    for record in alerts:
+        validate_record(record)
+    return alerts
+
+
+def _explain_version_gap(
+    records: List[Dict[str, object]], min_version: int, layer: str, noun: str
+) -> None:
+    """Raise the reason-specific error when a stream is simply too old
+    to carry the requested record family."""
+    versions = {r.get("v") for r in records}
+    old = sorted(v for v in versions if isinstance(v, int) and v < min_version)
+    if old:
+        raise ConfigurationError(
+            f"schema v{old[0]} stream predates the {layer} ({noun} records "
+            f"require v{min_version}); re-record the run with a current sink"
+        )
+
+
 __all__ = [
+    "ALERT_RECORD_TYPES",
     "AUDIT_RECORD_TYPES",
+    "MIN_ALERT_SCHEMA_VERSION",
     "MIN_AUDIT_SCHEMA_VERSION",
+    "MIN_SUPPORTED_SCHEMA_VERSION",
     "SCHEMA_VERSION",
     "STREAM_NAME",
     "JsonlSink",
+    "read_alert_records",
     "read_audit_records",
     "read_jsonl",
     "validate_jsonl",

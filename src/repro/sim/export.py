@@ -34,7 +34,11 @@ PathLike = Union[str, Path]
 #:   ``migration_distance_mb`` columns and the JSON ``sla`` section.
 #:   From this version on, the export and JSONL-stream schemas
 #:   (:mod:`repro.obs.sink`) share one version line.
-SCHEMA_VERSION = 3
+#: * **4** — the live SLO watchdog: ``alert_fired`` / ``alert_resolved``
+#:   / ``heartbeat`` record types in the JSONL stream.  The export
+#:   document itself is unchanged; the version moves in lockstep with
+#:   the stream schema.
+SCHEMA_VERSION = 4
 
 #: Column order for cycle samples (stable export schema).
 CYCLE_COLUMNS = (

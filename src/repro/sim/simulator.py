@@ -52,6 +52,7 @@ from repro.sim.engine import (
     PRIORITY_CYCLE,
     ScheduledEvent,
 )
+from repro.obs.alerts import AlertConfig, AlertEngine, CycleObservation
 from repro.obs.registry import MetricRegistry
 from repro.obs.spans import NULL_SPAN, SpanProfiler
 from repro.sim.metrics import CycleSample, MetricsRecorder
@@ -103,6 +104,17 @@ class SimulationConfig:
         (``decision_seconds``).  ``None`` (the default) uses the
         wall-clock monotonic counter; tests inject a deterministic
         counter so timing-derived output is reproducible across runs.
+    alerts:
+        Live SLO watchdog rules
+        (:class:`~repro.obs.alerts.AlertConfig`).  ``None`` (the
+        default) never constructs an engine: no per-cycle observation is
+        built and simulation output is bit-identical to a build without
+        the watchdog.  With a config set, the simulator evaluates every
+        rule at each control cycle and streams ``alert_fired`` /
+        ``alert_resolved`` records through the trace's sink (if any).
+        Alert window state is *not* snapshotted: a restored run re-arms
+        its windows empty (alerting is a live operator surface, not part
+        of the deterministic-replay contract).
     """
 
     cycle_length: float = 600.0
@@ -114,6 +126,7 @@ class SimulationConfig:
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
     action_timeout: float = 120.0
     decision_clock: Optional[Callable[[], float]] = None
+    alerts: Optional[AlertConfig] = None
 
     def __post_init__(self) -> None:
         if self.cycle_length <= 0:
@@ -165,6 +178,7 @@ class SimulationConfig:
             ),
             "retry_policy": dataclasses.asdict(self.retry_policy),
             "action_timeout": self.action_timeout,
+            "alerts": None if self.alerts is None else self.alerts.to_dict(),
         }
 
     @classmethod
@@ -210,6 +224,8 @@ class SimulationConfig:
             )
         if "retry_policy" in kwargs and isinstance(kwargs["retry_policy"], Mapping):
             kwargs["retry_policy"] = RetryPolicy(**kwargs["retry_policy"])
+        if isinstance(kwargs.get("alerts"), Mapping):
+            kwargs["alerts"] = AlertConfig.from_dict(kwargs["alerts"])
         return cls(**kwargs)
 
 
@@ -304,6 +320,10 @@ class MixedWorkloadSimulator:
         #: Memory moved by mid-cycle retried migrations, likewise
         #: credited to the next cycle sample.
         self._deferred_moved_mb = 0.0
+        #: Live SLO watchdog (built at run time iff the config carries
+        #: an :class:`~repro.obs.alerts.AlertConfig`; ``None`` keeps the
+        #: control loop untouched).
+        self.alert_engine: Optional[AlertEngine] = None
         #: The persistent event queue.  ``None`` until the first
         #: :meth:`run` (or a :meth:`restore`) — its presence is what
         #: distinguishes a fresh simulator from a started one.
@@ -334,6 +354,7 @@ class MixedWorkloadSimulator:
         if self._events is None:
             self._events = EventQueue()
             self._init_reconciler()
+            self._init_alerts()
             self._bootstrap(self._events)
         events = self._events
 
@@ -380,6 +401,28 @@ class MixedWorkloadSimulator:
             for tally, value in events.stats().items():
                 engine_gauge.set(value, tally=tally)
         return self.metrics
+
+    @property
+    def next_event_time(self) -> Optional[float]:
+        """Time of the earliest scheduled event, or ``None`` when the
+        run has drained (or never started).  Lets chunked drivers — e.g.
+        sweep workers emitting progress heartbeats between
+        ``run(until=...)`` calls — detect completion without guessing a
+        horizon."""
+        return None if self._events is None else self._events.peek_time()
+
+    def _init_alerts(self) -> None:
+        if self._config.alerts is None:
+            return
+        sink = self.trace.sink if self.trace is not None else None
+        self.alert_engine = AlertEngine(
+            self._config.alerts, sink=sink, registry=self.metrics.registry
+        )
+        #: Baselines for per-cycle deltas the watchdog consumes.
+        self._alert_completions_seen = len(self.metrics.completions)
+        self._alert_prev_moves: Dict[str, int] = {}
+        self._alert_prev_attempts = 0
+        self._alert_prev_stalls = 0
 
     def _init_reconciler(self) -> None:
         fault_model = self._config.fault_model
@@ -434,6 +477,7 @@ class MixedWorkloadSimulator:
         if self._events is None:
             self._events = EventQueue()
             self._init_reconciler()
+            self._init_alerts()
             self._bootstrap(self._events)
         remaining = list(self._arrivals)
         self._arrivals = iter(remaining)
@@ -526,6 +570,7 @@ class MixedWorkloadSimulator:
         if self.trace is not None and trace_state is not None:
             self.trace.restore_state(trace_state)
         self._init_reconciler()
+        self._init_alerts()
         rec_state = snapshot["reconciler"]
         if rec_state is not None:
             if self._reconciler is None:
@@ -865,6 +910,8 @@ class MixedWorkloadSimulator:
                 running=len(self._speeds),
                 decision_ms=round(decision_seconds * 1e3, 2),
             )
+        if self.alert_engine is not None:
+            self.alert_engine.observe(self._observe_cycle(effective, now))
 
         # 6. Book-keeping and the next cycle.
         if self._config.prune_completed:
@@ -1442,6 +1489,77 @@ class MixedWorkloadSimulator:
             node=pending.target_node,
             **detail,
         )
+
+    # ------------------------------------------------------------------
+    # Live SLO watchdog (opt-in; see SimulationConfig.alerts)
+    # ------------------------------------------------------------------
+    def _observe_cycle(
+        self, effective: PlacementState, now: float
+    ) -> CycleObservation:
+        """Build the watchdog's view of the cycle just recorded.
+
+        Pure read-only derivation from state the control loop already
+        maintains — it mutates nothing the simulation consults, so
+        enabling alerting cannot perturb results.
+        """
+        sample = self.metrics.cycles[-1]
+        completions = self.metrics.completions
+        new_completions = completions[self._alert_completions_seen:]
+        self._alert_completions_seen = len(completions)
+
+        waiting = self._queue.not_started() + self._queue.suspended()
+        ages = [max(0.0, now - job.submit_time) for job in waiting]
+        slacks = [
+            job.completion_goal
+            - now
+            - job.remaining_work / max(job.max_speed, EPSILON)
+            for job in waiting
+        ]
+
+        moves: Dict[str, int] = {}
+        prev_moves = self._alert_prev_moves
+        current_moves: Dict[str, int] = {}
+        for job in self._queue.incomplete():
+            total = job.suspend_count + job.resume_count + job.migration_count
+            current_moves[job.job_id] = total
+            delta = total - prev_moves.get(job.job_id, 0)
+            if delta > 0:
+                moves[job.job_id] = delta
+        self._alert_prev_moves = current_moves
+
+        utilization: Dict[str, float] = {}
+        below_goal: Dict[str, list] = {}
+        for node in self._cluster.nodes:
+            if not node.available:
+                continue
+            capacity = node.cpu_capacity
+            if capacity <= EPSILON:
+                continue
+            utilization[node.name] = 1.0 - effective.cpu_available(node.name) / capacity
+        for app_id, utility in sample.txn_utilities.items():
+            if utility < 0.0:
+                for node_name in effective.nodes_of(app_id):
+                    below_goal.setdefault(node_name, []).append(app_id)
+
+        faults = self.metrics.faults
+        attempts = sum(faults.attempts.values())
+        stalls = sum(faults.stalls.values())
+        obs = CycleObservation(
+            time=now,
+            cycle=len(self.metrics.cycles) - 1,
+            txn_utilities=dict(sample.txn_utilities),
+            completions_met=[c.met_deadline for c in new_completions],
+            queued_ages=ages,
+            queued_slacks=slacks,
+            app_moves=moves,
+            node_utilization=utilization,
+            node_below_goal_txn=below_goal,
+            action_attempts=attempts - self._alert_prev_attempts,
+            action_stalls=stalls - self._alert_prev_stalls,
+        )
+        self._alert_prev_attempts = attempts
+        self._alert_prev_stalls = stalls
+        return obs
 
     # ------------------------------------------------------------------
     # Metrics

@@ -12,10 +12,22 @@ from repro.experiments.benchmark import (
     BENCH_SCHEMA,
     QUICK_SIZES,
     bench_apc_scale,
+    compare_bench_reports,
     format_bench_report,
     validate_bench_report,
     write_bench_report,
 )
+
+
+def _report(rows):
+    return {
+        "schema": BENCH_SCHEMA, "quick": True, "seed": 7, "cycles": 2,
+        "results": [
+            {"nodes": nodes, "jobs": nodes * 8, "naive_ms": ms * 10,
+             "incremental_ms": ms, "speedup_median": 10.0, "identical": True}
+            for nodes, ms in rows
+        ],
+    }
 
 
 @pytest.fixture(scope="module")
@@ -69,3 +81,101 @@ def test_validate_flags_problems():
     }
     problems = validate_bench_report(bad)
     assert any("diverged" in p for p in problems)
+
+
+class TestCompareBenchReports:
+    def test_within_tolerance_passes(self):
+        current = _report([(10, 1.2), (25, 5.5)])
+        baseline = _report([(10, 1.0), (25, 5.0)])
+        assert compare_bench_reports(current, baseline,
+                                     tolerance_pct=25.0) == []
+
+    def test_slow_size_regresses_with_readable_line(self):
+        current = _report([(10, 2.0), (25, 5.0)])
+        baseline = _report([(10, 1.0), (25, 5.0)])
+        lines = compare_bench_reports(current, baseline, tolerance_pct=25.0)
+        assert len(lines) == 1
+        assert "10 nodes" in lines[0]
+        assert "2.0ms vs baseline 1.0ms" in lines[0]
+        assert "+100%" in lines[0]
+        assert "tolerance 25%" in lines[0]
+
+    def test_identical_reports_pass_at_zero_tolerance(self):
+        report = _report([(10, 1.0)])
+        assert compare_bench_reports(report, report, tolerance_pct=0.0) == []
+
+    def test_baseline_size_missing_from_current_run_is_flagged(self):
+        current = _report([(10, 1.0)])
+        baseline = _report([(10, 1.0), (200, 40.0)])
+        lines = compare_bench_reports(current, baseline)
+        assert lines == [
+            "baseline sizes not measured in the current run: 200"
+        ]
+
+    def test_new_ladder_rung_is_not_a_regression(self):
+        current = _report([(10, 1.0), (400, 99.0)])
+        baseline = _report([(10, 1.0)])
+        assert compare_bench_reports(current, baseline) == []
+
+
+class TestCliPerfGate:
+    def _run(self, argv):
+        from repro.cli import main
+
+        return main(argv)
+
+    def test_gate_passes_against_generous_baseline(
+        self, quick_report, tmp_path, capsys
+    ):
+        baseline = dict(quick_report)
+        baseline["results"] = [
+            {**row, "incremental_ms": row["incremental_ms"] * 100}
+            for row in quick_report["results"]
+        ]
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(baseline))
+        code = self._run([
+            "bench", "--quick", "--cycles", "2",
+            "--baseline", str(path), "--check",
+        ])
+        assert code == 0
+        assert "no regressions vs" in capsys.readouterr().out
+
+    def test_gate_fails_against_impossible_baseline(
+        self, quick_report, tmp_path, capsys
+    ):
+        baseline = dict(quick_report)
+        baseline["results"] = [
+            {**row, "incremental_ms": row["incremental_ms"] / 1e6}
+            for row in quick_report["results"]
+        ]
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(baseline))
+        code = self._run([
+            "bench", "--quick", "--cycles", "2",
+            "--baseline", str(path), "--check", "--tolerance", "5",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "perf regression:" in err
+
+    def test_regressions_warn_without_failing_when_not_checking(
+        self, quick_report, tmp_path, capsys
+    ):
+        baseline = dict(quick_report)
+        baseline["results"] = [
+            {**row, "incremental_ms": row["incremental_ms"] / 1e6}
+            for row in quick_report["results"]
+        ]
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(baseline))
+        code = self._run([
+            "bench", "--quick", "--cycles", "2", "--baseline", str(path),
+        ])
+        assert code == 0  # advisory mode: report, don't gate
+        assert "perf regression:" in capsys.readouterr().err
+
+    def test_check_without_baseline_is_a_usage_error(self, capsys):
+        code = self._run(["bench", "--quick", "--cycles", "2", "--check"])
+        assert code == 2
+        assert "--check needs --baseline" in capsys.readouterr().err

@@ -348,8 +348,8 @@ def _audit_record(rtype, **overrides):
 
 
 class TestSchemaV3:
-    def test_current_version_is_three(self):
-        assert SCHEMA_VERSION == 3
+    def test_current_version_is_four(self):
+        assert SCHEMA_VERSION == 4
         assert MIN_AUDIT_SCHEMA_VERSION == 3
 
     def test_all_audit_record_types_validate(self):
@@ -425,3 +425,102 @@ class TestSchemaV3:
         ]
         with pytest.raises(ConfigurationError, match="wrong type"):
             read_audit_records(stream)
+
+
+class TestHistogramTimer:
+    def test_times_a_block_with_injected_clock(self):
+        hist = Histogram("repro_place_seconds", "place latency", ())
+        with hist.time(clock=ticker(0.5)):
+            pass
+        child = hist.labels()
+        assert child.count == 1
+        assert child.sum == pytest.approx(0.5)
+
+    def test_labeled_timer(self):
+        hist = Histogram("repro_phase_seconds", "phase latency", ("phase",))
+        with hist.time(clock=ticker(2.0), phase="search"):
+            pass
+        assert hist.labels(phase="search").sum == pytest.approx(2.0)
+        assert hist.labels(phase="search").count == 1
+
+    def test_exception_still_observes_the_duration(self):
+        hist = Histogram("repro_failing_seconds", "failing op latency", ())
+        with pytest.raises(RuntimeError):
+            with hist.time(clock=ticker(1.0)):
+                raise RuntimeError("operation blew up")
+        assert hist.labels().count == 1
+        assert hist.labels().sum == pytest.approx(1.0)
+
+    def test_registry_histogram_timer_end_to_end(self):
+        registry = MetricRegistry()
+        hist = registry.histogram("repro_timed_seconds", "timed")
+        with hist.time(clock=ticker(0.25)):
+            pass
+        assert registry.get("repro_timed_seconds").labels().count == 1
+
+
+class TestRegistrySnapshot:
+    def build(self):
+        registry = MetricRegistry()
+        jobs = registry.counter("repro_jobs_total", "jobs", ("kind",))
+        jobs.inc(3, kind="batch")
+        jobs.inc(1, kind="txn")
+        registry.gauge("repro_depth", "queue depth").set(7)
+        registry.histogram(
+            "repro_lat_seconds", "latency", buckets=(0.1, 1.0)
+        ).observe(0.5)
+        return registry
+
+    def test_keys_use_merged_metrics_format(self):
+        snap = self.build().snapshot()
+        assert snap["repro_jobs_total{kind=batch}"] == 3.0
+        assert snap["repro_jobs_total{kind=txn}"] == 1.0
+        assert snap["repro_depth"] == 7.0
+
+    def test_histograms_expose_sum_count_and_cumulative_buckets(self):
+        snap = self.build().snapshot()
+        hist = snap["repro_lat_seconds"]
+        assert hist["sum"] == pytest.approx(0.5)
+        assert hist["count"] == 1
+        assert hist["buckets"] == {"0.1": 0, "1.0": 1, "+Inf": 1}
+
+    def test_snapshot_is_isolated_from_later_observations(self):
+        registry = self.build()
+        snap = registry.snapshot()
+        registry.get("repro_depth").set(99)
+        registry.get("repro_lat_seconds").observe(0.2)
+        assert snap["repro_depth"] == 7.0
+        assert snap["repro_lat_seconds"]["count"] == 1
+
+
+class TestUnknownTypeForwardCompat:
+    def stream(self):
+        return [
+            {"v": SCHEMA_VERSION, "type": "meta",
+             "stream": "repro.telemetry"},
+            {"v": SCHEMA_VERSION, "type": "event", "time": 0.0,
+             "kind": "cycle", "subject": "controller", "detail": {}},
+            {"v": SCHEMA_VERSION, "type": "hologram", "payload": 1},
+            {"v": SCHEMA_VERSION, "type": "hologram", "payload": 2},
+        ]
+
+    def test_validate_jsonl_skips_with_counted_warning(self):
+        text = "\n".join(__import__("json").dumps(r) for r in self.stream())
+        with pytest.warns(UserWarning, match=r"skipped 2 record\(s\).*"
+                                             r"'hologram'"):
+            count = validate_jsonl(io.StringIO(text))
+        assert count == 2  # meta + event; holograms not counted
+
+    def test_read_audit_records_warns_then_reports_absence(self):
+        stream = self.stream()
+        with pytest.warns(UserWarning, match="newer than"):
+            with pytest.raises(ConfigurationError,
+                               match="DecisionAudit attached"):
+                read_audit_records(stream)
+
+    def test_known_only_stream_warns_nothing(self, recwarn):
+        text = "\n".join(
+            __import__("json").dumps(r) for r in self.stream()[:2]
+        )
+        assert validate_jsonl(io.StringIO(text)) == 2
+        assert len(recwarn) == 0

@@ -172,3 +172,78 @@ def test_sweep_result_to_dict_is_json_dumpable():
     }
     result = run_sweep([spec], workers=1)
     json.dumps(result.to_dict())
+
+
+# ----------------------------------------------------------------------
+# Merged telemetry across a sweep
+# ----------------------------------------------------------------------
+def _starved_scenario_dict(name, seed):
+    """A one-node cluster fed far faster than it drains: the batch
+    queue's slack goes negative and the SLO watchdog fires."""
+    from repro.obs import AlertConfig
+    from repro.sim.simulator import SimulationConfig
+
+    return Scenario(
+        name=name, nodes=1, job_count=60, interarrival=10.0, seed=seed,
+        sim=SimulationConfig(
+            max_time=150 * 300.0,
+            alerts=AlertConfig(starvation_cycles=2),
+        ),
+    ).to_dict()
+
+
+def test_merged_metrics_keys_carry_sorted_labels():
+    specs = [
+        {
+            "kind": "scenario",
+            "name": f"m{seed}",
+            "params": {"scenario": tiny_scenario_dict(f"m{seed}", seed)},
+        }
+        for seed in (1, 2)
+    ]
+    result = run_sweep(specs, workers=1)
+    merged = result.merged_metrics()
+    # Labeled counters merge under name{label=value} keys...
+    completion_keys = [
+        k for k in merged if k.startswith("repro_job_completions_total{")
+    ]
+    assert completion_keys
+    assert all("met_deadline=" in k for k in completion_keys)
+    total_done = sum(merged[k] for k in completion_keys)
+    assert total_done == sum(s["completed"] for s in result.summaries)
+    # ...and only counters: histograms/gauges stay per-run.
+    assert not any(k.startswith("repro_decision_seconds") for k in merged)
+    assert not any(k.startswith("repro_queue_depth") for k in merged)
+
+
+def test_merged_metrics_fold_alert_counters_across_specs():
+    specs = [
+        {
+            "kind": "scenario",
+            "name": f"starved{seed}",
+            "params": {"scenario": _starved_scenario_dict(f"starved{seed}",
+                                                          seed)},
+        }
+        for seed in (1, 2)
+    ]
+    result = run_sweep(specs, workers=1)
+    assert result.failures() == []
+    # Each run's summary carries its own watchdog tally...
+    for summary in result.summaries:
+        assert summary["alerts"]["fired"] >= 1
+    # ...and the merged view sums the published alert counters.
+    merged = result.merged_metrics()
+    key = "repro_alerts_total{event=fired,rule=batch_starvation}"
+    assert merged[key] == sum(
+        s["alerts"]["fired"] for s in result.summaries
+    )
+
+
+def test_alertless_sweep_summaries_carry_no_alerts_key():
+    spec = {
+        "kind": "scenario",
+        "name": "calm",
+        "params": {"scenario": tiny_scenario_dict("calm")},
+    }
+    result = run_sweep([spec], workers=1)
+    assert "alerts" not in result.summaries[0]

@@ -246,7 +246,7 @@ class TestFaultExport:
         recorder = MetricsRecorder()
         recorder.faults = self._stats_with_activity()
         doc = json.loads(metrics_to_json(recorder))
-        assert SCHEMA_VERSION == 3
+        assert SCHEMA_VERSION == 4
         assert doc["schema_version"] == SCHEMA_VERSION
         assert "sla" in doc  # v3 SLA-attainment section
         assert doc["faults"]["attempts"] == {"suspend": 2, "migrate": 1}
@@ -300,3 +300,80 @@ class TestTelemetryCli:
         assert args.cycles == 5
         assert args.fail_prob == 0.0
         assert args.audit is False
+
+
+class TestCombinedStream:
+    """One JSONL stream carrying spans + audit + alert records at once:
+    every reader sees its slice of the same file."""
+
+    @pytest.fixture(scope="class")
+    def combined(self, tmp_path_factory):
+        from repro.obs import AlertConfig, DecisionAudit
+        from repro.scenario import Scenario, Simulation
+        from repro.sim.simulator import SimulationConfig
+
+        path = tmp_path_factory.mktemp("combined") / "stream.jsonl"
+        sink = JsonlSink(path)
+        trace = SimulationTrace(sink=sink)
+        profiler = SpanProfiler()
+        scenario = Scenario(
+            name="starved", nodes=1, job_count=60, interarrival=10.0,
+            seed=2,
+            sim=SimulationConfig(
+                max_time=150 * 300.0,
+                alerts=AlertConfig(starvation_cycles=2),
+            ),
+        )
+        simulation = Simulation.from_scenario(
+            scenario,
+            profiler=profiler,
+            trace=trace,
+            audit=DecisionAudit(sink=sink, trace=trace),
+        )
+        simulation.run()
+        for record in profiler.records:
+            sink.span(record.as_dict())
+        sink.close()
+        return path
+
+    def test_stream_validates_and_interleaves_all_record_families(
+        self, combined
+    ):
+        assert validate_jsonl(combined) > 0
+        records = [
+            json.loads(line)
+            for line in combined.read_text().splitlines()
+        ]
+        types = {r["type"] for r in records}
+        assert {
+            "meta", "event", "span", "audit_cycle", "audit_candidate",
+            "alert_fired",
+        } <= types
+        assert all(r["v"] == SCHEMA_VERSION for r in records)
+
+    def test_each_reader_extracts_its_slice(self, combined):
+        from repro.obs import read_alert_records, read_audit_records
+
+        audit = read_audit_records(combined)
+        assert audit and all(r["type"].startswith("audit_") for r in audit)
+        alerts = read_alert_records(combined)
+        assert {r["rule"] for r in alerts} == {"batch_starvation"}
+
+    def test_report_renders_the_combined_stream(self, combined):
+        from repro.obs import render_report
+
+        html = render_report(combined)
+        assert "Alert timeline" in html
+        assert "batch_starvation" in html
+
+    def test_cli_alerts_flag_prints_watchdog_summary(self, capsys, tmp_path):
+        path = tmp_path / "armed.jsonl"
+        assert main([
+            "telemetry", "--scale", "tiny", "--audit", "--alerts",
+            "--cycles", "3", "--jsonl", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SLO watchdog:" in out
+        # A healthy tiny run fires nothing — the stream stays audit+core.
+        assert "0 alert(s) fired" in out
+        assert validate_jsonl(path) > 0

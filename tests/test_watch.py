@@ -1,0 +1,241 @@
+"""Sweep control tower: heartbeat feed + watch-state folding + CLI.
+
+Two layers under test.  Real sweeps with a run directory must leave a
+schema-valid heartbeat feed behind; and the watch view must fold
+manifest + results + heartbeats into correct per-spec statuses without
+ever talking to the workers (the filesystem is the only channel).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.errors import CheckpointError
+from repro.experiments.runner import run_sweep
+from repro.experiments.watch import (
+    DEFAULT_STALE_AFTER,
+    load_watch_state,
+    read_heartbeats,
+    render_watch,
+    watch_loop,
+)
+from repro.obs.sink import SCHEMA_VERSION, validate_record
+
+
+SPECS = [
+    {"kind": "selftest", "name": "alpha", "seed": 1},
+    {"kind": "selftest", "name": "beta", "seed": 2},
+]
+
+
+def write_run_dir(path, payloads, results=(), heartbeats=()):
+    """Lay down a synthetic run directory the watch reads."""
+    os.makedirs(path, exist_ok=True)
+    manifest = {"version": 1, "specs": list(payloads)}
+    (path / "sweep.json").write_text(json.dumps(manifest))
+    if results:
+        (path / "results.jsonl").write_text(
+            "".join(
+                json.dumps({"version": 1, **entry}) + "\n"
+                for entry in results
+            )
+        )
+    if heartbeats:
+        (path / "heartbeats.jsonl").write_text(
+            "".join(
+                line if isinstance(line, str) else json.dumps(line) + "\n"
+                for line in heartbeats
+            )
+        )
+
+
+def hb(index, status, t, **fields):
+    return {
+        "v": SCHEMA_VERSION, "type": "heartbeat", "index": index,
+        "status": status, "time": t, "pid": 4000 + index,
+        "spec": f"spec{index}", **fields,
+    }
+
+
+class TestHeartbeatFeed:
+    def test_sweep_with_run_dir_leaves_schema_valid_feed(self, tmp_path):
+        run_dir = tmp_path / "run"
+        result = run_sweep(SPECS, workers=1, run_dir=str(run_dir))
+        assert result.failures() == []
+        records = read_heartbeats(str(run_dir))
+        assert records  # every worker wrote liveness records
+        for record in records:
+            validate_record(record)  # v4 stream schema
+            assert record["v"] == SCHEMA_VERSION == 4
+        statuses = {r["status"] for r in records}
+        assert {"start", "ok"} <= statuses
+        assert {r["index"] for r in records} == {0, 1}
+
+    def test_missing_feed_is_empty_not_an_error(self, tmp_path):
+        assert read_heartbeats(str(tmp_path)) == []
+
+    def test_torn_and_malformed_lines_are_skipped(self, tmp_path):
+        feed = tmp_path / "heartbeats.jsonl"
+        feed.write_text(
+            json.dumps(hb(0, "start", 100.0)) + "\n"
+            + "not json at all\n"
+            + json.dumps(hb(0, "running", 200.0)) + "\n"
+            + '{"v": 4, "type": "heartbeat", "ind'  # killed mid-append
+        )
+        records = read_heartbeats(str(tmp_path))
+        assert [r["status"] for r in records] == ["start", "running"]
+
+
+class TestWatchState:
+    def test_statuses_fold_from_heartbeats_and_results(self, tmp_path):
+        payloads = [
+            {"kind": "selftest", "name": "never-started"},
+            {"kind": "scenario", "name": "live"},
+            {"kind": "scenario", "name": "silent"},
+            {"kind": "selftest", "name": "broke"},
+            {"kind": "selftest", "name": "finished"},
+        ]
+        write_run_dir(
+            tmp_path, payloads,
+            results=[
+                {"index": 4, "summary": {"name": "finished", "ok": True}},
+            ],
+            heartbeats=[
+                hb(1, "running", 995.0, cycle=12, eta_seconds=90.0,
+                   alerts_active=1, alerts_total=2,
+                   alert_keys=["txn_sla_burn_rate:TX"]),
+                hb(2, "running", 900.0),  # 100s old: stale
+                hb(3, "failed", 990.0, error="boom"),
+                hb(4, "running", 999.0),  # superseded by the checkpoint
+            ],
+        )
+        state = load_watch_state(str(tmp_path), now=1000.0, stale_after=30.0)
+        by_name = {v.name: v for v in state.specs}
+        assert by_name["never-started"].status == "pending"
+        live = by_name["live"]
+        assert live.status == "running"
+        assert live.cycle == 12 and live.eta_seconds == 90.0
+        assert live.heartbeat_age == pytest.approx(5.0)
+        assert live.alert_keys == ["txn_sla_burn_rate:TX"]
+        assert by_name["silent"].status == "stale"
+        broke = by_name["broke"]
+        assert broke.status == "failed" and broke.error == "boom"
+        assert by_name["finished"].status == "ok"
+        assert state.done == 2  # failed + ok
+        assert state.counts == {
+            "pending": 1, "running": 1, "stale": 1, "failed": 1, "ok": 1,
+        }
+
+    def test_newest_heartbeat_wins(self, tmp_path):
+        write_run_dir(
+            tmp_path, [{"kind": "selftest", "name": "s"}],
+            heartbeats=[
+                hb(0, "start", 100.0),
+                hb(0, "running", 150.0, cycle=3),
+                hb(0, "running", 160.0, cycle=7),
+            ],
+        )
+        state = load_watch_state(str(tmp_path), now=170.0)
+        assert state.specs[0].cycle == 7
+        assert state.heartbeat_records == 3
+
+    def test_checkpoint_crash_verdict_beats_heartbeats(self, tmp_path):
+        write_run_dir(
+            tmp_path, [{"kind": "selftest", "name": "s"}],
+            results=[{"index": 0, "summary": {
+                "ok": False, "crashed": True, "error": "worker died",
+                "alerts": {"fired": 3, "active": 1},
+            }}],
+            heartbeats=[hb(0, "running", 100.0)],
+        )
+        view = load_watch_state(str(tmp_path), now=101.0).specs[0]
+        assert view.status == "crashed"
+        assert view.error == "worker died"
+        assert view.alerts_total == 3 and view.alerts_active == 1
+
+    def test_not_a_run_dir_raises_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no sweep manifest"):
+            load_watch_state(str(tmp_path))
+
+
+class TestRenderWatch:
+    def test_finished_sweep_renders_done_header(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_sweep(SPECS, workers=1, run_dir=str(run_dir))
+        frame = render_watch(str(run_dir))
+        assert "2/2 done" in frame
+        assert "(2 ok)" in frame
+        assert "alpha" in frame and "beta" in frame
+
+    def test_live_frame_shows_worker_eta_and_firing_alerts(self, tmp_path):
+        write_run_dir(
+            tmp_path, [{"kind": "scenario", "name": "hotspot"}],
+            heartbeats=[hb(0, "running", 995.0, cycle=40, eta_seconds=120.0,
+                           alerts_active=2, alerts_total=2,
+                           alert_keys=["batch_starvation:batch",
+                                       "txn_sla_burn_rate:TX"])],
+        )
+        frame = render_watch(str(tmp_path), now=1000.0)
+        assert "0/1 done" in frame
+        assert "cycle 40" in frame
+        assert "2.0m" in frame  # ETA formatting
+        assert "2/2" in frame  # active/total alerts column
+        assert "pid 4000 (5s ago)" in frame
+        assert "firing alerts:" in frame
+        assert "hotspot: batch_starvation:batch" in frame
+        assert "hotspot: txn_sla_burn_rate:TX" in frame
+
+    def test_error_subline_for_failed_spec(self, tmp_path):
+        write_run_dir(
+            tmp_path, [{"kind": "selftest", "name": "broke"}],
+            heartbeats=[hb(0, "failed", 100.0, error="division by zero")],
+        )
+        frame = render_watch(str(tmp_path), now=101.0)
+        assert "└─ division by zero" in frame
+
+    def test_no_alerts_section_when_nothing_fires(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_sweep(SPECS[:1], workers=1, run_dir=str(run_dir))
+        assert "firing alerts:" not in render_watch(str(run_dir))
+
+
+class TestWatchLoopAndCli:
+    def test_loop_exits_when_all_specs_done(self, tmp_path):
+        import io
+
+        run_dir = tmp_path / "run"
+        run_sweep(SPECS, workers=1, run_dir=str(run_dir))
+        out = io.StringIO()
+        watch_loop(str(run_dir), interval=0.01, out=out)
+        assert "2/2 done" in out.getvalue()
+
+    def test_cli_watch_once(self, capsys, tmp_path):
+        run_dir = tmp_path / "run"
+        run_sweep(SPECS, workers=1, run_dir=str(run_dir))
+        assert main(["watch", str(run_dir), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 done" in out
+        assert "\x1b[2J" not in out  # --once never clears the screen
+
+    def test_cli_watch_rejects_non_run_dir(self, capsys, tmp_path):
+        assert main(["watch", str(tmp_path), "--once"]) == 2
+        assert "no sweep manifest" in capsys.readouterr().err
+
+    def test_watch_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["watch", "runs/x"])
+        assert args.run_dir == "runs/x"
+        assert args.once is False
+        assert args.interval == 2.0
+        assert args.stale_after == DEFAULT_STALE_AFTER
+
+    def test_resumed_run_dir_still_renders(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_sweep(SPECS, workers=1, run_dir=str(run_dir))
+        resumed = run_sweep(SPECS, workers=1, run_dir=str(run_dir),
+                            resume=True)
+        assert resumed.failures() == []
+        assert "2/2 done" in render_watch(str(run_dir))
