@@ -30,8 +30,10 @@ from repro.core import (
     AppDemand,
     ApplicationPlacementController,
     ConstraintSet,
+    DensePlacement,
     PlacementScore,
     PlacementState,
+    SpecArrays,
     UtilityVector,
     distribute_load,
     lex_explain,
@@ -97,6 +99,7 @@ from repro.scenario import Scenario, Simulation
 from repro.experiments.benchmark import (
     bench_apc_scale,
     compare_bench_reports,
+    profile_bench,
     validate_bench_report,
     write_bench_report,
 )
@@ -177,8 +180,10 @@ __all__ = [
     "AppDemand",
     "ApplicationPlacementController",
     "ConstraintSet",
+    "DensePlacement",
     "PlacementScore",
     "PlacementState",
+    "SpecArrays",
     "UtilityVector",
     "distribute_load",
     "lex_explain",
@@ -233,6 +238,7 @@ __all__ = [
     "run_sweep",
     "bench_apc_scale",
     "compare_bench_reports",
+    "profile_bench",
     "validate_bench_report",
     "write_bench_report",
     "load_watch_state",

@@ -95,6 +95,19 @@ DEFAULT_UTILITY_LEVELS: Tuple[float, ...] = (
 _LEVEL_SOLVE_ITERATIONS = 48
 
 
+def _validated_levels(levels: Sequence[float]) -> np.ndarray:
+    """Validate the sampling points ``u_1 … u_R`` and return them as an
+    array (shared by both constructors)."""
+    if len(levels) < 2:
+        raise ConfigurationError("need at least two sampling levels")
+    lv = list(levels)
+    if any(b <= a for a, b in zip(lv, lv[1:])):
+        raise ConfigurationError("sampling levels must be strictly increasing")
+    if abs(lv[-1] - 1.0) > EPSILON:
+        raise ConfigurationError("last sampling level must be 1.0")
+    return np.asarray(lv, dtype=float)
+
+
 class HypotheticalRPF:
     """The sampled hypothetical relative performance of a set of jobs.
 
@@ -108,15 +121,7 @@ class HypotheticalRPF:
         job_rpfs: Sequence[JobAllocationRPF],
         levels: Sequence[float] = DEFAULT_UTILITY_LEVELS,
     ) -> None:
-        if len(levels) < 2:
-            raise ConfigurationError("need at least two sampling levels")
-        lv = list(levels)
-        if any(b <= a for a, b in zip(lv, lv[1:])):
-            raise ConfigurationError("sampling levels must be strictly increasing")
-        if abs(lv[-1] - 1.0) > EPSILON:
-            raise ConfigurationError("last sampling level must be 1.0")
-
-        self._levels = np.asarray(lv, dtype=float)
+        self._levels = _validated_levels(levels)
         self._job_ids: List[str] = [r.job_id for r in job_rpfs]
 
         self._remaining = np.array([r.remaining_work for r in job_rpfs], dtype=float)
@@ -137,6 +142,42 @@ class HypotheticalRPF:
         #: is a pure function of the aggregate — repeated solves during a
         #: control cycle's candidate sweep are shared.
         self._level_cache: Dict[float, float] = {}
+
+    @classmethod
+    def from_arrays(
+        cls,
+        job_ids: Sequence[str],
+        *,
+        remaining: np.ndarray,
+        goal: np.ndarray,
+        relative_goal: np.ndarray,
+        max_speed: np.ndarray,
+        now: np.ndarray,
+        u_max: np.ndarray,
+        levels: Sequence[float] = DEFAULT_UTILITY_LEVELS,
+    ) -> "HypotheticalRPF":
+        """Build directly from per-job field arrays, skipping the
+        per-job :class:`~repro.batch.rpf.JobAllocationRPF` objects.
+
+        The vectorized batch model computes these arrays in bulk; values
+        must match what the object-based constructor would have read off
+        the RPFs (byte-identity tests pin this).  Arrays are adopted
+        without copying — callers must not mutate them afterwards.
+        """
+        obj = cls.__new__(cls)
+        obj._levels = _validated_levels(levels)
+        obj._job_ids = list(job_ids)
+        obj._remaining = np.asarray(remaining, dtype=float)
+        obj._goal = np.asarray(goal, dtype=float)
+        obj._relative_goal = np.asarray(relative_goal, dtype=float)
+        obj._max_speed = np.asarray(max_speed, dtype=float)
+        obj._now = np.asarray(now, dtype=float)
+        obj._u_max = np.asarray(u_max, dtype=float)
+        obj._w = None
+        obj._v = None
+        obj._w_sums = None
+        obj._level_cache = {}
+        return obj
 
     def _ensure_matrices(self) -> None:
         """Build W (R x M) and V (R x M) vectorized, on first use."""

@@ -70,6 +70,37 @@ class JobAllocationRPF:
             remaining_best *= self._remaining / job.remaining_work
         self._earliest_completion = now + remaining_best
 
+    @classmethod
+    def from_parts(
+        cls,
+        job_id: str,
+        now: float,
+        goal: float,
+        relative_goal: float,
+        remaining: float,
+        max_speed: float,
+        earliest_completion: float,
+    ) -> "JobAllocationRPF":
+        """Rebuild an RPF from precomputed fields without touching a
+        :class:`~repro.batch.job.Job`.
+
+        The vectorized batch model computes these fields in bulk (array
+        kernels over the whole job table) and calls this to get objects
+        that behave *bitwise* like ``__init__``-built ones — the
+        byte-identity tests pin that equivalence.  Callers are
+        responsible for passing values matching the ``__init__``
+        formulas.
+        """
+        rpf = cls.__new__(cls)
+        rpf._job_id = job_id
+        rpf._now = now
+        rpf._goal = goal
+        rpf._relative_goal = relative_goal
+        rpf._remaining = remaining
+        rpf._max_speed = max_speed
+        rpf._earliest_completion = earliest_completion
+        return rpf
+
     @property
     def job_id(self) -> str:
         return self._job_id

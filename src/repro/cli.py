@@ -453,6 +453,16 @@ def cmd_bench(args) -> int:
         kwargs["sizes"] = tuple(args.sizes)
     report = bench_apc_scale(**kwargs)
     print(format_bench_report(report))
+    if args.profile:
+        from repro.experiments.benchmark import profile_bench
+
+        sizes = [row["nodes"] for row in report["results"]]
+        print()
+        print(
+            profile_bench(
+                nodes=max(sizes), cycles=args.cycles, seed=args.seed
+            )
+        )
     problems = validate_bench_report(report)
     if args.out:
         write_bench_report(report, args.out)
@@ -734,9 +744,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true",
                    help="CI-smoke ladder (small sizes, few cycles)")
     p.add_argument("--sizes", type=int, nargs="+", default=None,
-                   help="node counts to benchmark (default 10 25 50 100 200)")
+                   help="node counts to benchmark "
+                        "(default 10 25 50 100 200 500 1000 2000)")
     p.add_argument("--cycles", type=int, default=12,
                    help="control cycles per measurement (default 12)")
+    p.add_argument("--profile", action="store_true",
+                   help="after the ladder, print the per-phase span "
+                        "breakdown (apc.* spans) at the largest rung")
     p.add_argument("--seed", type=int, default=7, help="workload seed")
     p.add_argument("--out", metavar="PATH", default=None,
                    help="write the JSON report here (e.g. BENCH_apc.json)")

@@ -25,8 +25,12 @@ from repro.core.rpf import (
     NEGATIVE_INFINITY_UTILITY,
 )
 from repro.core.objective import UtilityVector, PlacementScore, lex_explain
-from repro.core.placement import PlacementState, AppDemand
-from repro.core.loadbalance import distribute_load, LoadDistributionResult
+from repro.core.placement import PlacementState, AppDemand, DensePlacement
+from repro.core.loadbalance import (
+    distribute_load,
+    LoadDistributionResult,
+    SpecArrays,
+)
 from repro.core.constraints import (
     PlacementConstraint,
     PinToNodes,
@@ -47,8 +51,10 @@ __all__ = [
     "lex_explain",
     "PlacementState",
     "AppDemand",
+    "DensePlacement",
     "distribute_load",
     "LoadDistributionResult",
+    "SpecArrays",
     "PlacementConstraint",
     "PinToNodes",
     "AntiCollocation",

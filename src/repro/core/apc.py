@@ -50,10 +50,12 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro._compat import keyword_only
 from repro.cluster import Cluster
 from repro.core.constraints import ConstraintSet
-from repro.core.loadbalance import AllocatableApp, distribute_load
+from repro.core.loadbalance import AllocatableApp, SpecArrays, distribute_load
 from repro.core.objective import PlacementScore, UtilityVector, lex_explain
 from repro.core.placement import PlacementState
 from repro.core.workload import WorkloadModel
@@ -63,6 +65,22 @@ from repro.obs.registry import MetricRegistry
 from repro.obs.spans import NULL_SPAN, SpanProfiler
 from repro.units import EPSILON
 from repro.virt.actions import diff_placements
+
+#: Every profiler span phase the controller can emit, in nesting order.
+#: Pinned by test: dashboards and ``repro bench --profile`` key off these
+#: names, so renames are breaking changes.
+SPAN_PHASES: Tuple[str, ...] = (
+    "apc.place",
+    "apc.model_specs",
+    "apc.spec_tables",
+    "apc.admission",
+    "apc.search",
+    "apc.frontier",
+    "apc.evaluate",
+    "apc.loadbalance",
+    "apc.predict",
+    "apc.objective",
+)
 
 
 @keyword_only
@@ -113,6 +131,23 @@ class APCConfig:
         byte (pinned by test); the flag exists so benchmarks and
         regression hunts can fall back to the reference three-loop
         implementation.
+    vectorize:
+        Use the dense array kernels: merged per-application
+        :class:`~repro.core.loadbalance.SpecArrays` feeding the
+        vectorized load distributor, the array-scan admission pass and
+        the frontier index behind the no-op-node skip.  Decisions are
+        byte-identical with the scalar paths (pinned by test); the flag
+        exists so benchmarks can measure scalar vs. vectorized and
+        regression hunts can bisect.  Only active together with
+        ``incremental`` on clusters of at least ``fast_path_min_nodes``.
+    fast_path_min_nodes:
+        Minimum cluster size for the fast-path machinery (memo, indexes,
+        vectorized kernels).  Below it the bookkeeping costs more than
+        the scans it replaces — on a 10-node cluster the memo/index
+        setup made ``incremental`` ~15% *slower* than the naive loops —
+        so small clusters run the plain reference path.  Decisions are
+        unaffected either way.  Set to 0 to force the fast path at any
+        size.
     """
 
     cycle_length: float = 600.0
@@ -122,6 +157,8 @@ class APCConfig:
     preemption_penalty: float = 0.05
     enable_search: bool = True
     incremental: bool = True
+    vectorize: bool = True
+    fast_path_min_nodes: int = 16
 
     def __post_init__(self) -> None:
         if self.cycle_length <= 0:
@@ -130,6 +167,10 @@ class APCConfig:
             raise ConfigurationError(f"search sweeps must be >= 0, got {self.search_sweeps}")
         if self.max_removals_per_node is not None and self.max_removals_per_node < 0:
             raise ConfigurationError("max removals per node must be >= 0 or None")
+        if self.fast_path_min_nodes < 0:
+            raise ConfigurationError(
+                f"fast path min nodes must be >= 0, got {self.fast_path_min_nodes}"
+            )
 
     def to_dict(self) -> Dict[str, object]:
         """A plain JSON-serializable representation (round-trips through
@@ -142,6 +183,8 @@ class APCConfig:
             "preemption_penalty": self.preemption_penalty,
             "enable_search": self.enable_search,
             "incremental": self.incremental,
+            "vectorize": self.vectorize,
+            "fast_path_min_nodes": self.fast_path_min_nodes,
         }
 
     @classmethod
@@ -174,12 +217,89 @@ class APCResult:
     #: Whether the chosen placement differs from the starting one.
     changed: bool = False
     #: Candidate evaluations answered from the per-cycle memo (always 0
-    #: with ``incremental=False``).
+    #: with ``incremental=False`` or below ``fast_path_min_nodes``).
     cache_hits: int = 0
 
     @property
     def utility_vector(self) -> UtilityVector:
         return UtilityVector(self.utilities.values())
+
+
+class _FrontierIndex:
+    """Per-base-state candidate frontier for the no-op-node check.
+
+    :meth:`ApplicationPlacementController._fill_possible` asks, per
+    node, whether *any* candidate could be placed on the unmodified
+    base state.  The candidate-intrinsic parts of that answer — spec
+    existence, non-divisible-and-already-placed, the max-instances cap —
+    depend only on the base state, so they are filtered once here; the
+    per-node remainder (memory fit, min-CPU reservation, no instance
+    already on the node) becomes two array comparisons and a mask.
+
+    Only built without placement constraints (whose per-(app, node)
+    policy check stays scalar).  Answers are byte-identical to the
+    scalar scan: same float comparisons per surviving candidate, and
+    ``any`` over the same boolean set.
+    """
+
+    __slots__ = ("ids", "mem", "min_cpu", "on_node")
+
+    @classmethod
+    def build(
+        cls,
+        state: PlacementState,
+        specs: Mapping[str, AllocatableApp],
+        candidates: Sequence[str],
+    ) -> "_FrontierIndex":
+        index = cls.__new__(cls)
+        ids: List[str] = []
+        mem: List[float] = []
+        min_cpu: List[float] = []
+        seen: set = set()
+        for c in candidates:
+            if c in seen:
+                continue
+            seen.add(c)
+            spec = specs.get(c)
+            if spec is None:
+                continue
+            demand = spec.demand
+            if not demand.divisible and state.is_placed(c):
+                continue
+            if (
+                demand.max_instances is not None
+                and state.instance_count(c) >= demand.max_instances
+            ):
+                continue
+            ids.append(c)
+            mem.append(demand.memory_mb)
+            min_cpu.append(demand.min_cpu_mhz)
+        index.ids = ids
+        index.mem = np.array(mem)
+        index.min_cpu = np.array(min_cpu)
+        on_node: Dict[str, List[int]] = {}
+        for row, c in enumerate(ids):
+            for node, count in state.instance_items(c):
+                if count != 0:
+                    on_node.setdefault(node, []).append(row)
+        index.on_node = {n: np.array(rows) for n, rows in on_node.items()}
+        return index
+
+    def fill_possible(
+        self,
+        mem_avail: float,
+        committed: float,
+        capacity: float,
+        node: str,
+    ) -> bool:
+        """Could the fill pass place anything on ``node``?"""
+        ok = (mem_avail + EPSILON >= self.mem) & (
+            committed + self.min_cpu <= capacity + EPSILON
+        )
+        hosted = self.on_node.get(node)
+        if hosted is not None:
+            ok[hosted] = False
+        return bool(ok.any())
 
 
 class ApplicationPlacementController:
@@ -204,6 +324,14 @@ class ApplicationPlacementController:
         self._node_pos: Dict[str, int] = {
             n: i for i, n in enumerate(cluster.node_names)
         }
+        #: Whether the fast-path machinery (memo, indexes, vector
+        #: kernels) is engaged: requires ``incremental`` and a cluster
+        #: big enough for the bookkeeping to pay for itself.  Both the
+        #: fast and the reference paths make identical decisions.
+        self._fast = (
+            self._config.incremental
+            and len(cluster) >= self._config.fast_path_min_nodes
+        )
         self._c_cache = None
         self._c_shortcut = None
         if registry is not None:
@@ -269,13 +397,16 @@ class ApplicationPlacementController:
         With a :class:`~repro.obs.spans.SpanProfiler` attached, the whole
         computation is one ``apc.place`` root span whose children break
         the cycle's decision time into phases: model spec merging
-        (``apc.model_specs``), candidate evaluation (``apc.evaluate``,
-        itself split into the load-balancing solve ``apc.loadbalance``,
-        the workload models' hypothetical/RPF prediction ``apc.predict``,
-        and objective scoring ``apc.objective``), the greedy admission
-        pass (``apc.admission``), and the nested-loop search
-        (``apc.search``).  Un-instrumented, the spans are no-ops and the
-        computation is unchanged.
+        (``apc.model_specs``), spec-array table assembly
+        (``apc.spec_tables``, vectorized path only), candidate
+        evaluation (``apc.evaluate``, itself split into the
+        load-balancing solve ``apc.loadbalance``, the workload models'
+        hypothetical/RPF prediction ``apc.predict``, and objective
+        scoring ``apc.objective``), the greedy admission pass
+        (``apc.admission``), and the nested-loop search (``apc.search``,
+        with frontier-index builds under ``apc.frontier``).  The full
+        phase list is pinned as :data:`SPAN_PHASES`.  Un-instrumented,
+        the spans are no-ops and the computation is unchanged.
         """
         with self._span("apc.place"):
             return self._place_profiled(models, current, now)
@@ -292,6 +423,10 @@ class ApplicationPlacementController:
         with self._span("apc.model_specs"):
             specs = self._merge_specs(models, now)
             candidates = self._merge_candidates(models, now)
+        tables: Optional[SpecArrays] = None
+        if self._fast and self._config.vectorize and specs:
+            with self._span("apc.spec_tables"):
+                tables = self._merge_spec_arrays(models, specs, now)
 
         state = current.copy()
         self._prune_vanished(state, specs)
@@ -301,7 +436,7 @@ class ApplicationPlacementController:
 
         evaluations = 0
         cache_hits = 0
-        use_memo = self._config.incremental
+        use_memo = self._fast
         #: Whether the most recent evaluate() call was memo-served; read
         #: by the audit so memo hits are recorded identically to misses
         #: (just flagged).  A plain dict write, so decisions are
@@ -346,7 +481,7 @@ class ApplicationPlacementController:
             evaluations += 1
             with self._span("apc.evaluate"):
                 with self._span("apc.loadbalance"):
-                    result = distribute_load(trial, specs)
+                    result = distribute_load(trial, specs, tables=tables)
                 utilities: Dict[str, float] = {}
                 with self._span("apc.predict"):
                     for model in models:
@@ -435,9 +570,7 @@ class ApplicationPlacementController:
             )
         if run_search:
             bound_reached = (
-                self._make_bound_checker(specs)
-                if self._config.incremental
-                else None
+                self._make_bound_checker(specs) if self._fast else None
             )
             with self._span("apc.search"):
                 for _ in range(self._config.search_sweeps):
@@ -511,6 +644,38 @@ class ApplicationPlacementController:
             out.extend(model.placement_candidates(now))
         return out
 
+    def _merge_spec_arrays(
+        self,
+        models: Sequence[WorkloadModel],
+        specs: Mapping[str, AllocatableApp],
+        now: float,
+    ) -> Optional[SpecArrays]:
+        """Assemble the cycle's column-oriented spec table.
+
+        Models that can export their specs as arrays directly (the
+        vectorized batch model's ``app_spec_arrays``) do so without
+        touching per-app spec objects; the rest are converted through
+        the scalar :meth:`SpecArrays.from_specs` fallback.  Returns
+        ``None`` when there is nothing to tabulate.
+        """
+        parts: List[SpecArrays] = []
+        covered: set = set()
+        for model in models:
+            exporter = getattr(model, "app_spec_arrays", None)
+            if exporter is None:
+                continue
+            part = exporter(now)
+            if part is None:
+                continue
+            parts.append(part)
+            covered.update(part.ids)
+        leftover = {a: s for a, s in specs.items() if a not in covered}
+        if leftover:
+            parts.append(SpecArrays.from_specs(leftover))
+        if not parts:
+            return None
+        return SpecArrays.merge(parts)
+
     @staticmethod
     def _prune_vanished(state: PlacementState, specs: Mapping[str, AllocatableApp]) -> None:
         """Remove instances of applications no longer under management
@@ -535,7 +700,7 @@ class ApplicationPlacementController:
             if node.available:
                 continue
             for app_id in list(state.apps_on(node.name)):
-                count = state.instances(app_id).get(node.name, 0)
+                count = state.instances_on(app_id, node.name)
                 if count:
                     state.remove(app_id, node.name, count)
 
@@ -599,7 +764,7 @@ class ApplicationPlacementController:
             spec = specs.get(app_id)
             if spec is None:
                 continue
-            committed += spec.demand.min_cpu_mhz * state.instances(app_id)[node]
+            committed += spec.demand.min_cpu_mhz * state.instances_on(app_id, node)
         return committed <= self._cluster.node(node).cpu_capacity + EPSILON
 
     def _committed_min_cpu(
@@ -620,7 +785,7 @@ class ApplicationPlacementController:
             min_cpu = spec.demand.min_cpu_mhz
             if min_cpu <= 0.0:
                 continue
-            for node, count in state.instances(app_id).items():
+            for node, count in state.instance_items(app_id):
                 committed[node] += min_cpu * count
         return committed
 
@@ -668,7 +833,9 @@ class ApplicationPlacementController:
         unplaced.sort(key=lambda a: utilities.get(a, specs[a].rpf.max_utility))
         if not unplaced:
             return False
-        if self._config.incremental:
+        if self._fast:
+            if self._config.vectorize and not len(self._constraints):
+                return self._greedy_admit_vec(state, specs, unplaced, utilities)
             return self._greedy_admit_fast(state, specs, unplaced, utilities)
         audit = self._audit
         placed_any = False
@@ -844,6 +1011,68 @@ class ApplicationPlacementController:
                 )
         return placed_any
 
+    def _greedy_admit_vec(
+        self,
+        state: PlacementState,
+        specs: Mapping[str, AllocatableApp],
+        unplaced: Sequence[str],
+        utilities: Mapping[str, float],
+    ) -> bool:
+        """Array-scan admission pass: the decisions of
+        :meth:`_greedy_admit_fast`, with the per-candidate host scan as
+        one numpy comparison over all node columns.
+
+        Only used without placement constraints (the policy check is
+        per-(app, node) and stays scalar); byte-identity with the scalar
+        pass is pinned by test.  The host tie-break — most free CPU,
+        then lowest node position — maps onto ``argmax`` because numpy
+        returns the *first* maximum.
+        """
+        node_index = state.node_index
+        names = list(node_index)
+        cpu_caps, mem_caps = state.capacity_arrays()
+        mem_avail = mem_caps - state.memory_used_array()
+        # The admission pass never touches the load matrix, so free CPU
+        # (the host tie-break key) is constant throughout.
+        cpu_avail = cpu_caps - state.cpu_used_array()
+        committed_by_name = self._committed_min_cpu(state, specs)
+        committed = np.array([committed_by_name[n] for n in names])
+        audit = self._audit
+        placed_any = False
+        for rank, app_id in enumerate(unplaced):
+            demand = specs[app_id].demand
+            memory_mb = demand.memory_mb
+            min_cpu = demand.min_cpu_mhz
+            max_inst = demand.max_instances
+            count = state.instance_count(app_id)
+            placed_nodes: List[str] = []
+            mask = (mem_avail + EPSILON >= memory_mb) & (
+                committed + min_cpu <= cpu_caps + EPSILON
+            )
+            if demand.divisible:
+                cols = np.flatnonzero(mask)
+                if max_inst is not None:
+                    cols = cols[: max(0, max_inst - count)]
+                if cols.size:
+                    for col in cols.tolist():
+                        state.place(app_id, names[col], memory_mb)
+                        placed_nodes.append(names[col])
+                    committed[cols] += min_cpu
+                    mem_avail[cols] -= memory_mb
+                    placed_any = True
+            elif (max_inst is None or count < max_inst) and bool(mask.any()):
+                target = int(np.argmax(np.where(mask, cpu_avail, -np.inf)))
+                state.place(app_id, names[target], memory_mb)
+                committed[target] += min_cpu
+                mem_avail[target] -= memory_mb
+                placed_any = True
+                placed_nodes.append(names[target])
+            if audit is not None:
+                self._audit_admission(
+                    state, specs, app_id, rank, utilities, placed_nodes
+                )
+        return placed_any
+
     def _search_is_worthwhile(
         self,
         state: PlacementState,
@@ -888,6 +1117,15 @@ class ApplicationPlacementController:
                 not state.is_placed(c) for c in candidates if c in specs
             )
         best_placed = max(placed_utilities.values())
+        free_names: Optional[List[str]] = None
+        if self._fast:
+            # One array scan for the nodes with free CPU, instead of an
+            # O(nodes) availability probe per starved application.  Same
+            # comparison per node, so the same answer.
+            cpu_caps, _ = state.capacity_arrays()
+            names = list(state.node_index)
+            free_mask = (cpu_caps - state.cpu_used_array()) > EPSILON
+            free_names = [names[i] for i in np.flatnonzero(free_mask).tolist()]
         for app_id, utility in placed_utilities.items():
             if utility >= best_placed - gate:
                 continue
@@ -898,7 +1136,10 @@ class ApplicationPlacementController:
             if allocated + EPSILON >= spec.rpf.saturation_cpu:
                 continue
             own_nodes = set(state.nodes_of(app_id))
-            if any(
+            if free_names is not None:
+                if any(n not in own_nodes for n in free_names):
+                    return True
+            elif any(
                 state.cpu_available(n) > EPSILON
                 for n in self._cluster.node_names
                 if n not in own_nodes
@@ -921,16 +1162,38 @@ class ApplicationPlacementController:
         """One outer-loop pass over all nodes.  Returns
         ``(improved, state, score, utilities, allocations)``."""
         improved = False
-        incremental = self._config.incremental
+        fast = self._fast
+        use_frontier = (
+            fast and self._config.vectorize and not len(self._constraints)
+        )
+        frontier: Optional[_FrontierIndex] = None
+        frontier_base: Optional[PlacementState] = None
         audit = self._audit
 
         # Outer loop: visit nodes hosting the highest-utility instances
         # first — they are the most promising donors of capacity.
-        def node_key(node: str) -> float:
-            apps = best_state.apps_on(node)
-            if not apps:
-                return float("-inf")
-            return max(best_utilities.get(a, float("-inf")) for a in apps)
+        if fast:
+            # One pass over placements instead of an O(apps) scan per
+            # node: per-node max of hosted apps' utilities, same key.
+            node_best: Dict[str, float] = {}
+            for app_id in best_state.app_ids:
+                utility = best_utilities.get(app_id, float("-inf"))
+                for node_name, count in best_state.instance_items(app_id):
+                    if count > 0 and utility > node_best.get(
+                        node_name, float("-inf")
+                    ):
+                        node_best[node_name] = utility
+
+            def node_key(node: str) -> float:
+                return node_best.get(node, float("-inf"))
+
+        else:
+
+            def node_key(node: str) -> float:
+                apps = best_state.apps_on(node)
+                if not apps:
+                    return float("-inf")
+                return max(best_utilities.get(a, float("-inf")) for a in apps)
 
         for node in sorted(self._cluster.node_names, key=node_key, reverse=True):
             # All of this node's candidate configurations are built from
@@ -944,21 +1207,36 @@ class ApplicationPlacementController:
                 key=lambda a: best_utilities.get(a, float("-inf")),
                 reverse=True,
             ):
-                removable.extend([app_id] * node_base.instances(app_id)[node])
+                removable.extend([app_id] * node_base.instances_on(app_id, node))
             if self._config.max_removals_per_node is not None:
                 removable = removable[: self._config.max_removals_per_node]
 
             for removals in range(len(removable) + 1):
-                if removals == 0 and incremental:
+                if removals == 0 and fast:
                     # The zero-removal trial is the incumbent plus
                     # whatever the fill pass can add.  The fill's first
                     # placement decision depends only on the unmodified
                     # base, so when nothing can be placed there, the
                     # trial is the incumbent itself — skip it without
                     # paying for the state copy.
-                    if not self._fill_possible(
-                        node_base, specs, candidates, best_utilities, node
-                    ):
+                    if use_frontier:
+                        if frontier_base is not node_base:
+                            with self._span("apc.frontier"):
+                                frontier = _FrontierIndex.build(
+                                    node_base, specs, candidates
+                                )
+                            frontier_base = node_base
+                        fillable = frontier.fill_possible(
+                            node_base.memory_available(node),
+                            self._node_committed_min(node_base, specs, node),
+                            self._cluster.node(node).cpu_capacity,
+                            node,
+                        )
+                    else:
+                        fillable = self._fill_possible(
+                            node_base, specs, candidates, best_utilities, node
+                        )
+                    if not fillable:
                         if self._c_shortcut is not None:
                             self._c_shortcut.inc(kind="node_noop")
                         if audit is not None:
@@ -1033,7 +1311,7 @@ class ApplicationPlacementController:
             spec = specs.get(app_id)
             if spec is None:
                 continue
-            committed += spec.demand.min_cpu_mhz * state.instances(app_id)[node]
+            committed += spec.demand.min_cpu_mhz * state.instances_on(app_id, node)
         return committed
 
     def _fill_possible(
@@ -1056,7 +1334,7 @@ class ApplicationPlacementController:
                 continue
             if not spec.demand.divisible and state.is_placed(c):
                 continue
-            if state.instances(c).get(node, 0) != 0:
+            if state.instances_on(c, node) != 0:
                 continue
             if (
                 self._can_host(state, spec, node)
@@ -1082,12 +1360,12 @@ class ApplicationPlacementController:
             if c in specs
             and c not in forbidden
             and (specs[c].demand.divisible or not state.is_placed(c))
-            and state.instances(c).get(node, 0) == 0
+            and state.instances_on(c, node) == 0
         ]
         eligible.sort(key=lambda a: utilities.get(a, specs[a].rpf.max_utility))
         if self._audit is not None and eligible:
             self._audit.note_fill(node, eligible)
-        if self._config.incremental:
+        if self._fast:
             # Maintain the node's committed-min sum across placements
             # instead of rescanning every hosted application per check.
             committed = self._node_committed_min(state, specs, node)

@@ -39,7 +39,9 @@ with the paper's overall heuristic approach.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.placement import AppDemand, PlacementState
 from repro.core.rpf import (
@@ -68,6 +70,110 @@ class AllocatableApp:
     @property
     def app_id(self) -> str:
         return self.demand.app_id
+
+
+@dataclass(frozen=True)
+class SpecArrays:
+    """Column-oriented view of :class:`AllocatableApp` specs.
+
+    One row per application, shared by the vectorized load distributor
+    and the vectorized APC admission/frontier scoring.  Rows whose RPF is
+    a parametric batch :class:`~repro.batch.rpf.JobAllocationRPF` carry
+    its frozen fields (``is_job`` True); generic rows (transactional
+    queuing-model RPFs) leave those columns zeroed and are handled by the
+    scalar fallbacks.  Arrays are adopted without copying and must be
+    treated as immutable.
+    """
+
+    ids: List[str]
+    index: Mapping[str, int]
+    memory: np.ndarray  # demand.memory_mb
+    min_cpu: np.ndarray  # demand.min_cpu_mhz (per instance)
+    max_per_instance: np.ndarray  # demand.max_cpu_per_instance_mhz (may be inf)
+    max_instances: np.ndarray  # float; inf encodes "unbounded"
+    divisible: np.ndarray  # bool
+    is_job: np.ndarray  # bool: parametric JobAllocationRPF rows
+    remaining: np.ndarray
+    goal: np.ndarray
+    relative_goal: np.ndarray
+    now: np.ndarray
+    max_speed: np.ndarray  # rpf aggregate speed ceiling
+    u_max: np.ndarray  # rpf.max_utility
+
+    @classmethod
+    def from_specs(cls, specs: Mapping[str, AllocatableApp]) -> "SpecArrays":
+        """Scalar fallback builder: extract columns from spec objects.
+
+        Used for the (few) applications whose model does not provide
+        arrays directly — e.g. transactional workloads.
+        """
+        from repro.batch.rpf import JobAllocationRPF
+
+        ids = list(specs)
+        n = len(ids)
+        memory = np.zeros(n)
+        min_cpu = np.zeros(n)
+        max_pi = np.zeros(n)
+        max_inst = np.zeros(n)
+        divisible = np.zeros(n, dtype=bool)
+        is_job = np.zeros(n, dtype=bool)
+        remaining = np.zeros(n)
+        goal = np.zeros(n)
+        relative_goal = np.ones(n)
+        now = np.zeros(n)
+        max_speed = np.zeros(n)
+        u_max = np.zeros(n)
+        for i, app_id in enumerate(ids):
+            spec = specs[app_id]
+            demand = spec.demand
+            memory[i] = demand.memory_mb
+            min_cpu[i] = demand.min_cpu_mhz
+            max_pi[i] = demand.max_cpu_per_instance_mhz
+            max_inst[i] = (
+                np.inf if demand.max_instances is None else demand.max_instances
+            )
+            divisible[i] = demand.divisible
+            if isinstance(spec.rpf, JobAllocationRPF):
+                rpf = spec.rpf
+                is_job[i] = True
+                remaining[i] = rpf.remaining_work
+                goal[i] = rpf.goal
+                relative_goal[i] = rpf.relative_goal
+                now[i] = rpf.now
+                max_speed[i] = rpf.max_speed
+                u_max[i] = rpf.max_utility
+        return cls(
+            ids=ids, index={a: i for i, a in enumerate(ids)},
+            memory=memory, min_cpu=min_cpu, max_per_instance=max_pi,
+            max_instances=max_inst, divisible=divisible, is_job=is_job,
+            remaining=remaining, goal=goal, relative_goal=relative_goal,
+            now=now, max_speed=max_speed, u_max=u_max,
+        )
+
+    @classmethod
+    def merge(cls, parts: Sequence["SpecArrays"]) -> "SpecArrays":
+        """Concatenate per-model parts into one table."""
+        if len(parts) == 1:
+            return parts[0]
+        ids: List[str] = []
+        for part in parts:
+            ids.extend(part.ids)
+        cat = np.concatenate
+        return cls(
+            ids=ids, index={a: i for i, a in enumerate(ids)},
+            memory=cat([p.memory for p in parts]),
+            min_cpu=cat([p.min_cpu for p in parts]),
+            max_per_instance=cat([p.max_per_instance for p in parts]),
+            max_instances=cat([p.max_instances for p in parts]),
+            divisible=cat([p.divisible for p in parts]),
+            is_job=cat([p.is_job for p in parts]),
+            remaining=cat([p.remaining for p in parts]),
+            goal=cat([p.goal for p in parts]),
+            relative_goal=cat([p.relative_goal for p in parts]),
+            now=cat([p.now for p in parts]),
+            max_speed=cat([p.max_speed for p in parts]),
+            u_max=cat([p.u_max for p in parts]),
+        )
 
 
 @dataclass
@@ -199,10 +305,249 @@ def _try_distribute(
     return per_node
 
 
+class _VectorContext:
+    """Per-``distribute_load`` invocation arrays for the vectorized path.
+
+    Everything here is a function of (state, placed apps, spec tables)
+    and stays fixed for the duration of one distribution — the level
+    bisection re-uses it across all ``feasible()`` probes.
+    """
+
+    __slots__ = (
+        "placed_ids", "caps", "min_total", "max_total", "saturation",
+        "u_max", "vec_target", "scalar_rows", "remaining", "goal",
+        "relative_goal", "now", "max_speed", "levels",
+        "divisible_rows", "scalar_verdict", "node_names", "is_job_row",
+    )
+
+    @classmethod
+    def build(
+        cls,
+        state: PlacementState,
+        placed: Mapping[str, AllocatableApp],
+        placed_ids: List[str],
+        tables: SpecArrays,
+    ) -> Optional["_VectorContext"]:
+        index = tables.index
+        rows = []
+        for app_id in placed_ids:
+            row = index.get(app_id)
+            if row is None:
+                # The tables do not cover every placed app; run scalar.
+                return None
+            rows.append(row)
+        ctx = cls.__new__(cls)
+        ctx.placed_ids = placed_ids
+        row_arr = np.array(rows, dtype=np.intp)
+        counts = np.array(
+            [state.instance_count(a) for a in placed_ids], dtype=float
+        )
+        max_pi = tables.max_per_instance[row_arr]
+        ctx.min_total = tables.min_cpu[row_arr] * counts
+        # _aggregate_bounds: inf per-instance ceiling -> inf total.
+        ctx.max_total = np.where(np.isinf(max_pi), np.inf, max_pi * counts)
+        is_job = tables.is_job[row_arr]
+        ctx.is_job_row = is_job
+        ctx.remaining = tables.remaining[row_arr]
+        ctx.goal = tables.goal[row_arr]
+        ctx.relative_goal = tables.relative_goal[row_arr]
+        ctx.now = tables.now[row_arr]
+        ctx.max_speed = tables.max_speed[row_arr]
+        ctx.u_max = tables.u_max[row_arr]
+        ctx.saturation = np.where(
+            ctx.remaining <= EPSILON, 0.0, ctx.max_speed
+        )
+        # Rows whose targets the array kernel can produce: parametric
+        # batch RPFs with a finite speed ceiling.  Everything else gets
+        # the scalar _target_at_level.
+        ctx.vec_target = is_job & np.isfinite(max_pi)
+        ctx.scalar_rows = [
+            (pos, placed_ids[pos])
+            for pos in np.flatnonzero(~ctx.vec_target).tolist()
+        ]
+        node_index = state.node_index
+        ctx.node_names = list(node_index)
+        ctx.caps = state.capacity_arrays()[0]
+
+        # Bucket single-node non-divisible apps into "levels": the j-th
+        # singleton on each node.  The scalar reference walks singletons
+        # in placed order and nodes never interact across apps, so
+        # draining level-by-level reproduces each node's sequential
+        # residual chain bit for bit.  A multi-node singleton would break
+        # the bucketing; fall back to the scalar verdict for the whole
+        # call (vectorized targets are still used).
+        per_node_seq: Dict[int, List[int]] = {}
+        divisible_rows: List[Tuple[int, str, List[Tuple[str, int, float]]]] = []
+        max_pi_list = max_pi.tolist()
+        ctx.scalar_verdict = False
+        for pos, app_id in enumerate(placed_ids):
+            items = list(state.instance_items(app_id))
+            if placed[app_id].demand.divisible:
+                divisible_rows.append((
+                    pos, app_id,
+                    [
+                        (node, node_index[node], max_pi_list[pos] * count)
+                        for node, count in items
+                        if count > 0
+                    ],
+                ))
+                continue
+            nodes = [(node, count) for node, count in items if count > 0]
+            if len(nodes) != 1:
+                ctx.scalar_verdict = True
+                continue
+            node, count = nodes[0]
+            per_node_seq.setdefault(node_index[node], []).append(pos)
+        ctx.divisible_rows = divisible_rows
+        # level j: (positions, node columns, per-app instance caps)
+        levels = []
+        depth = max((len(s) for s in per_node_seq.values()), default=0)
+        for j in range(depth):
+            entries = [
+                (seq[j], col)
+                for col, seq in per_node_seq.items()
+                if len(seq) > j
+            ]
+            pos_arr = np.array([e[0] for e in entries], dtype=np.intp)
+            col_arr = np.array([e[1] for e in entries], dtype=np.intp)
+            cap_arr = np.array([max_pi_list[p] for p, _ in entries]) * counts[
+                pos_arr
+            ]
+            levels.append((pos_arr, col_arr, cap_arr))
+        ctx.levels = levels
+        return ctx
+
+    # ------------------------------------------------------------------
+    def targets_at(
+        self,
+        level: float,
+        placed: Mapping[str, AllocatableApp],
+        state: PlacementState,
+    ) -> np.ndarray:
+        """Per-app aggregate CPU demand at ``level`` (placed order)."""
+        remaining, now = self.remaining, self.now
+        # JobAllocationRPF.required_cpu, elementwise, in its exact
+        # branch order (done -> unreachable -> past-horizon -> formula).
+        target_completion = self.goal - level * self.relative_goal
+        horizon = target_completion - now
+        positive = horizon > EPSILON
+        div = np.full(len(remaining), np.inf)
+        np.divide(remaining, horizon, out=div, where=positive)
+        req = np.where(
+            positive, np.minimum(self.max_speed, div), self.max_speed
+        )
+        req = np.where(level > self.u_max + EPSILON, np.inf, req)
+        req = np.where(remaining <= EPSILON, 0.0, req)
+        # _target_at_level continuation: unreachable -> saturation cap,
+        # then clamp into [min(min_total, max_total), max_total].
+        req = np.where(
+            np.isinf(req), np.minimum(self.saturation, self.max_total), req
+        )
+        low = np.minimum(self.min_total, self.max_total)
+        t = np.where(req < low, low, req)
+        t = np.where(t > self.max_total, self.max_total, t)
+        for pos, app_id in self.scalar_rows:
+            t[pos] = _target_at_level(placed[app_id], state, level)
+        return t
+
+    def verdict(
+        self,
+        targets: np.ndarray,
+        placed: Mapping[str, AllocatableApp],
+        state: PlacementState,
+    ):
+        """Vectorized :func:`_try_distribute`: ``None`` if infeasible,
+        else the recorded takes for :meth:`materialize`."""
+        if self.scalar_verdict:
+            target_map = dict(zip(self.placed_ids, targets.tolist()))
+            per_node = _try_distribute(target_map, placed, state)
+            return None if per_node is None else ("scalar", per_node)
+        residual = self.caps.copy()
+        level_takes = []
+        for pos_arr, col_arr, cap_arr in self.levels:
+            t = targets[pos_arr]
+            take = np.minimum(np.minimum(t, residual[col_arr]), cap_arr)
+            # The scalar loop only records (and subtracts) a take above
+            # EPSILON, and skips apps whose target is at most EPSILON.
+            eff = np.where(take > EPSILON, take, 0.0)
+            residual[col_arr] -= eff
+            if np.any(t - eff > EPSILON):
+                return None
+            level_takes.append(eff)
+        div_entries: List[Tuple[str, str, float]] = []
+        for pos, app_id, nodes in self.divisible_rows:
+            target = targets[pos]
+            if target <= EPSILON:
+                continue
+            remaining = target
+            for node, col, cap in sorted(
+                nodes, key=lambda entry: -residual[entry[1]]
+            ):
+                take = min(remaining, residual[col], cap)
+                if take > EPSILON:
+                    div_entries.append((app_id, node, float(take)))
+                    residual[col] -= take
+                    remaining -= take
+                if remaining <= EPSILON:
+                    break
+            if remaining > EPSILON:
+                return None
+        return ("vector", level_takes, div_entries)
+
+    def materialize(self, verdict) -> Dict[str, Dict[str, float]]:
+        """Expand a successful verdict into the scalar path's per-app
+        ``{node: cpu}`` dict, matching its insertion order exactly."""
+        if verdict[0] == "scalar":
+            return verdict[1]
+        _, level_takes, div_entries = verdict
+        per_node: Dict[str, Dict[str, float]] = {
+            app_id: {} for app_id in self.placed_ids
+        }
+        names = self.node_names
+        for (pos_arr, col_arr, _), eff in zip(self.levels, level_takes):
+            takes = eff.tolist()
+            cols = col_arr.tolist()
+            for k, pos in enumerate(pos_arr.tolist()):
+                if takes[k] > EPSILON:
+                    per_node[self.placed_ids[pos]][names[cols[k]]] = takes[k]
+        for app_id, node, take in div_entries:
+            per_node[app_id][node] = per_node[app_id].get(node, 0.0) + take
+        return per_node
+
+    def utilities(
+        self,
+        allocations: Mapping[str, float],
+        placed: Mapping[str, AllocatableApp],
+    ) -> List[float]:
+        """Per-app ``rpf.utility(allocation)`` in placed order —
+        JobAllocationRPF.utility elementwise for parametric rows, the
+        object call for the rest."""
+        cpu = np.array(
+            [allocations[a] for a in self.placed_ids], dtype=float
+        )
+        speed = np.minimum(cpu, self.max_speed)
+        completion = np.full(len(cpu), np.inf)
+        np.divide(self.remaining, speed, out=completion, where=speed > 0)
+        completion += self.now
+        u = (self.goal - completion) / self.relative_goal
+        u = np.maximum(
+            NEGATIVE_INFINITY_UTILITY, np.minimum(u, self.u_max)
+        )
+        u = np.where(cpu <= EPSILON, NEGATIVE_INFINITY_UTILITY, u)
+        u = np.where(self.remaining <= EPSILON, 1.0, u)
+        values = u.tolist()
+        for pos in np.flatnonzero(~self.is_job_row).tolist():
+            app_id = self.placed_ids[pos]
+            values[pos] = placed[app_id].rpf.utility(allocations[app_id])
+        return values
+
+
 def distribute_load(
     state: PlacementState,
     apps: Mapping[str, AllocatableApp],
     write_load_matrix: bool = True,
+    *,
+    tables: Optional[SpecArrays] = None,
 ) -> LoadDistributionResult:
     """Compute the maxmin-fair load matrix for the placement in ``state``.
 
@@ -216,6 +561,11 @@ def distribute_load(
     write_load_matrix:
         When True (default) the resulting per-instance allocations are
         written back into ``state``.
+    tables:
+        Optional :class:`SpecArrays` covering (at least) the placed
+        applications.  When provided, the level search and refinement
+        run on array kernels — bitwise identical to the scalar path,
+        which remains the reference implementation (``tables=None``).
     """
     placed_ids = [a for a in apps if state.is_placed(a)]
     result = LoadDistributionResult()
@@ -225,6 +575,13 @@ def distribute_load(
         return result
 
     placed = {a: apps[a] for a in placed_ids}
+
+    if tables is not None:
+        ctx = _VectorContext.build(state, placed, placed_ids, tables)
+        if ctx is not None:
+            return _distribute_load_vec(
+                state, placed, placed_ids, ctx, result, write_load_matrix
+            )
 
     def targets_at(level: float) -> Dict[str, float]:
         return {a: _target_at_level(placed[a], state, level) for a in placed_ids}
@@ -293,6 +650,104 @@ def distribute_load(
     result.utilities = {
         a: placed[a].rpf.utility(allocations[a]) for a in placed_ids
     }
+
+    if write_load_matrix:
+        state.clear_load()
+        for app_id, nodes in best_assignment.items():
+            for node, cpu in nodes.items():
+                if cpu > EPSILON:
+                    state.set_cpu(app_id, node, cpu)
+    return result
+
+
+def _distribute_load_vec(
+    state: PlacementState,
+    placed: Mapping[str, AllocatableApp],
+    placed_ids: List[str],
+    ctx: _VectorContext,
+    result: LoadDistributionResult,
+    write_load_matrix: bool,
+) -> LoadDistributionResult:
+    """Array-kernel twin of :func:`distribute_load`'s phases 1–3.
+
+    Mirrors the scalar control flow decision for decision and float for
+    float; only the per-app inner loops are replaced by vector ops.
+    """
+
+    def feasible(level: float):
+        return ctx.verdict(ctx.targets_at(level, placed, state), placed, state)
+
+    lo, hi = NEGATIVE_INFINITY_UTILITY, 1.0
+    verdict = feasible(lo)
+    if verdict is None:
+        result.feasible = False
+        best_assignment = _best_effort(placed, state)
+        result.common_level = NEGATIVE_INFINITY_UTILITY
+    else:
+        probe = feasible(hi)
+        if probe is not None:
+            lo = hi
+            verdict = probe
+        else:
+            for _ in range(_LEVEL_SEARCH_ITERATIONS):
+                mid = 0.5 * (lo + hi)
+                attempt = feasible(mid)
+                if attempt is not None:
+                    lo = mid
+                    verdict = attempt
+                else:
+                    hi = mid
+        result.common_level = lo
+        best_assignment = ctx.materialize(verdict)
+
+    allocations = {
+        a: sum(best_assignment.get(a, {}).values()) for a in placed_ids
+    }
+
+    residual: Dict[str, float] = {
+        node.name: node.cpu_capacity for node in state.cluster
+    }
+    for app_id, nodes in best_assignment.items():
+        for node, cpu in nodes.items():
+            residual[node] -= cpu
+
+    vec_skip = ctx.is_job_row
+    for _ in range(_MAX_REFINEMENT_SWEEPS):
+        raised_any = False
+        values = ctx.utilities(allocations, placed)
+        keys = dict(zip(placed_ids, values))
+        order = sorted(placed_ids, key=keys.__getitem__)
+        # Start-of-sweep headroom: each app is visited once per sweep
+        # and only its own allocation moves, so the visit-time headroom
+        # the scalar loop computes equals this one.  Zero-headroom
+        # parametric rows are exact no-ops in _raise_app; skip them.
+        cur = np.array([allocations[a] for a in placed_ids], dtype=float)
+        useful = np.minimum(ctx.max_total, np.maximum(ctx.saturation, cur))
+        headroom = useful - cur
+        skip = {
+            placed_ids[pos]
+            for pos in np.flatnonzero(
+                vec_skip & (headroom <= EPSILON)
+            ).tolist()
+        }
+        for app_id in order:
+            if app_id in skip:
+                continue
+            app = placed[app_id]
+            gain = _raise_app(
+                app, state, best_assignment.setdefault(app_id, {}),
+                allocations[app_id], residual,
+            )
+            if gain > EPSILON:
+                allocations[app_id] += gain
+                raised_any = True
+        if not raised_any:
+            break
+
+    result.allocations = allocations
+    result.utilities = dict(
+        zip(placed_ids, ctx.utilities(allocations, placed))
+    )
 
     if write_load_matrix:
         state.clear_load()

@@ -5,16 +5,50 @@
 ``n``.  :class:`PlacementState` bundles both with the cluster's capacity
 bookkeeping and is the object the placement algorithm mutates while
 searching for a better configuration.
+
+Array backing
+-------------
+The per-node usage caches are mirrored into dense numpy arrays indexed by
+:attr:`PlacementState.node_index` (node name -> column).  Every mutation
+computes the new scalar value once and writes it to both the dict and the
+array, so the two views are *bitwise* equal at all times — the vectorized
+solver paths (:mod:`repro.core.loadbalance`, :mod:`repro.core.apc`) read
+the arrays while the dict API remains the order-preserving view the
+scalar reference solver and the snapshot format rely on.  The sparse
+``P``/``L`` dicts stay authoritative for structure because dict insertion
+order is semantically significant (see :meth:`PlacementState.matrix_key`);
+:meth:`PlacementState.dense_view` materializes them as ``(apps x nodes)``
+matrices on demand.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
 
 from repro.cluster import Cluster
 from repro.errors import CapacityError, PlacementError
 from repro.units import EPSILON
+
+
+@dataclass(frozen=True)
+class DensePlacement:
+    """Dense ``(apps x nodes)`` materialization of a placement state.
+
+    Row order is the placement dict's insertion order (the same order
+    every order-sensitive iteration uses); column order is the cluster's
+    node order.  Built on demand by :meth:`PlacementState.dense_view` —
+    a diagnostic/analysis view, not the mutation surface.
+    """
+
+    app_ids: Tuple[str, ...]
+    app_index: Mapping[str, int]
+    node_names: Tuple[str, ...]
+    node_index: Mapping[str, int]
+    instances: np.ndarray  # (A, N) int64 — the P matrix
+    load: np.ndarray  # (A, N) float64 — the L matrix
 
 
 @dataclass(frozen=True)
@@ -83,6 +117,16 @@ class PlacementState:
         # per-node caches
         self._node_memory_used: Dict[str, float] = {n.name: 0.0 for n in cluster}
         self._node_cpu_used: Dict[str, float] = {n.name: 0.0 for n in cluster}
+        # dense mirrors of the per-node caches (see module docstring):
+        # every value written to the dicts above is also written, bit for
+        # bit, to these arrays at the node's column index.
+        self._node_index: Dict[str, int] = {
+            n.name: i for i, n in enumerate(cluster)
+        }
+        self._mem_used_arr = np.zeros(len(self._node_index))
+        self._cpu_used_arr = np.zeros(len(self._node_index))
+        # O(1) per-app instance totals (sum over the app's node dict)
+        self._inst_total: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -100,11 +144,21 @@ class PlacementState:
         """``{node: count}`` for ``app_id`` (empty if not placed)."""
         return dict(self._instances.get(app_id, {}))
 
+    def instances_on(self, app_id: str, node: str) -> int:
+        """``P[app_id][node]`` without copying the app's node dict."""
+        return self._instances.get(app_id, {}).get(node, 0)
+
+    def instance_items(self, app_id: str):
+        """Read-only ``(node, count)`` view for ``app_id``, in insertion
+        order.  Zero-copy; callers must not mutate the state while
+        iterating."""
+        return self._instances.get(app_id, {}).items()
+
     def instance_count(self, app_id: str) -> int:
-        return sum(self._instances.get(app_id, {}).values())
+        return self._inst_total.get(app_id, 0)
 
     def is_placed(self, app_id: str) -> bool:
-        return self.instance_count(app_id) > 0
+        return self._inst_total.get(app_id, 0) > 0
 
     def nodes_of(self, app_id: str) -> List[str]:
         return [n for n, c in self._instances.get(app_id, {}).items() if c > 0]
@@ -154,6 +208,70 @@ class PlacementState:
 
     def total_cpu_used(self) -> float:
         return sum(self._node_cpu_used.values())
+
+    # ------------------------------------------------------------------
+    # Dense array views (vectorized solver surface)
+    # ------------------------------------------------------------------
+    @property
+    def node_index(self) -> Mapping[str, int]:
+        """Node name -> array column, in cluster order.  Shared between
+        copies (the cluster is immutable)."""
+        return self._node_index
+
+    def memory_used_array(self) -> np.ndarray:
+        """Live per-node memory-used mirror (bitwise equal to the dict
+        cache).  Callers must treat it as read-only."""
+        return self._mem_used_arr
+
+    def cpu_used_array(self) -> np.ndarray:
+        """Live per-node CPU-used mirror (bitwise equal to the dict
+        cache).  Callers must treat it as read-only."""
+        return self._cpu_used_arr
+
+    def capacity_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(cpu_capacity, memory_capacity)`` per node, in column order.
+
+        Rebuilt on every call because capacities are availability-aware
+        (an unavailable node reports 0.0).
+        """
+        cpu = np.array(
+            [self._cluster.node(n).cpu_capacity for n in self._node_index]
+        )
+        mem = np.array(
+            [self._cluster.node(n).memory_capacity for n in self._node_index]
+        )
+        return cpu, mem
+
+    def dense_view(self) -> DensePlacement:
+        """Materialize ``P`` and ``L`` as dense ``(apps x nodes)`` arrays.
+
+        Includes every app the placement dict tracks (even ones whose
+        instance count has dropped to zero would be absent — the dict
+        deletes them), with rows in dict insertion order.
+        """
+        app_ids = tuple(self._instances)
+        app_index = {a: i for i, a in enumerate(app_ids)}
+        n_apps, n_nodes = len(app_ids), len(self._node_index)
+        inst = np.zeros((n_apps, n_nodes), dtype=np.int64)
+        load = np.zeros((n_apps, n_nodes))
+        for a, nodes in self._instances.items():
+            row = app_index[a]
+            for node, count in nodes.items():
+                inst[row, self._node_index[node]] = count
+        for a, nodes in self._load.items():
+            row = app_index.get(a)
+            if row is None:
+                continue
+            for node, cpu in nodes.items():
+                load[row, self._node_index[node]] = cpu
+        return DensePlacement(
+            app_ids=app_ids,
+            app_index=app_index,
+            node_names=tuple(self._node_index),
+            node_index=dict(self._node_index),
+            instances=inst,
+            load=load,
+        )
 
     def allocations(self) -> Dict[str, float]:
         """``{app_id: total CPU}`` over all placed applications."""
@@ -215,7 +333,10 @@ class PlacementState:
         self._memory_demand[app_id] = memory_mb
         self._instances.setdefault(app_id, {})
         self._instances[app_id][node] = self._instances[app_id].get(node, 0) + count
-        self._node_memory_used[node] += needed
+        new_used = self._node_memory_used[node] + needed
+        self._node_memory_used[node] = new_used
+        self._mem_used_arr[self._node_index[node]] = new_used
+        self._inst_total[app_id] = self._inst_total.get(app_id, 0) + count
 
     def remove(self, app_id: str, node: str, count: int = 1) -> None:
         """Remove ``count`` instances of ``app_id`` from ``node``.
@@ -230,9 +351,16 @@ class PlacementState:
         self._instances[app_id][node] = have - count
         if self._instances[app_id][node] == 0:
             del self._instances[app_id][node]
-        self._node_memory_used[node] -= self._memory_demand[app_id] * count
-        if self._node_memory_used[node] < 0:
-            self._node_memory_used[node] = 0.0
+        new_total = self._inst_total.get(app_id, 0) - count
+        if new_total > 0:
+            self._inst_total[app_id] = new_total
+        else:
+            self._inst_total.pop(app_id, None)
+        new_used = self._node_memory_used[node] - self._memory_demand[app_id] * count
+        if new_used < 0:
+            new_used = 0.0
+        self._node_memory_used[node] = new_used
+        self._mem_used_arr[self._node_index[node]] = new_used
         if self._instances[app_id].get(node, 0) == 0:
             self.set_cpu(app_id, node, 0.0)
         if not self._instances[app_id]:
@@ -258,6 +386,7 @@ class PlacementState:
                 f"node {node}: CPU {new_used:.1f}MHz exceeds capacity {capacity:.1f}MHz"
             )
         self._node_cpu_used[node] = new_used
+        self._cpu_used_arr[self._node_index[node]] = new_used
         self._load.setdefault(app_id, {})[node] = cpu_mhz
         if cpu_mhz <= EPSILON:
             self._load[app_id].pop(node, None)
@@ -266,6 +395,7 @@ class PlacementState:
         """Zero the entire load matrix (placement is kept)."""
         self._load = {}
         self._node_cpu_used = {n: 0.0 for n in self._node_cpu_used}
+        self._cpu_used_arr.fill(0.0)
 
     def copy(self) -> "PlacementState":
         """A deep, independent copy sharing only the (immutable) cluster."""
@@ -276,6 +406,10 @@ class PlacementState:
         clone._memory_demand = dict(self._memory_demand)
         clone._node_memory_used = dict(self._node_memory_used)
         clone._node_cpu_used = dict(self._node_cpu_used)
+        clone._node_index = self._node_index
+        clone._mem_used_arr = self._mem_used_arr.copy()
+        clone._cpu_used_arr = self._cpu_used_arr.copy()
+        clone._inst_total = dict(self._inst_total)
         return clone
 
     # ------------------------------------------------------------------
@@ -329,6 +463,18 @@ class PlacementState:
             raise PlacementError(
                 f"placement state references unknown nodes: {sorted(unknown)}"
             )
+        state._node_index = {n: i for i, n in enumerate(cluster.node_names)}
+        state._mem_used_arr = np.array(
+            [state._node_memory_used.get(n, 0.0) for n in state._node_index]
+        )
+        state._cpu_used_arr = np.array(
+            [state._node_cpu_used.get(n, 0.0) for n in state._node_index]
+        )
+        state._inst_total = {
+            a: total
+            for a, nodes in state._instances.items()
+            if (total := sum(nodes.values()))
+        }
         return state
 
     # ------------------------------------------------------------------
@@ -358,6 +504,30 @@ class PlacementState:
                 )
             if cpu > node.cpu_capacity + EPSILON:
                 raise CapacityError(f"node {node.name} CPU overcommitted")
+            col = self._node_index[node.name]
+            if self._mem_used_arr[col] != self._node_memory_used[node.name]:
+                raise PlacementError(
+                    f"memory array mirror drift on {node.name}: "
+                    f"{self._mem_used_arr[col]} vs "
+                    f"{self._node_memory_used[node.name]}"
+                )
+            if self._cpu_used_arr[col] != self._node_cpu_used[node.name]:
+                raise PlacementError(
+                    f"CPU array mirror drift on {node.name}: "
+                    f"{self._cpu_used_arr[col]} vs "
+                    f"{self._node_cpu_used[node.name]}"
+                )
+        for app_id, nodes in self._instances.items():
+            if self._inst_total.get(app_id, 0) != sum(nodes.values()):
+                raise PlacementError(
+                    f"instance-total drift for {app_id}: "
+                    f"{self._inst_total.get(app_id, 0)} vs {sum(nodes.values())}"
+                )
+        for app_id, total in self._inst_total.items():
+            if total <= 0 or app_id not in self._instances:
+                raise PlacementError(
+                    f"stale instance-total entry for {app_id}: {total}"
+                )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         placed = sum(self.instance_count(a) for a in self.app_ids)

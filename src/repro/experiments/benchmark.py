@@ -5,15 +5,20 @@ the cost under measurement is :meth:`place` itself) over rolling control
 cycles of a saturated mixed-class workload, at a ladder of cluster
 sizes.  Each size is timed twice from identical initial conditions:
 
-* **naive** — ``APCConfig(incremental=False)`` and an uncached batch
-  model: the reference three-nested-loop solver;
+* **naive** — ``APCConfig(incremental=False, vectorize=False)`` and an
+  uncached, unvectorized batch model: the reference three-nested-loop
+  scalar solver;
 * **incremental** — the defaults: per-cycle evaluation memo, O(1)
-  admission indexes, no-op-node skip and utility upper-bound
-  short-circuit.
+  admission indexes, no-op-node skip, utility upper-bound short-circuit
+  and the dense numpy kernels (spec tables, vectorized load
+  distribution, array-scan admission and frontier checks) on clusters
+  big enough for them to pay off.
 
 The two runs' per-cycle placement matrices are compared for equality —
 the fast path must be *byte-identical* in its decisions, not just
-faster — and the per-cycle ``place()`` timings are reduced to medians.
+faster — so every ladder rung doubles as a scalar-vs-vectorized
+identity pin.  The per-cycle ``place()`` timings are reduced to
+medians.
 
 Output is a JSON document (schema ``repro.bench.apc/v1``)::
 
@@ -41,16 +46,22 @@ from repro.batch.model import BatchWorkloadModel
 from repro.batch.queue import JobQueue
 from repro.core.apc import ApplicationPlacementController
 from repro.core.placement import PlacementState
+from repro.obs.spans import SpanProfiler, render_profile
 from repro.scenario import Scenario
 
 #: Current benchmark output schema identifier.
 BENCH_SCHEMA = "repro.bench.apc/v1"
 
-#: Cluster sizes of the full ladder (node counts).
-DEFAULT_SIZES = (10, 25, 50, 100, 200)
+#: Cluster sizes of the full ladder (node counts).  The 500/1000/2000
+#: rungs exist to pin the vectorized core's scaling (§5.1 plots decision
+#: time against cluster size); the naive reference leg dominates the
+#: ladder's wall-clock there.
+DEFAULT_SIZES = (10, 25, 50, 100, 200, 500, 1000, 2000)
 
-#: Sizes used by ``--quick`` (CI smoke).
-QUICK_SIZES = (10, 25)
+#: Sizes used by ``--quick`` (CI smoke).  Includes one big rung so the
+#: vectorized kernels' scaling — the part most likely to regress — is
+#: smoke-checked on every run, not only in full ladder runs.
+QUICK_SIZES = (10, 25, 500)
 
 #: Paper-term mean inter-arrival that keeps the queue saturated — the
 #: regime where the search actually runs and fast paths matter.  At
@@ -75,20 +86,35 @@ def _bench_scenario(nodes: int, seed: int) -> Scenario:
 
 
 def _run_cycles(
-    scenario: Scenario, cycles: int, incremental: bool
+    scenario: Scenario,
+    cycles: int,
+    incremental: bool,
+    profiler: Optional[SpanProfiler] = None,
 ) -> Dict[str, object]:
     """Roll the controller over ``cycles`` control cycles, timing each
     ``place()`` call; jobs advance at their granted speeds between
     cycles (the simulator's execution rule, minus event-queue overhead
-    that would pollute the measurement)."""
+    that would pollute the measurement).
+
+    The naive leg (``incremental=False``) also disables vectorization —
+    model and controller — so it stays the pinned scalar reference the
+    fast path is compared against.
+    """
     cluster = scenario.build_cluster()
     jobs = scenario.build_jobs()
     queue = JobQueue()
     model = BatchWorkloadModel(
-        queue, queue_window=scenario.queue_window, cache=incremental
+        queue,
+        queue_window=scenario.queue_window,
+        cache=incremental,
+        vectorize=incremental,
     )
-    config = dataclasses.replace(scenario.apc, incremental=incremental)
-    controller = ApplicationPlacementController(cluster, config)
+    config = dataclasses.replace(
+        scenario.apc, incremental=incremental, vectorize=incremental
+    )
+    controller = ApplicationPlacementController(
+        cluster, config, profiler=profiler
+    )
     state = PlacementState(cluster)
     horizon = config.cycle_length
 
@@ -159,6 +185,29 @@ def bench_apc_scale(
     }
 
 
+def profile_bench(
+    nodes: Optional[int] = None, cycles: int = 12, seed: int = 7
+) -> str:
+    """Per-phase span breakdown of the incremental solver at one rung.
+
+    Runs the benchmark workload at ``nodes`` (default: the largest
+    ladder rung) with a :class:`~repro.obs.spans.SpanProfiler` attached
+    and returns the rendered profile — the ``apc.place`` tree split
+    into the :data:`~repro.core.apc.SPAN_PHASES` children, aggregated
+    over all cycles.  Backs ``repro bench --profile``.
+    """
+    if nodes is None:
+        nodes = max(DEFAULT_SIZES)
+    profiler = SpanProfiler()
+    scenario = _bench_scenario(nodes, seed)
+    _run_cycles(scenario, cycles, incremental=True, profiler=profiler)
+    header = (
+        f"APC phase profile: {nodes} nodes, {scenario.job_count} jobs, "
+        f"{cycles} cycles (incremental solver)"
+    )
+    return header + "\n" + render_profile(profiler)
+
+
 def validate_bench_report(report: Dict[str, object]) -> List[str]:
     """Schema check for a benchmark report; returns a list of problems
     (empty = valid).  Used by the CI smoke job."""
@@ -208,7 +257,9 @@ def compare_bench_reports(
     size; a size regresses when the current median exceeds the baseline
     median by more than ``tolerance_pct`` percent.  Sizes present in
     only one report are reported as coverage notes, not regressions
-    (the ladder may legitimately change between runs).  Returns
+    (the ladder may legitimately change between runs); a *quick*
+    current run is a deliberate subset of the full ladder, so baseline
+    sizes it never attempts are not flagged at all.  Returns
     human-readable regression lines (empty = pass) — the CI perf gate
     exits nonzero on any.
     """
@@ -235,7 +286,7 @@ def compare_bench_reports(
                 f"tolerance {tolerance_pct:g}%)"
             )
     missing = sorted(n for n in base_by_nodes if n not in seen)
-    if missing:
+    if missing and not current.get("quick"):
         regressions.append(
             "baseline sizes not measured in the current run: "
             + ", ".join(str(n) for n in missing)
@@ -262,6 +313,7 @@ __all__ = [
     "QUICK_SIZES",
     "bench_apc_scale",
     "compare_bench_reports",
+    "profile_bench",
     "validate_bench_report",
     "write_bench_report",
     "format_bench_report",

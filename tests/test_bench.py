@@ -5,11 +5,13 @@ seconds — not the full 200-node ladder.
 """
 
 import json
+import os
 
 import pytest
 
 from repro.experiments.benchmark import (
     BENCH_SCHEMA,
+    DEFAULT_SIZES,
     QUICK_SIZES,
     bench_apc_scale,
     compare_bench_reports,
@@ -18,10 +20,12 @@ from repro.experiments.benchmark import (
     write_bench_report,
 )
 
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
-def _report(rows):
+
+def _report(rows, quick=False):
     return {
-        "schema": BENCH_SCHEMA, "quick": True, "seed": 7, "cycles": 2,
+        "schema": BENCH_SCHEMA, "quick": quick, "seed": 7, "cycles": 2,
         "results": [
             {"nodes": nodes, "jobs": nodes * 8, "naive_ms": ms * 10,
              "incremental_ms": ms, "speedup_median": 10.0, "identical": True}
@@ -105,12 +109,21 @@ class TestCompareBenchReports:
         assert compare_bench_reports(report, report, tolerance_pct=0.0) == []
 
     def test_baseline_size_missing_from_current_run_is_flagged(self):
+        # Only a *full* (non-quick) run is expected to cover the whole
+        # baseline ladder, so the coverage note requires quick=False.
         current = _report([(10, 1.0)])
         baseline = _report([(10, 1.0), (200, 40.0)])
         lines = compare_bench_reports(current, baseline)
         assert lines == [
             "baseline sizes not measured in the current run: 200"
         ]
+
+    def test_quick_subset_vs_full_baseline_passes(self):
+        # The CI smoke gate: a --quick run is a deliberate subset of the
+        # full committed ladder, so untouched baseline rungs don't flag.
+        current = _report([(n, 1.0) for n in QUICK_SIZES], quick=True)
+        baseline = _report([(n, 1.0) for n in DEFAULT_SIZES])
+        assert compare_bench_reports(current, baseline) == []
 
     def test_new_ladder_rung_is_not_a_regression(self):
         current = _report([(10, 1.0), (400, 99.0)])
@@ -179,3 +192,44 @@ class TestCliPerfGate:
         code = self._run(["bench", "--quick", "--cycles", "2", "--check"])
         assert code == 2
         assert "--check needs --baseline" in capsys.readouterr().err
+
+
+class TestCommittedArtifact:
+    """Gates on the committed ``BENCH_apc.json`` — deterministic (no live
+    timing), so these can assert hard floors without flaking."""
+
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        path = os.path.join(REPO_ROOT, "BENCH_apc.json")
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+
+    def test_artifact_is_schema_valid_full_ladder(self, artifact):
+        assert validate_bench_report(artifact) == []
+        assert artifact["quick"] is False
+        assert [r["nodes"] for r in artifact["results"]] == list(DEFAULT_SIZES)
+
+    def test_ladder_reaches_thousand_nodes(self, artifact):
+        sizes = [r["nodes"] for r in artifact["results"]]
+        assert 500 in sizes and 1000 in sizes and 2000 in sizes
+
+    def test_no_rung_is_a_slowdown(self, artifact):
+        # The 10-node regression fix: below APCConfig.fast_path_min_nodes
+        # the fast-path machinery is skipped, so small clusters must not
+        # pay for the vectorized core they don't use.
+        slow = [
+            (r["nodes"], r["speedup_median"])
+            for r in artifact["results"]
+            if r["speedup_median"] < 1.0
+        ]
+        assert not slow, f"rungs slower than the naive solver: {slow}"
+
+    def test_large_rungs_meet_the_target_speedup(self, artifact):
+        by_nodes = {r["nodes"]: r for r in artifact["results"]}
+        assert by_nodes[1000]["speedup_median"] >= 3.0
+        # The headline acceptance number: place() at 1000 nodes in well
+        # under the old ~172ms scalar-incremental median.
+        assert by_nodes[1000]["incremental_ms"] <= 57.0
+
+    def test_every_rung_is_identical(self, artifact):
+        assert all(r["identical"] for r in artifact["results"])

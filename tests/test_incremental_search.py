@@ -110,7 +110,9 @@ def test_fast_path_actually_engages():
     registry = MetricRegistry()
     controller = ApplicationPlacementController(
         cluster,
-        APCConfig(incremental=True, search_sweeps=3),
+        # fast_path_min_nodes=0: engage the fast path despite the small
+        # (5-node) memo-regime cluster.
+        APCConfig(incremental=True, search_sweeps=3, fast_path_min_nodes=0),
         registry=registry,
     )
     state = PlacementState(cluster)
@@ -161,7 +163,11 @@ def _run_audited(scenario, cycles, *, incremental, audit=None, sweeps=3):
     model = BatchWorkloadModel(queue, queue_window=scenario.queue_window)
     controller = ApplicationPlacementController(
         cluster,
-        APCConfig(incremental=incremental, search_sweeps=sweeps),
+        # fast_path_min_nodes=0: the audit-vs-fast-path comparisons run
+        # on a 5-node cluster, below the default engagement threshold.
+        APCConfig(
+            incremental=incremental, search_sweeps=sweeps, fast_path_min_nodes=0
+        ),
         audit=audit,
     )
     state = PlacementState(cluster)
