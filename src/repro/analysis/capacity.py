@@ -22,7 +22,7 @@ from repro.batch.queue import JobQueue
 from repro.cluster import Cluster, NodeSpec
 from repro.core.apc import APCConfig, ApplicationPlacementController
 from repro.errors import ConfigurationError
-from repro.sim.policies import APCPolicy, FCFSPolicy
+from repro.policies import APCPolicy, FCFSPolicy
 from repro.sim.simulator import MixedWorkloadSimulator, SimulationConfig
 from repro.txn.application import TransactionalApp
 

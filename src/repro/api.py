@@ -64,18 +64,38 @@ from repro.txn import (
     WorkProfiler,
 )
 
-# --- simulator, policies, metrics, traces ------------------------------
-from repro.sim import (
+# --- placement policies (the registry and every implementation) --------
+from repro.policies import (
+    AdmissionStrategy,
     APCPolicy,
+    DFRSConfig,
+    DFRSPolicy,
     EDFPolicy,
+    FCFSAdmission,
     FCFSPolicy,
+    LexMaxMinObjective,
+    LRPFAdmission,
     LRPFPolicy,
+    Objective,
+    PartitionedPolicy,
+    PlacementPolicy,
+    PolicyContext,
+    PolicyRegistry,
+    ProportionalFairnessConfig,
+    ProportionalFairnessPolicy,
+    ScriptedPolicy,
+    UtilitarianObjective,
+    default_policy_registry,
+    resolve_admission,
+    resolve_objective,
+)
+
+# --- simulator, metrics, traces ----------------------------------------
+from repro.sim import (
     MetricsRecorder,
     MixedWorkloadSimulator,
     NodeFailure,
-    PartitionedPolicy,
     SNAPSHOT_SCHEMA_VERSION,
-    ScriptedPolicy,
     SimulationConfig,
     SimulationTrace,
     TraceEventKind,
@@ -102,6 +122,12 @@ from repro.experiments.benchmark import (
     profile_bench,
     validate_bench_report,
     write_bench_report,
+)
+from repro.experiments.arena import (
+    ArenaEntrant,
+    ArenaResult,
+    render_arena_table,
+    run_arena,
 )
 from repro.experiments.runner import RunSpec, SweepResult, known_kinds, run_sweep
 from repro.experiments.watch import load_watch_state, render_watch
@@ -206,11 +232,28 @@ __all__ = [
     "TransactionalWorkloadModel",
     "UtilizationSample",
     "WorkProfiler",
-    # simulator
+    # placement policies
+    "PlacementPolicy",
     "APCPolicy",
     "EDFPolicy",
     "FCFSPolicy",
     "LRPFPolicy",
+    "ProportionalFairnessPolicy",
+    "ProportionalFairnessConfig",
+    "DFRSPolicy",
+    "DFRSConfig",
+    "PolicyContext",
+    "PolicyRegistry",
+    "default_policy_registry",
+    "Objective",
+    "LexMaxMinObjective",
+    "UtilitarianObjective",
+    "resolve_objective",
+    "AdmissionStrategy",
+    "LRPFAdmission",
+    "FCFSAdmission",
+    "resolve_admission",
+    # simulator
     "MetricsRecorder",
     "MixedWorkloadSimulator",
     "NodeFailure",
@@ -236,6 +279,10 @@ __all__ = [
     "SweepResult",
     "known_kinds",
     "run_sweep",
+    "ArenaEntrant",
+    "ArenaResult",
+    "run_arena",
+    "render_arena_table",
     "bench_apc_scale",
     "compare_bench_reports",
     "profile_bench",

@@ -567,6 +567,58 @@ def cmd_sweep(args) -> int:
     return 1 if result.failures() else 0
 
 
+def cmd_arena(args) -> int:
+    """Tournament: run several registry policies over shared scenarios."""
+    import json
+
+    from repro.errors import CheckpointError, ConfigurationError
+    from repro.experiments.arena import run_arena, render_arena_table
+    from repro.scenario import Scenario
+
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    try:
+        scenarios = [
+            Scenario(
+                name=workload,
+                nodes=args.nodes,
+                workload=workload,
+                job_count=args.jobs,
+                interarrival=args.interarrival,
+                seed=args.seed,
+            )
+            for workload in workloads
+        ]
+        result = run_arena(
+            policies,
+            scenarios,
+            workers=args.workers,
+            run_dir=args.resume if args.resume is not None else args.run_dir,
+            resume=args.resume is not None,
+        )
+    except (CheckpointError, ConfigurationError) as exc:
+        print(f"arena error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        rows = [
+            {k: v for k, v in row.items() if k != "runs"}
+            for row in result.rankings
+        ]
+        print(json.dumps({
+            "policies": policies,
+            "scenarios": [s.name for s in result.scenarios],
+            "rankings": rows,
+        }, indent=2))
+    else:
+        print(
+            f"{len(result.entrants)} policies x "
+            f"{len(result.scenarios)} scenarios "
+            f"({result.sweep.workers} worker(s))\n"
+        )
+        print(render_arena_table(result))
+    return 1 if result.sweep.failures() else 0
+
+
 def cmd_ablations(args) -> int:
     from repro.experiments import ablations
 
@@ -807,6 +859,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="mark a worker stale after this many seconds "
                         "without a heartbeat (default 30)")
     p.set_defaults(func=cmd_watch)
+
+    p = sub.add_parser(
+        "arena",
+        help="policy tournament: rank registry policies on shared "
+             "seeded scenarios",
+    )
+    p.add_argument("--policies", default="apc,fcfs,proportional_fairness,dfrs",
+                   help="comma-separated registry policy names "
+                        "(default: apc,fcfs,proportional_fairness,dfrs)")
+    p.add_argument("--workloads", default="experiment1,experiment2",
+                   help="comma-separated workload kinds, one scenario each "
+                        "(default: experiment1,experiment2)")
+    p.add_argument("--nodes", type=int, default=8,
+                   help="cluster size per scenario (default 8)")
+    p.add_argument("--jobs", type=int, default=60,
+                   help="jobs per scenario (default 60)")
+    p.add_argument("--interarrival", type=float, default=100.0,
+                   help="mean seconds between submissions, paper terms "
+                        "(default 100)")
+    p.add_argument("--seed", type=int, default=0, help="workload seed")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: min(runs, cores); "
+                        "1 = inline)")
+    p.add_argument("--run-dir", metavar="DIR", default=None,
+                   help="checkpoint the underlying sweep here")
+    p.add_argument("--resume", metavar="DIR", default=None,
+                   help="continue a checkpointed arena from DIR")
+    p.add_argument("--json", action="store_true",
+                   help="print machine-readable rankings JSON")
+    p.set_defaults(func=cmd_arena)
 
     p = sub.add_parser("ablations", help="design-choice studies")
     _add_common(p)

@@ -24,7 +24,21 @@ from repro.core.rpf import (
     LinearRPF,
     NEGATIVE_INFINITY_UTILITY,
 )
-from repro.core.objective import UtilityVector, PlacementScore, lex_explain
+from repro.core.objective import (
+    UtilityVector,
+    PlacementScore,
+    lex_explain,
+    Objective,
+    LexMaxMinObjective,
+    UtilitarianObjective,
+    resolve_objective,
+)
+from repro.core.admission import (
+    AdmissionStrategy,
+    LRPFAdmission,
+    FCFSAdmission,
+    resolve_admission,
+)
 from repro.core.placement import PlacementState, AppDemand, DensePlacement
 from repro.core.loadbalance import (
     distribute_load,
@@ -49,6 +63,14 @@ __all__ = [
     "UtilityVector",
     "PlacementScore",
     "lex_explain",
+    "Objective",
+    "LexMaxMinObjective",
+    "UtilitarianObjective",
+    "resolve_objective",
+    "AdmissionStrategy",
+    "LRPFAdmission",
+    "FCFSAdmission",
+    "resolve_admission",
     "PlacementState",
     "AppDemand",
     "DensePlacement",

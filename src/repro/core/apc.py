@@ -54,9 +54,20 @@ import numpy as np
 
 from repro._compat import keyword_only
 from repro.cluster import Cluster
+from repro.core.admission import (
+    AdmissionLike,
+    AdmissionStrategy,
+    resolve_admission,
+)
 from repro.core.constraints import ConstraintSet
 from repro.core.loadbalance import AllocatableApp, SpecArrays, distribute_load
-from repro.core.objective import PlacementScore, UtilityVector, lex_explain
+from repro.core.objective import (
+    Objective,
+    ObjectiveLike,
+    PlacementScore,
+    UtilityVector,
+    resolve_objective,
+)
 from repro.core.placement import PlacementState
 from repro.core.workload import WorkloadModel
 from repro.errors import ConfigurationError, PlacementError
@@ -313,12 +324,20 @@ class ApplicationPlacementController:
         profiler: Optional[SpanProfiler] = None,
         registry: Optional[MetricRegistry] = None,
         audit: Optional[DecisionAudit] = None,
+        objective: ObjectiveLike = None,
+        admission: AdmissionLike = None,
     ) -> None:
         self._cluster = cluster
         self._config = config or APCConfig()
         self._constraints = constraints or ConstraintSet()
         self._profiler = profiler
         self._audit = audit
+        #: Candidate-ranking strategy; ``None`` resolves to the paper's
+        #: lexicographic maxmin, byte-identical to the historical
+        #: hardwired scoring.
+        self._objective = resolve_objective(objective)
+        #: Greedy-pass ordering; ``None`` resolves to the paper's LRPF.
+        self._admission = resolve_admission(admission)
         #: Node name -> position, replacing O(N) ``node_names.index``
         #: lookups in the admission pass's host tie-break.
         self._node_pos: Dict[str, int] = {
@@ -368,6 +387,14 @@ class ApplicationPlacementController:
     @property
     def audit(self) -> Optional[DecisionAudit]:
         return self._audit
+
+    @property
+    def objective(self) -> Objective:
+        return self._objective
+
+    @property
+    def admission(self) -> AdmissionStrategy:
+        return self._admission
 
     def attach_audit(self, audit: Optional[DecisionAudit]) -> None:
         """Attach (or detach, with ``None``) the decision flight
@@ -471,9 +498,7 @@ class ApplicationPlacementController:
                     trial.clear_load()
                     for app_id, node, cpu in load_entries:
                         trial.set_cpu(app_id, node, cpu)
-                    score = PlacementScore(
-                        UtilityVector(utilities.values(), tolerance=tol), churn
-                    )
+                    score = self._objective.score(utilities, churn, tol)
                     return score, dict(utilities), dict(allocations)
                 if self._c_cache is not None:
                     self._c_cache.inc(outcome="miss")
@@ -497,10 +522,7 @@ class ApplicationPlacementController:
                     churn = sum(c for _, _, c in removals) + sum(
                         c for _, _, c in additions
                     )
-                    score = PlacementScore(
-                        UtilityVector(utilities.values(), tolerance=tol),
-                        churn,
-                    )
+                    score = self._objective.score(utilities, churn, tol)
             if key is not None:
                 load_entries = tuple(
                     (a, n, c)
@@ -542,14 +564,14 @@ class ApplicationPlacementController:
             placed_any = self._greedy_admit(trial, specs, candidates, best_utilities)
             if placed_any:
                 score, utilities, allocations = evaluate(trial)
-                adopted = score.utilities > best_score.utilities
+                adopted = self._objective.better(score, best_score)
                 if audit is not None:
                     audit.candidate(
                         stage="admission",
                         accepted=adopted,
                         reason="improved" if adopted else "no_improvement",
                         utilities=utilities,
-                        comparison=lex_explain(score.utilities, best_score.utilities),
+                        comparison=self._objective.explain(score, best_score),
                         churn=score.num_changes,
                         cached=eval_info["cached"],
                         tolerance=score.utilities.tolerance,
@@ -570,7 +592,9 @@ class ApplicationPlacementController:
             )
         if run_search:
             bound_reached = (
-                self._make_bound_checker(specs) if self._fast else None
+                self._make_bound_checker(specs)
+                if self._fast and self._objective.supports_upper_bound
+                else None
             )
             with self._span("apc.search"):
                 for _ in range(self._config.search_sweeps):
@@ -830,7 +854,7 @@ class ApplicationPlacementController:
         distributor use all available capacity.
         """
         unplaced = [c for c in candidates if not state.is_placed(c) and c in specs]
-        unplaced.sort(key=lambda a: utilities.get(a, specs[a].rpf.max_utility))
+        unplaced = self._admission.order(unplaced, specs, utilities)
         if not unplaced:
             return False
         if self._fast:
@@ -1263,16 +1287,14 @@ class ApplicationPlacementController:
                     else None
                 )
                 score, utilities, allocations = evaluate(trial, tolerance=tolerance)
-                adopted = score.utilities > best_score.utilities
+                adopted = self._objective.better(score, best_score)
                 if audit is not None:
                     audit.candidate(
                         stage="search",
                         accepted=adopted,
                         reason="improved" if adopted else "no_improvement",
                         utilities=utilities,
-                        comparison=lex_explain(
-                            score.utilities, best_score.utilities
-                        ),
+                        comparison=self._objective.explain(score, best_score),
                         node=node,
                         removals=removals,
                         churn=score.num_changes,
@@ -1362,7 +1384,7 @@ class ApplicationPlacementController:
             and (specs[c].demand.divisible or not state.is_placed(c))
             and state.instances_on(c, node) == 0
         ]
-        eligible.sort(key=lambda a: utilities.get(a, specs[a].rpf.max_utility))
+        eligible = self._admission.order(eligible, specs, utilities)
         if self._audit is not None and eligible:
             self._audit.note_fill(node, eligible)
         if self._fast:

@@ -28,7 +28,7 @@ from repro.batch.rpf import JobAllocationRPF
 from repro.core.apc import APCConfig, ApplicationPlacementController
 from repro.core.rpf import NEGATIVE_INFINITY_UTILITY
 from repro.experiments.common import PAPER_CONTROL_CYCLE, Scale, scale_from_env
-from repro.sim.policies import APCPolicy
+from repro.policies import APCPolicy
 from repro.sim.simulator import MixedWorkloadSimulator, SimulationConfig
 from repro.virt.costs import FREE_COST_MODEL, PAPER_COST_MODEL
 from repro.workloads.generators import experiment_one_jobs, experiment_two_jobs

@@ -28,7 +28,7 @@ from repro.batch.queue import JobQueue
 from repro.core.apc import APCConfig, ApplicationPlacementController
 from repro.experiments.common import PAPER_CONTROL_CYCLE, Scale, scale_from_env
 from repro.sim.metrics import MetricsRecorder
-from repro.sim.policies import APCPolicy, EDFPolicy, FCFSPolicy, LRPFPolicy
+from repro.policies import APCPolicy, EDFPolicy, FCFSPolicy, LRPFPolicy
 from repro.sim.simulator import MixedWorkloadSimulator, SimulationConfig
 from repro.virt.costs import FREE_COST_MODEL
 from repro.workloads.generators import experiment_two_jobs

@@ -45,7 +45,7 @@ from repro.experiments.common import (
     scale_from_env,
 )
 from repro.sim.metrics import MetricsRecorder
-from repro.sim.policies import APCPolicy, PartitionedPolicy
+from repro.policies import APCPolicy, PartitionedPolicy
 from repro.sim.simulator import MixedWorkloadSimulator, SimulationConfig
 from repro.txn.application import TransactionalApp
 from repro.txn.model import TransactionalWorkloadModel

@@ -291,12 +291,16 @@ def _run_scenario(spec: RunSpec) -> Dict[str, object]:
     finally:
         if sink is not None:
             sink.close()
+    from repro.sim.metrics import sla_summary
+
     summary = {
         "scenario": scenario.name,
+        "policy": scenario.policy,
         "deadline_satisfaction": metrics.deadline_satisfaction_rate(),
         "placement_changes": metrics.total_placement_changes(),
         "completed": len(metrics.completions),
         "mean_decision_seconds": metrics.mean_decision_seconds(),
+        "sla": sla_summary(metrics),
         "metrics": registry.collect(),
         "trace_path": trace_path,
     }

@@ -1,0 +1,82 @@
+"""Placement policies: the protocol, the registry, and every implementation.
+
+The package gathers the policy surface behind one import root:
+
+* :mod:`repro.policies.base` — the :class:`PlacementPolicy` protocol and
+  the shared batch-state helpers;
+* :mod:`repro.policies.builtin` — the paper's controller wrapper and the
+  §5 baselines (FCFS, EDF, LRPF, partitioned, scripted);
+* :mod:`repro.policies.rivals` — rival schedulers from the literature
+  (proportional fairness, DFRS);
+* :mod:`repro.policies.registry` — the string-keyed registry that lets
+  scenarios and sweeps select a policy by name.
+
+The APC's own extension points — the pluggable placement
+:class:`~repro.core.objective.Objective` and
+:class:`~repro.core.admission.AdmissionStrategy` — live in
+:mod:`repro.core` and are re-exported here for convenience.
+"""
+
+from repro.core.admission import (
+    AdmissionStrategy,
+    FCFSAdmission,
+    LRPFAdmission,
+    resolve_admission,
+)
+from repro.core.objective import (
+    LexMaxMinObjective,
+    Objective,
+    UtilitarianObjective,
+    resolve_objective,
+)
+from repro.policies.base import (
+    PlacementPolicy,
+    build_batch_state,
+    current_assignment,
+)
+from repro.policies.builtin import (
+    APCPolicy,
+    EDFPolicy,
+    FCFSPolicy,
+    LRPFPolicy,
+    PartitionedPolicy,
+    ScriptedPolicy,
+)
+from repro.policies.registry import (
+    PolicyContext,
+    PolicyRegistry,
+    default_policy_registry,
+)
+from repro.policies.rivals import (
+    DFRSConfig,
+    DFRSPolicy,
+    ProportionalFairnessConfig,
+    ProportionalFairnessPolicy,
+)
+
+__all__ = [
+    "PlacementPolicy",
+    "current_assignment",
+    "build_batch_state",
+    "ScriptedPolicy",
+    "FCFSPolicy",
+    "EDFPolicy",
+    "LRPFPolicy",
+    "APCPolicy",
+    "PartitionedPolicy",
+    "ProportionalFairnessPolicy",
+    "ProportionalFairnessConfig",
+    "DFRSPolicy",
+    "DFRSConfig",
+    "PolicyContext",
+    "PolicyRegistry",
+    "default_policy_registry",
+    "Objective",
+    "LexMaxMinObjective",
+    "UtilitarianObjective",
+    "resolve_objective",
+    "AdmissionStrategy",
+    "LRPFAdmission",
+    "FCFSAdmission",
+    "resolve_admission",
+]

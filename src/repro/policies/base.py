@@ -1,0 +1,61 @@
+"""The placement-policy protocol and shared batch-state helpers.
+
+A policy maps (current placement, time) to a new placement with its load
+matrix.  Every concrete policy — the paper's controller wrapper, the
+baselines, and the rival schedulers — satisfies :class:`PlacementPolicy`;
+the simulator only ever sees this protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Protocol, runtime_checkable
+
+from repro.batch.policies import assign_speeds
+from repro.batch.queue import JobQueue
+from repro.cluster import Cluster
+from repro.core.placement import PlacementState
+
+
+@runtime_checkable
+class PlacementPolicy(Protocol):
+    """Decides the placement for the control cycle starting at ``now``."""
+
+    name: str
+
+    def decide(self, current: PlacementState, now: float) -> PlacementState:
+        ...
+
+
+def current_assignment(state: PlacementState, queue: JobQueue) -> Dict[str, str]:
+    """job_id -> node for jobs placed in ``state``."""
+    assignment: Dict[str, str] = {}
+    for job in queue.incomplete():
+        nodes = state.nodes_of(job.job_id)
+        if nodes:
+            assignment[job.job_id] = nodes[0]
+    return assignment
+
+
+def build_batch_state(
+    cluster: Cluster,
+    queue: JobQueue,
+    assignment: Mapping[str, str],
+    speeds: Optional[Mapping[str, float]] = None,
+) -> PlacementState:
+    """Materialize a job→node assignment as a placement state.
+
+    Without ``speeds``, CPU allocations are max speed scaled down
+    proportionally on oversubscription (:func:`assign_speeds` — the
+    baselines' discipline, and DFRS's equal-yield sharing); with
+    ``speeds``, the given per-job allocations are applied verbatim
+    (proportional fairness computes its own water-filled shares).
+    """
+    state = PlacementState(cluster)
+    jobs_by_id = {j.job_id: j for j in queue.incomplete()}
+    for job_id, node in assignment.items():
+        state.place(job_id, node, jobs_by_id[job_id].memory_mb)
+    if speeds is None:
+        speeds = assign_speeds(assignment, jobs_by_id, cluster)
+    for job_id, node in assignment.items():
+        state.set_cpu(job_id, node, speeds[job_id])
+    return state

@@ -36,8 +36,13 @@ from repro.experiments.common import (
 from repro.obs.audit import DecisionAudit
 from repro.obs.registry import MetricRegistry
 from repro.obs.spans import SpanProfiler
+from repro.policies import (
+    APCPolicy,
+    PlacementPolicy,
+    PolicyContext,
+    default_policy_registry,
+)
 from repro.sim.metrics import MetricsRecorder
-from repro.sim.policies import APCPolicy
 from repro.sim.simulator import MixedWorkloadSimulator, SimulationConfig
 from repro.sim.snapshot import SNAPSHOT_SCHEMA_VERSION, check_version, require
 from repro.sim.trace import SimulationTrace
@@ -75,6 +80,11 @@ class Scenario:
     prediction_method:
         :class:`~repro.batch.hypothetical.PredictionMethod` (or its
         string value) for the batch model's predictions.
+    policy / policy_params:
+        Which placement policy drives the run, by registry name
+        (:func:`~repro.policies.default_policy_registry`), plus its
+        JSON-friendly parameters — e.g. ``policy="proportional_fairness"``
+        or ``policy="apc", policy_params={"objective": "utilitarian"}``.
     apc:
         The controller's :class:`~repro.core.apc.APCConfig`.
     sim:
@@ -92,6 +102,8 @@ class Scenario:
     seed: int = 0
     queue_window: Optional[int] = 48
     prediction_method: MethodLike = PredictionMethod.EXACT
+    policy: str = "apc"
+    policy_params: Dict[str, object] = field(default_factory=dict)
     apc: APCConfig = field(default_factory=APCConfig)
     sim: SimulationConfig = field(default_factory=SimulationConfig)
 
@@ -109,6 +121,18 @@ class Scenario:
                 f"unknown workload {self.workload!r}; expected one of {WORKLOADS}"
             )
         self.prediction_method = PredictionMethod.coerce(self.prediction_method)
+        buildable = default_policy_registry().buildable_names()
+        if self.policy not in buildable:
+            raise ConfigurationError(
+                f"unknown policy {self.policy!r}; expected one of "
+                f"{list(buildable)}"
+            )
+        if not isinstance(self.policy_params, Mapping):
+            raise ConfigurationError(
+                "policy_params must be a mapping, got "
+                f"{type(self.policy_params).__name__}"
+            )
+        self.policy_params = dict(self.policy_params)
         if isinstance(self.apc, Mapping):
             self.apc = APCConfig.from_dict(self.apc)
         if isinstance(self.sim, Mapping):
@@ -132,6 +156,8 @@ class Scenario:
             "seed": self.seed,
             "queue_window": self.queue_window,
             "prediction_method": self.prediction_method.value,
+            "policy": self.policy,
+            "policy_params": dict(self.policy_params),
             "apc": self.apc.to_dict(),
             "sim": self.sim.to_dict(),
         }
@@ -184,7 +210,9 @@ class Simulation:
     The live pieces are exposed as attributes (``cluster``, ``jobs``,
     ``queue``, ``batch_model``, ``controller``, ``policy``,
     ``simulator``) so callers can inspect or instrument them before
-    calling :meth:`run`.
+    calling :meth:`run`.  ``controller`` is the placement controller for
+    APC-driven scenarios and ``None`` when the scenario selects a policy
+    that does not embed one.
     """
 
     def __init__(
@@ -195,8 +223,8 @@ class Simulation:
         jobs: List[Job],
         queue: JobQueue,
         batch_model: BatchWorkloadModel,
-        controller: ApplicationPlacementController,
-        policy: APCPolicy,
+        controller: Optional[ApplicationPlacementController],
+        policy: PlacementPolicy,
         simulator: MixedWorkloadSimulator,
     ) -> None:
         self.scenario = scenario
@@ -250,11 +278,21 @@ class Simulation:
         )
         if registry is not None:
             batch_model.bind_registry(registry)
-        controller = ApplicationPlacementController(
-            cluster, scenario.apc, profiler=profiler, registry=registry,
+        context = PolicyContext(
+            cluster=cluster,
+            queue=queue,
+            batch_model=batch_model,
+            apc_config=scenario.apc,
+            profiler=profiler,
+            registry=registry,
             audit=audit,
         )
-        policy = APCPolicy(controller, [batch_model])
+        policy = default_policy_registry().create(
+            scenario.policy, context, **scenario.policy_params
+        )
+        controller = (
+            policy.controller if isinstance(policy, APCPolicy) else None
+        )
         config = scenario.sim
         if decision_clock is not None:
             config = dataclasses.replace(config, decision_clock=decision_clock)

@@ -16,7 +16,7 @@ from repro.sim.metrics import (
     JobCompletionRecord,
     sla_summary,
 )
-from repro.sim.policies import (
+from repro.policies import (
     PlacementPolicy,
     APCPolicy,
     FCFSPolicy,

@@ -56,7 +56,7 @@ from repro.obs.alerts import AlertConfig, AlertEngine, CycleObservation
 from repro.obs.registry import MetricRegistry
 from repro.obs.spans import NULL_SPAN, SpanProfiler
 from repro.sim.metrics import CycleSample, MetricsRecorder
-from repro.sim.policies import PlacementPolicy
+from repro.policies import PlacementPolicy
 from repro.sim.reconcile import Decision, Directive, PendingAction, Reconciler
 from repro.sim.snapshot import SNAPSHOT_SCHEMA_VERSION, check_version, require
 from repro.sim.trace import SimulationTrace, TraceEventKind

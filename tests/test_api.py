@@ -39,6 +39,35 @@ def test_all_is_sorted_within_reason():
     assert len(api.__all__) == len(set(api.__all__))
 
 
+def test_facade_covers_the_policy_surface():
+    """The redesign's names are part of the compatibility promise."""
+    import repro.api as api
+
+    required = {
+        "PlacementPolicy",
+        "PolicyRegistry",
+        "PolicyContext",
+        "default_policy_registry",
+        "Objective",
+        "LexMaxMinObjective",
+        "UtilitarianObjective",
+        "resolve_objective",
+        "AdmissionStrategy",
+        "LRPFAdmission",
+        "FCFSAdmission",
+        "resolve_admission",
+        "ProportionalFairnessPolicy",
+        "ProportionalFairnessConfig",
+        "DFRSPolicy",
+        "DFRSConfig",
+        "ArenaEntrant",
+        "ArenaResult",
+        "run_arena",
+        "render_arena_table",
+    }
+    assert required <= set(api.__all__)
+
+
 def test_facade_covers_example_imports():
     """Every name the shipped examples import must be in the facade."""
     import ast
@@ -161,11 +190,14 @@ def test_scenario_round_trip():
         seed=3,
         queue_window=8,
         prediction_method="interpolate",
+        policy="dfrs",
+        policy_params={"rebalance_threshold": 0.5},
         apc=APCConfig(cycle_length=300.0),
         sim=SimulationConfig(cycle_length=300.0),
     )
     clone = Scenario.from_dict(_through_json(scenario.to_dict()))
     assert clone.to_dict() == scenario.to_dict()
+    assert clone.policy == "dfrs"
     assert clone.prediction_method is PredictionMethod.INTERPOLATE
     assert clone.apc == scenario.apc
     assert clone.sim == scenario.sim
