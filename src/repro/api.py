@@ -170,16 +170,22 @@ from repro.obs import (
     DecisionAudit,
     HealthLevel,
     HealthReport,
+    JobTracer,
     JsonlSink,
     MetricRegistry,
     SpanProfiler,
+    critical_path,
     explain_cycle,
     health_from_alerts,
     read_alert_records,
     read_audit_records,
+    read_trace_records,
     render_profile,
     render_prometheus,
     render_report,
+    render_trace,
+    to_chrome_trace,
+    write_chrome_trace,
     write_report,
 )
 
@@ -319,16 +325,22 @@ __all__ = [
     "DecisionAudit",
     "HealthLevel",
     "HealthReport",
+    "JobTracer",
     "JsonlSink",
     "MetricRegistry",
     "SpanProfiler",
+    "critical_path",
     "explain_cycle",
     "health_from_alerts",
     "read_alert_records",
     "read_audit_records",
+    "read_trace_records",
     "render_profile",
     "render_prometheus",
     "render_report",
+    "render_trace",
+    "to_chrome_trace",
+    "write_chrome_trace",
     "write_report",
     # misc
     "CheckpointError",

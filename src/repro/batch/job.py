@@ -255,6 +255,10 @@ class Job:
     suspend_count: int = field(default=0)
     resume_count: int = field(default=0)
     migration_count: int = field(default=0)
+    #: Causal trace ID stamped at arrival when a
+    #: :class:`repro.obs.tracing.JobTracer` is attached (else ``None``);
+    #: links metrics exemplars back to the job's lifecycle trace.
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.parallelism < 1:
@@ -425,6 +429,9 @@ class Job:
             "suspend_count": self.suspend_count,
             "resume_count": self.resume_count,
             "migration_count": self.migration_count,
+            # Only written when tracing is on, so untraced snapshots stay
+            # byte-identical to pre-tracer output.
+            **({} if self.trace_id is None else {"trace_id": self.trace_id}),
         }
 
     @classmethod
@@ -441,6 +448,7 @@ class Job:
             "suspend_count": payload.pop("suspend_count", 0),
             "resume_count": payload.pop("resume_count", 0),
             "migration_count": payload.pop("migration_count", 0),
+            "trace_id": payload.pop("trace_id", None),
         }
         known = {"job_id", "profile", "submit_time", "completion_goal",
                  "desired_start", "parallelism"}

@@ -291,6 +291,7 @@ def cmd_telemetry(args) -> int:
     from repro.experiments.experiment1 import run_experiment_one
     from repro.obs import (
         DecisionAudit,
+        JobTracer,
         JsonlSink,
         MetricRegistry,
         SpanProfiler,
@@ -310,6 +311,9 @@ def cmd_telemetry(args) -> int:
     audit = None
     if args.audit:
         audit = DecisionAudit(sink=sink, trace=trace)
+    tracer = None
+    if args.trace:
+        tracer = JobTracer(sink=sink)
     alerts = None
     if args.alerts:
         from repro.obs import AlertConfig
@@ -339,6 +343,7 @@ def cmd_telemetry(args) -> int:
         fault_model=fault_model,
         audit=audit,
         alerts=alerts,
+        tracer=tracer,
     )
     print(f"scale: {scale.name} ({scale.nodes} nodes, {scale.job_count} jobs)")
     print(f"deadline satisfaction: {percent(result.deadline_satisfaction)}; "
@@ -348,6 +353,10 @@ def cmd_telemetry(args) -> int:
               f"{len(audit.cycles())} cycles"
               + (f" ({audit.dropped_records} dropped)"
                  if audit.dropped_records else ""))
+    if tracer is not None:
+        print(f"causal tracer: {len(tracer)} trace events"
+              + (f" ({tracer.dropped_records} dropped)"
+                 if tracer.dropped_records else ""))
     if alerts is not None:
         # The watchdog publishes into the registry we already hold.
         totals = registry.get("repro_alerts_total")
@@ -417,9 +426,55 @@ def cmd_explain(args) -> int:
     from repro.obs import explain_cycle
 
     try:
-        print(explain_cycle(args.jsonl, args.cycle, app=args.app))
+        print(explain_cycle(args.jsonl, args.cycle, app=args.app, job=args.job))
     except (ConfigurationError, OSError) as exc:
         print(f"explain failed: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Reconstruct causal job traces from a recorded JSONL stream:
+    per-trace summary or one subject's waterfall, with optional JSON
+    and Chrome trace-event export."""
+    import json as _json
+
+    from repro.errors import ConfigurationError
+    from repro.obs import read_trace_records
+    from repro.obs.tracing import (
+        critical_path,
+        group_traces,
+        render_trace,
+        write_chrome_trace,
+    )
+
+    try:
+        records = read_trace_records(args.jsonl)
+    except (ConfigurationError, OSError) as exc:
+        print(f"trace failed: {exc}", file=sys.stderr)
+        return 2
+    if args.chrome:
+        count = write_chrome_trace(records, args.chrome)
+        # Keep stdout pure JSON under --json (CI round-trips it).
+        out = sys.stderr if args.json else sys.stdout
+        print(f"{count} Chrome trace events written to {args.chrome}", file=out)
+    try:
+        if args.json:
+            paths = [
+                critical_path(events)
+                for events in group_traces(records).values()
+            ]
+            if args.job is not None:
+                paths = [p for p in paths if p["subject"] == args.job]
+                if not paths:
+                    raise ConfigurationError(
+                        f"no trace found for subject {args.job!r}"
+                    )
+            print(_json.dumps(paths, indent=2, sort_keys=True))
+        else:
+            print(render_trace(records, job=args.job))
+    except ConfigurationError as exc:
+        print(f"trace failed: {exc}", file=sys.stderr)
         return 2
     return 0
 
@@ -763,6 +818,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--alerts", action="store_true",
                    help="arm the live SLO watchdog (alert records stream "
                         "to --jsonl when given)")
+    p.add_argument("--trace", action="store_true",
+                   help="attach the causal job tracer (trace events "
+                        "stream to --jsonl when given)")
     p.set_defaults(func=cmd_telemetry)
 
     p = sub.add_parser(
@@ -776,7 +834,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="control-cycle index to explain")
     p.add_argument("--app", default=None,
                    help="restrict the narrative to one application id")
+    p.add_argument("--job", default=None,
+                   help="append the job's causal-trace lifecycle section "
+                        "(requires a stream recorded with --trace)")
     p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
+        "trace",
+        help="reconstruct causal job traces from a recorded JSONL stream "
+             "(waterfall, wait decomposition, Chrome export)",
+    )
+    p.add_argument("jsonl", help="JSONL stream recorded with "
+                                 "'repro telemetry --trace --jsonl PATH'")
+    p.add_argument("--job", default=None,
+                   help="render one subject's waterfall instead of the "
+                        "all-traces summary table")
+    p.add_argument("--json", action="store_true",
+                   help="emit the critical-path decompositions as JSON")
+    p.add_argument("--chrome", metavar="PATH", default=None,
+                   help="also export a Chrome trace-event JSON file "
+                        "(loads in Perfetto / chrome://tracing)")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
         "report",

@@ -326,12 +326,16 @@ class ApplicationPlacementController:
         audit: Optional[DecisionAudit] = None,
         objective: ObjectiveLike = None,
         admission: AdmissionLike = None,
+        tracer=None,
     ) -> None:
         self._cluster = cluster
         self._config = config or APCConfig()
         self._constraints = constraints or ConstraintSet()
         self._profiler = profiler
         self._audit = audit
+        #: Optional causal job tracer (``repro.obs.tracing.JobTracer``);
+        #: receives the same admission verdicts as the audit.
+        self._tracer = tracer
         #: Candidate-ranking strategy; ``None`` resolves to the paper's
         #: lexicographic maxmin, byte-identical to the historical
         #: hardwired scoring.
@@ -401,6 +405,15 @@ class ApplicationPlacementController:
         recorder.  Placement decisions are unaffected either way."""
         self._audit = audit
 
+    @property
+    def tracer(self):
+        return self._tracer
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach (or detach, with ``None``) the causal job tracer.
+        Placement decisions are unaffected either way."""
+        self._tracer = tracer
+
     def _span(self, name: str, **attrs: object):
         """A profiler span, or the shared no-op when un-instrumented."""
         if self._profiler is None:
@@ -447,6 +460,8 @@ class ApplicationPlacementController:
         audit = self._audit
         if audit is not None:
             audit.begin_cycle(now)
+        if self._tracer is not None:
+            self._tracer.begin_cycle(now)
         with self._span("apc.model_specs"):
             specs = self._merge_specs(models, now)
             candidates = self._merge_candidates(models, now)
@@ -861,7 +876,7 @@ class ApplicationPlacementController:
             if self._config.vectorize and not len(self._constraints):
                 return self._greedy_admit_vec(state, specs, unplaced, utilities)
             return self._greedy_admit_fast(state, specs, unplaced, utilities)
-        audit = self._audit
+        observe = self._audit is not None or self._tracer is not None
         placed_any = False
         for rank, app_id in enumerate(unplaced):
             spec = specs[app_id]
@@ -895,13 +910,13 @@ class ApplicationPlacementController:
                     state.place(app_id, target, spec.demand.memory_mb)
                     placed_any = True
                     placed_nodes.append(target)
-            if audit is not None:
-                self._audit_admission(
+            if observe:
+                self._note_admission(
                     state, specs, app_id, rank, utilities, placed_nodes
                 )
         return placed_any
 
-    def _audit_admission(
+    def _note_admission(
         self,
         state: PlacementState,
         specs: Mapping[str, AllocatableApp],
@@ -910,19 +925,33 @@ class ApplicationPlacementController:
         utilities: Mapping[str, float],
         placed_nodes: Sequence[str],
     ) -> None:
-        """Emit one greedy-admission verdict (audit-on paths only)."""
-        self._audit.admission(
-            app_id,
-            accepted=bool(placed_nodes),
-            reason=(
-                "placed"
-                if placed_nodes
-                else self._admission_reject_reason(state, specs, app_id)
-            ),
-            lrpf_rank=rank,
-            utility=utilities.get(app_id, specs[app_id].rpf.max_utility),
-            nodes=placed_nodes,
+        """Emit one greedy-admission verdict to the attached observers
+        (audit and/or tracer); only called when at least one is on."""
+        accepted = bool(placed_nodes)
+        reason = (
+            "placed"
+            if placed_nodes
+            else self._admission_reject_reason(state, specs, app_id)
         )
+        utility = utilities.get(app_id, specs[app_id].rpf.max_utility)
+        if self._audit is not None:
+            self._audit.admission(
+                app_id,
+                accepted=accepted,
+                reason=reason,
+                lrpf_rank=rank,
+                utility=utility,
+                nodes=placed_nodes,
+            )
+        if self._tracer is not None:
+            self._tracer.admission(
+                app_id,
+                accepted=accepted,
+                reason=reason,
+                lrpf_rank=rank,
+                utility=utility,
+                nodes=placed_nodes,
+            )
 
     def _admission_reject_reason(
         self,
@@ -934,7 +963,8 @@ class ApplicationPlacementController:
 
         Checks are ordered by specificity and computed from the state
         alone, so both search paths report identical reasons.  Only
-        called with an audit attached — never on the decision path.
+        called with an audit or tracer attached — never on the decision
+        path.
         """
         demand = specs[app_id].demand
         if (
@@ -982,7 +1012,7 @@ class ApplicationPlacementController:
         cpu_avail = {n: state.cpu_available(n) for n in node_names}
         node_pos = self._node_pos
         constraints = self._constraints if len(self._constraints) else None
-        audit = self._audit
+        observe = self._audit is not None or self._tracer is not None
         placed_any = False
         for rank, app_id in enumerate(unplaced):
             demand = specs[app_id].demand
@@ -1029,8 +1059,8 @@ class ApplicationPlacementController:
                     mem_avail[target] -= memory_mb
                     placed_any = True
                     placed_nodes.append(target)
-            if audit is not None:
-                self._audit_admission(
+            if observe:
+                self._note_admission(
                     state, specs, app_id, rank, utilities, placed_nodes
                 )
         return placed_any
@@ -1061,7 +1091,7 @@ class ApplicationPlacementController:
         cpu_avail = cpu_caps - state.cpu_used_array()
         committed_by_name = self._committed_min_cpu(state, specs)
         committed = np.array([committed_by_name[n] for n in names])
-        audit = self._audit
+        observe = self._audit is not None or self._tracer is not None
         placed_any = False
         for rank, app_id in enumerate(unplaced):
             demand = specs[app_id].demand
@@ -1091,8 +1121,8 @@ class ApplicationPlacementController:
                 mem_avail[target] -= memory_mb
                 placed_any = True
                 placed_nodes.append(names[target])
-            if audit is not None:
-                self._audit_admission(
+            if observe:
+                self._note_admission(
                     state, specs, app_id, rank, utilities, placed_nodes
                 )
         return placed_any

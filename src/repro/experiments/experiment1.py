@@ -127,6 +127,7 @@ def run_experiment_one(
     decision_clock=None,
     audit=None,
     alerts=None,
+    tracer=None,
 ) -> ExperimentOneResult:
     """Run Experiment One at the given scale.
 
@@ -146,7 +147,9 @@ def run_experiment_one(
     :class:`~repro.obs.audit.DecisionAudit`) attaches the decision
     flight recorder to the placement controller; ``alerts`` (an
     :class:`~repro.obs.alerts.AlertConfig`) arms the live SLO watchdog
-    inside the control loop (alert records stream to ``trace``'s sink).
+    inside the control loop (alert records stream to ``trace``'s sink);
+    ``tracer`` (a :class:`~repro.obs.tracing.JobTracer`) threads causal
+    job traces through simulator, reconciler, and controller.
     """
     # Deferred: repro.scenario itself imports repro.experiments.common,
     # so a module-level import here would cycle through the package init.
@@ -178,6 +181,7 @@ def run_experiment_one(
         trace=trace,
         decision_clock=decision_clock,
         audit=audit,
+        tracer=tracer,
     )
     jobs = simulation.jobs
     metrics = simulation.run()

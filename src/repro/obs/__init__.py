@@ -21,7 +21,13 @@ Three pieces, composable and individually optional:
   the control loop, emitting versioned ``alert_fired`` /
   ``alert_resolved`` records through the sink;
 * :mod:`repro.obs.health` — roll-up of active alerts into per-app /
-  per-node / controller ok-degraded-critical verdicts.
+  per-node / controller ok-degraded-critical verdicts;
+* :mod:`repro.obs.tracing` — the causal job tracer
+  (:class:`~repro.obs.tracing.JobTracer`): end-to-end lifecycle spans
+  per job and per transactional-app epoch, with critical-path
+  wait-time decomposition (:func:`~repro.obs.tracing.critical_path`)
+  and Chrome trace-event export
+  (:func:`~repro.obs.tracing.to_chrome_trace`).
 
 Everything here is opt-in: with no profiler, registry, sink, or audit
 attached the instrumented code paths do nothing, and simulation results
@@ -62,11 +68,14 @@ from repro.obs.sink import (
     MIN_ALERT_SCHEMA_VERSION,
     MIN_AUDIT_SCHEMA_VERSION,
     MIN_SUPPORTED_SCHEMA_VERSION,
+    MIN_TRACE_SCHEMA_VERSION,
     SCHEMA_VERSION,
+    TRACE_RECORD_TYPES,
     JsonlSink,
     read_alert_records,
     read_audit_records,
     read_jsonl,
+    read_trace_records,
     validate_jsonl,
     validate_record,
 )
@@ -76,6 +85,17 @@ from repro.obs.spans import (
     SpanRecord,
     SpanStats,
     render_profile,
+)
+from repro.obs.tracing import (
+    SEGMENTS,
+    JobTracer,
+    critical_path,
+    group_traces,
+    render_trace,
+    segment_timeline,
+    to_chrome_trace,
+    trace_chain,
+    write_chrome_trace,
 )
 
 __all__ = [
@@ -105,11 +125,14 @@ __all__ = [
     "MIN_ALERT_SCHEMA_VERSION",
     "MIN_AUDIT_SCHEMA_VERSION",
     "MIN_SUPPORTED_SCHEMA_VERSION",
+    "MIN_TRACE_SCHEMA_VERSION",
     "SCHEMA_VERSION",
+    "TRACE_RECORD_TYPES",
     "JsonlSink",
     "read_alert_records",
     "read_audit_records",
     "read_jsonl",
+    "read_trace_records",
     "validate_jsonl",
     "validate_record",
     "NULL_SPAN",
@@ -117,4 +140,13 @@ __all__ = [
     "SpanRecord",
     "SpanStats",
     "render_profile",
+    "SEGMENTS",
+    "JobTracer",
+    "critical_path",
+    "group_traces",
+    "render_trace",
+    "segment_timeline",
+    "to_chrome_trace",
+    "trace_chain",
+    "write_chrome_trace",
 ]

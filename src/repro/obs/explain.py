@@ -18,7 +18,12 @@ from pathlib import Path
 from typing import Dict, IO, List, Optional, Union
 
 from repro.errors import ConfigurationError
-from repro.obs.sink import ALERT_RECORD_TYPES, read_audit_records, read_jsonl
+from repro.obs.sink import (
+    ALERT_RECORD_TYPES,
+    TRACE_RECORD_TYPES,
+    read_audit_records,
+    read_jsonl,
+)
 
 Source = Union[str, Path, IO[str], List[Dict[str, object]]]
 
@@ -79,13 +84,23 @@ def _describe_candidate(record: Dict[str, object]) -> List[str]:
     return lines
 
 
-def explain_cycle(source: Source, cycle: int, app: Optional[str] = None) -> str:
+def explain_cycle(
+    source: Source,
+    cycle: int,
+    app: Optional[str] = None,
+    job: Optional[str] = None,
+) -> str:
     """Render the decision narrative of one recorded control cycle.
 
     ``source`` is a JSONL path/stream or a parsed record list; ``app``
     restricts the narrative to records mentioning one application.
-    Raises :class:`~repro.errors.ConfigurationError` when the stream has
-    no audit records or no such cycle.
+    ``job`` appends that job's causal-trace lifecycle (arrival through
+    the latest recorded event, with its wait-time decomposition) —
+    requires the run to have been recorded with a
+    :class:`~repro.obs.tracing.JobTracer` attached.  Raises
+    :class:`~repro.errors.ConfigurationError` when the stream has no
+    audit records, no such cycle, or (with ``job``) no trace events for
+    that job.
     """
     raw = source if isinstance(source, list) else read_jsonl(source)
     records = read_audit_records(raw)
@@ -186,7 +201,60 @@ def explain_cycle(source: Source, cycle: int, app: Optional[str] = None) -> str:
         for rule, subject, severity in active:
             lines.append(f"  [{severity}] {rule} on {subject}")
 
+    if job is not None:
+        lines.extend(_job_lifecycle(raw, cycle, job))
+
     return "\n".join(lines)
+
+
+def _job_lifecycle(records, cycle: int, job: str) -> List[str]:
+    """Narrative lines for one job's causal trace (``--job`` section).
+
+    Lists every recorded lifecycle event (admission verdicts flagged
+    when they belong to the explained cycle — the ``cycle`` field in
+    the event detail is the join key to the audit records above) and
+    closes with the critical-path wait decomposition.
+    """
+    from repro.obs.tracing import SEGMENTS, critical_path
+
+    events = [
+        r
+        for r in records
+        if r.get("type") in TRACE_RECORD_TYPES and r.get("subject") == job
+    ]
+    if not events:
+        raise ConfigurationError(
+            f"no trace events for job {job!r} — was the run recorded "
+            "with a JobTracer attached (repro telemetry --trace)?"
+        )
+    lines = ["", f"job {job} lifecycle (trace {events[0]['trace']}):"]
+    for event in events:
+        detail = event.get("detail", {})
+        marker = " <- this cycle" if detail.get("cycle") == cycle else ""
+        extras = ", ".join(
+            f"{k}={v}" for k, v in sorted(detail.items()) if k != "cycle"
+        )
+        lines.append(
+            "  t={:>10.1f}  {}{}{}".format(
+                float(event["time"]),
+                event["name"],
+                f" ({extras})" if extras else "",
+                marker,
+            )
+        )
+    try:
+        path = critical_path(events)
+    except ConfigurationError:
+        return lines  # capacity-evicted chain: events alone still help
+    state = "complete" if path["complete"] else "still in flight"
+    lines.append(f"  wait decomposition ({state}, {path['total']:.1f}s so far):")
+    for segment in SEGMENTS:
+        seconds = path["segments"].get(segment, 0.0)
+        if seconds <= 0.0:
+            continue
+        fraction = seconds / path["total"] if path["total"] else 0.0
+        lines.append(f"    {segment:<10} {seconds:>10.1f}s  {fraction:>6.1%}")
+    return lines
 
 
 def _alerts_active_at(records, cycle: int):

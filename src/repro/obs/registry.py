@@ -69,27 +69,43 @@ class _Metric:
 
 
 class _CounterChild:
-    __slots__ = ("value",)
+    __slots__ = ("value", "exemplar")
 
     def __init__(self) -> None:
         self.value = 0.0
+        #: Latest trace ID attached to an increment (``None`` until one
+        #: is captured; exposition omits it entirely in that case).
+        self.exemplar = None
 
-    def inc(self, amount: float = 1.0) -> None:
+    def inc(self, amount: float = 1.0, exemplar: Optional[str] = None) -> None:
         if amount < 0:
             raise ConfigurationError(f"counters only go up, got {amount}")
         self.value += amount
+        if exemplar is not None:
+            self.exemplar = str(exemplar)
 
 
 class Counter(_Metric):
-    """Monotonically increasing count."""
+    """Monotonically increasing count.
+
+    ``inc`` accepts an optional ``exemplar`` — a trace ID linking the
+    increment back to the causal job trace that caused it (e.g. the
+    offending job of an SLA breach).  Only the latest exemplar per
+    series is kept.
+    """
 
     kind = "counter"
 
     def _new_child(self) -> _CounterChild:
         return _CounterChild()
 
-    def inc(self, amount: float = 1.0, **labels: object) -> None:
-        self.labels(**labels).inc(amount)
+    def inc(
+        self,
+        amount: float = 1.0,
+        exemplar: Optional[str] = None,
+        **labels: object,
+    ) -> None:
+        self.labels(**labels).inc(amount, exemplar=exemplar)
 
     def value(self, **labels: object) -> float:
         return self.labels(**labels).value
@@ -127,7 +143,7 @@ class Gauge(_Metric):
 
 
 class _HistogramChild:
-    __slots__ = ("buckets", "counts", "sum", "count")
+    __slots__ = ("buckets", "counts", "sum", "count", "exemplars")
 
     def __init__(self, buckets: Tuple[float, ...]) -> None:
         self.buckets = buckets
@@ -136,15 +152,22 @@ class _HistogramChild:
         self.counts = [0] * (len(buckets) + 1)
         self.sum = 0.0
         self.count = 0
+        #: bucket index -> latest trace ID observed into that bucket
+        #: (empty until an observation carries an exemplar).
+        self.exemplars: Dict[int, str] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         self.sum += value
         self.count += 1
         for i, upper in enumerate(self.buckets):
             if value <= upper:
                 self.counts[i] += 1
+                if exemplar is not None:
+                    self.exemplars[i] = str(exemplar)
                 return
         self.counts[-1] += 1
+        if exemplar is not None:
+            self.exemplars[len(self.buckets)] = str(exemplar)
 
     def cumulative(self) -> List[int]:
         """Cumulative counts per bucket (Prometheus ``le`` semantics),
@@ -188,6 +211,10 @@ class Histogram(_Metric):
     Bucket edges are *upper bounds*, inclusive (``value <= upper``),
     matching Prometheus ``le`` semantics; an implicit +Inf bucket
     catches the tail.
+
+    ``observe`` accepts an optional ``exemplar`` trace ID; the latest
+    exemplar landing in each bucket is kept, so wait-time outliers link
+    back to the causal job trace that produced them.
     """
 
     kind = "histogram"
@@ -212,8 +239,13 @@ class Histogram(_Metric):
     def _new_child(self) -> _HistogramChild:
         return _HistogramChild(self.buckets)
 
-    def observe(self, value: float, **labels: object) -> None:
-        self.labels(**labels).observe(value)
+    def observe(
+        self,
+        value: float,
+        exemplar: Optional[str] = None,
+        **labels: object,
+    ) -> None:
+        self.labels(**labels).observe(value, exemplar=exemplar)
 
     def time(
         self, clock: Optional[Callable[[], float]] = None, **labels: object
@@ -307,8 +339,12 @@ class MetricRegistry:
                             list(metric.buckets) + ["+Inf"], child.cumulative()
                         )
                     }
+                    if child.exemplars:
+                        sample["exemplars"] = _bucket_exemplars(metric, child)
                 else:
                     sample["value"] = child.value
+                    if getattr(child, "exemplar", None) is not None:
+                        sample["exemplar"] = child.exemplar
                 samples.append(sample)
         return samples
 
@@ -343,9 +379,23 @@ class MetricRegistry:
                             )
                         },
                     }
+                    if child.exemplars:
+                        out[key]["exemplars"] = _bucket_exemplars(metric, child)
+                elif getattr(child, "exemplar", None) is not None:
+                    # Exemplar keys ride alongside the numeric sample so
+                    # existing consumers (sweep merging, diffing) keep
+                    # seeing plain floats under the canonical key.
+                    out[key] = child.value
+                    out[f"{key}#exemplar"] = child.exemplar
                 else:
                     out[key] = child.value
         return out
+
+
+def _bucket_exemplars(metric: "Histogram", child: _HistogramChild) -> Dict[str, str]:
+    """``le``-edge -> trace ID map for a histogram child's exemplars."""
+    edges = [str(e) for e in metric.buckets] + ["+Inf"]
+    return {edges[i]: trace for i, trace in sorted(child.exemplars.items())}
 
 
 def _format_value(value: float) -> str:
@@ -362,7 +412,12 @@ def _format_labels(labels: Mapping[str, str], extra: str = "") -> str:
 
 
 def render_prometheus(registry: MetricRegistry) -> str:
-    """Prometheus text exposition (format version 0.0.4) of the registry."""
+    """Prometheus text exposition (format version 0.0.4) of the registry.
+
+    Captured exemplars are emitted as ``# EXEMPLAR`` comment lines after
+    the sample they annotate (the 0.0.4 text format has no native
+    exemplar syntax); series without exemplars render exactly as before.
+    """
     lines: List[str] = []
     for metric in registry.metrics():
         if metric.help:
@@ -372,12 +427,19 @@ def render_prometheus(registry: MetricRegistry) -> str:
             if metric.kind == "histogram":
                 cumulative = child.cumulative()
                 edges = [str(e) for e in metric.buckets] + ["+Inf"]
-                for edge, cum in zip(edges, cumulative):
+                for i, (edge, cum) in enumerate(zip(edges, cumulative)):
                     extra = 'le="' + edge + '"'
                     lines.append(
                         f"{metric.name}_bucket"
                         f"{_format_labels(labels, extra)} {cum}"
                     )
+                    trace = child.exemplars.get(i)
+                    if trace is not None:
+                        lines.append(
+                            f"# EXEMPLAR {metric.name}_bucket"
+                            f'{_format_labels(labels, extra)} '
+                            f'trace_id="{trace}"'
+                        )
                 lines.append(
                     f"{metric.name}_sum{_format_labels(labels)} "
                     f"{_format_value(child.sum)}"
@@ -390,6 +452,12 @@ def render_prometheus(registry: MetricRegistry) -> str:
                     f"{metric.name}{_format_labels(labels)} "
                     f"{_format_value(child.value)}"
                 )
+                trace = getattr(child, "exemplar", None)
+                if trace is not None:
+                    lines.append(
+                        f"# EXEMPLAR {metric.name}{_format_labels(labels)} "
+                        f'trace_id="{trace}"'
+                    )
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -7,8 +7,11 @@ opens files.  Charts: the per-cycle utility vector (worst and mean of
 the sorted relative-performance vector after each decision), SLA
 attainment (fraction of applications at or above goal), placement churn
 per cycle, the APC per-cycle phase-time breakdown from the span
-profiler, and the SLO watchdog's alert timeline (fired/resolved pairs
-from :mod:`repro.obs.alerts`).
+profiler, the SLO watchdog's alert timeline (fired/resolved pairs
+from :mod:`repro.obs.alerts`), and — when the run was recorded with a
+:class:`~repro.obs.tracing.JobTracer` attached — a per-job wait-time
+waterfall decomposing each job's lifetime into its critical-path
+segments.
 
 Each chart degrades gracefully: a stream recorded without an audit (or
 without a profiler) renders the sections it can and notes what is
@@ -22,12 +25,25 @@ import json
 from pathlib import Path
 from typing import Dict, IO, List, Optional, Sequence, Tuple, Union
 
-from repro.obs.sink import ALERT_RECORD_TYPES, AUDIT_RECORD_TYPES, read_jsonl
+from repro.errors import ConfigurationError
+from repro.obs.sink import (
+    ALERT_RECORD_TYPES,
+    AUDIT_RECORD_TYPES,
+    TRACE_RECORD_TYPES,
+    read_jsonl,
+)
+from repro.obs.tracing import SEGMENTS, critical_path, group_traces
 
 Source = Union[str, Path, IO[str], List[Dict[str, object]]]
 
 #: Line colors, cycled across series.
 _PALETTE = ("#2563eb", "#dc2626", "#16a34a", "#9333ea", "#ea580c", "#0891b2")
+
+#: Waterfall segment colors, one per critical-path segment.
+_SEGMENT_COLORS = dict(zip(SEGMENTS, _PALETTE))
+
+#: Per-job waterfall rows rendered before the table is truncated.
+_MAX_WATERFALL_ROWS = 60
 
 _CSS = """
 body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 60rem;
@@ -148,6 +164,56 @@ def _phase_series(
         phases[name][index] += span["duration"]
     labels = sorted(phases)
     return labels, phases
+
+
+def _job_waterfalls(
+    trace_records: List[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """critical_path dicts for every job trace, in arrival order.
+
+    App-epoch traces (which do not start with an ``arrival`` event) are
+    skipped — the waterfall is a per-job view.  Traces whose chain was
+    truncated by the tracer's capacity bound are skipped too.
+    """
+    paths = []
+    for events in group_traces(trace_records).values():
+        if not events or events[0].get("name") != "arrival":
+            continue
+        try:
+            paths.append(critical_path(events))
+        except ConfigurationError:
+            continue
+    paths.sort(key=lambda p: p["start"])
+    return paths
+
+
+def _waterfall_row(path: Dict[str, object]) -> str:
+    total = float(path["total"])
+    bars = []
+    for segment in SEGMENTS:
+        seconds = float(path["segments"].get(segment, 0.0))
+        if seconds <= 0.0 or total <= 0.0:
+            continue
+        bars.append(
+            f'<div title="{_html.escape(segment)}: {seconds:,.0f}s" '
+            f'style="background:{_SEGMENT_COLORS[segment]};'
+            f'width:{100.0 * seconds / total:.2f}%"></div>'
+        )
+    bar = (
+        '<div style="display:flex;width:20rem;height:0.9rem;'
+        'border:1px solid #e5e7eb">' + "".join(bars) + "</div>"
+    )
+    dominant = max(path["segments"], key=path["segments"].get)
+    return (
+        "<tr>"
+        f"<td>{_html.escape(str(path['subject']))}</td>"
+        f"<td>{_html.escape(str(path['trace']))}</td>"
+        f"<td>{total:,.0f}s</td>"
+        f"<td>{bar}</td>"
+        f"<td>{_html.escape(dominant)}</td>"
+        f"<td>{'yes' if path['complete'] else 'in flight'}</td>"
+        "</tr>"
+    )
 
 
 def render_report(source: Source, title: Optional[str] = None) -> str:
@@ -297,6 +363,42 @@ def render_report(source: Source, title: Optional[str] = None) -> str:
                 "no alert records in this stream — record the run with "
                 "the SLO watchdog armed (SimulationConfig(alerts=...)) "
                 "for a timeline"
+            )
+        )
+
+    # -- per-job wait waterfall -----------------------------------------
+    trace_records = [r for r in records if r.get("type") in TRACE_RECORD_TYPES]
+    paths = _job_waterfalls(trace_records) if trace_records else []
+    if paths:
+        legend = "".join(
+            f'<span><i style="background:{_SEGMENT_COLORS[s]}"></i>'
+            f"{_html.escape(s)}</span>"
+            for s in SEGMENTS
+        )
+        shown = paths[:_MAX_WATERFALL_ROWS]
+        note = (
+            f'<p class="note">showing the first {len(shown)} of '
+            f"{len(paths)} jobs by arrival time</p>"
+            if len(paths) > len(shown)
+            else ""
+        )
+        sections.append(
+            "<h2>Per-job wait waterfall (causal tracer)</h2>"
+            f'<div class="legend">{legend}</div>'
+            '<table class="meta"><tr><th>job</th><th>trace</th>'
+            "<th>total</th><th>decomposition</th><th>dominant</th>"
+            "<th>complete</th></tr>"
+            + "".join(_waterfall_row(p) for p in shown)
+            + "</table>"
+            + note
+        )
+    else:
+        sections.append(
+            "<h2>Per-job wait waterfall</h2>"
+            + _missing(
+                "no trace events in this stream — record the run with a "
+                "JobTracer attached (repro telemetry --trace) for "
+                "per-job waterfalls"
             )
         )
 

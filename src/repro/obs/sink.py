@@ -30,6 +30,11 @@ Version history:
   ``alert_resolved`` record types emitted by
   :class:`repro.obs.alerts.AlertEngine` and the ``heartbeat`` records
   sweep workers write into run directories.
+* **v5** — causal job tracer: adds the ``trace_event`` record type
+  emitted by :class:`repro.obs.tracing.JobTracer` — one record per
+  causally linked lifecycle event (arrival, admission verdict,
+  placement directive, reconcile outcome, suspend/resume, completion),
+  carrying a stable trace ID plus span/parent-span IDs.
 """
 
 from __future__ import annotations
@@ -43,7 +48,7 @@ from typing import Dict, IO, Iterable, List, Optional, Union
 from repro.errors import ConfigurationError
 
 #: Version of the JSONL record schema (see policy in the module docstring).
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: Oldest schema version current readers still accept.  v1/v2 streams
 #: predate the unified version line and are rejected with an upgrade
@@ -56,6 +61,9 @@ MIN_AUDIT_SCHEMA_VERSION = 3
 #: First schema version whose streams can carry alert records.
 MIN_ALERT_SCHEMA_VERSION = 4
 
+#: First schema version whose streams can carry trace records.
+MIN_TRACE_SCHEMA_VERSION = 5
+
 #: Stream identifier written in the leading meta record.
 STREAM_NAME = "repro.telemetry"
 
@@ -66,6 +74,9 @@ AUDIT_RECORD_TYPES = frozenset(
 
 #: Record types emitted by the live SLO watchdog (schema v4+).
 ALERT_RECORD_TYPES = frozenset({"alert_fired", "alert_resolved"})
+
+#: Record types emitted by the causal job tracer (schema v5+).
+TRACE_RECORD_TYPES = frozenset({"trace_event"})
 
 #: Required fields (beyond ``v``/``type``) per record type.
 _REQUIRED: Dict[str, Dict[str, type]] = {
@@ -126,6 +137,15 @@ _REQUIRED: Dict[str, Dict[str, type]] = {
         "time": (int, float),
         "spec": str,
         "status": str,
+    },
+    "trace_event": {
+        "time": (int, float),
+        "trace": str,
+        "span": str,
+        "parent": str,
+        "subject": str,
+        "name": str,
+        "detail": dict,
     },
 }
 
@@ -373,6 +393,41 @@ def read_alert_records(
     return alerts
 
 
+def read_trace_records(
+    source: Union[str, Path, IO[str], List[Dict[str, object]]],
+) -> List[Dict[str, object]]:
+    """Read and validate the trace records of a telemetry stream.
+
+    Mirrors :func:`read_audit_records` for the causal job tracer:
+    returns only :data:`TRACE_RECORD_TYPES` records, validated, in
+    stream order.  Raises :class:`~repro.errors.ConfigurationError` when
+    the stream is empty, predates schema v5, or was recorded without a
+    ``JobTracer`` attached.
+    """
+    if isinstance(source, list):
+        records = source
+    else:
+        records = read_jsonl(source)
+    if not records:
+        raise ConfigurationError("empty telemetry stream")
+    records = _skip_unknown_types(records, "read_trace_records")
+    traces = [r for r in records if r.get("type") in TRACE_RECORD_TYPES]
+    if not traces:
+        _explain_version_gap(
+            records, MIN_TRACE_SCHEMA_VERSION, "causal job tracer", "trace"
+        )
+        raise ConfigurationError(
+            "stream contains no trace records — was the run recorded with "
+            "a JobTracer attached (repro telemetry --trace)?"
+        )
+    _explain_version_gap(
+        traces, MIN_TRACE_SCHEMA_VERSION, "causal job tracer", "trace"
+    )
+    for record in traces:
+        validate_record(record)
+    return traces
+
+
 def _explain_version_gap(
     records: List[Dict[str, object]], min_version: int, layer: str, noun: str
 ) -> None:
@@ -393,12 +448,15 @@ __all__ = [
     "MIN_ALERT_SCHEMA_VERSION",
     "MIN_AUDIT_SCHEMA_VERSION",
     "MIN_SUPPORTED_SCHEMA_VERSION",
+    "MIN_TRACE_SCHEMA_VERSION",
     "SCHEMA_VERSION",
     "STREAM_NAME",
+    "TRACE_RECORD_TYPES",
     "JsonlSink",
     "read_alert_records",
     "read_audit_records",
     "read_jsonl",
+    "read_trace_records",
     "validate_jsonl",
     "validate_record",
 ]

@@ -74,6 +74,9 @@ class PolicyContext:
     profiler: Optional[SpanProfiler] = None
     registry: Optional[MetricRegistry] = None
     audit: Optional[DecisionAudit] = None
+    #: Optional causal job tracer (``repro.obs.tracing.JobTracer``);
+    #: APC-backed policies mirror admission verdicts onto it.
+    tracer: Optional[object] = None
 
 
 #: builder(context, **params) -> policy instance
@@ -169,6 +172,7 @@ def _build_apc(context: PolicyContext, **params: object) -> APCPolicy:
         audit=context.audit,
         objective=resolve_objective(objective),
         admission=resolve_admission(admission),
+        tracer=context.tracer,
     )
     return APCPolicy(controller, [context.batch_model])
 

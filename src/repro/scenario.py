@@ -246,14 +246,18 @@ class Simulation:
         trace: Optional[SimulationTrace] = None,
         decision_clock: Optional[Callable[[], float]] = None,
         audit: Optional[DecisionAudit] = None,
+        tracer=None,
     ) -> "Simulation":
         """Assemble the full object graph for one scenario.
 
         The telemetry knobs are all opt-in (:mod:`repro.obs`); the
         profiler is shared between simulator and controller so APC
-        phases nest under the cycle spans, and ``audit`` (a
+        phases nest under the cycle spans, ``audit`` (a
         :class:`~repro.obs.audit.DecisionAudit`) attaches the decision
-        flight recorder to the controller.  ``decision_clock`` overrides
+        flight recorder to the controller, and ``tracer`` (a
+        :class:`~repro.obs.tracing.JobTracer`) is shared between
+        simulator, reconciler, and controller so every job lifecycle
+        event lands on one causal trace.  ``decision_clock`` overrides
         the scenario's simulation config for this build only (it is a
         live callable and deliberately not part of the serialized
         scenario).
@@ -286,6 +290,7 @@ class Simulation:
             profiler=profiler,
             registry=registry,
             audit=audit,
+            tracer=tracer,
         )
         policy = default_policy_registry().create(
             scenario.policy, context, **scenario.policy_params
@@ -306,6 +311,7 @@ class Simulation:
             trace=trace,
             registry=registry,
             profiler=profiler,
+            tracer=tracer,
         )
         return cls(
             scenario,
@@ -352,6 +358,7 @@ class Simulation:
         trace: Optional[SimulationTrace] = None,
         decision_clock: Optional[Callable[[], float]] = None,
         audit: Optional[DecisionAudit] = None,
+        tracer=None,
     ) -> "Simulation":
         """Rebuild a simulation from a :meth:`snapshot` checkpoint.
 
@@ -359,7 +366,10 @@ class Simulation:
         telemetry knobs as :meth:`from_scenario`), then the simulator
         state is restored on top.  With an ``audit`` attached, its cycle
         numbering resumes after the cycles the checkpoint already
-        recorded.  Raises :class:`~repro.errors.CheckpointError` on a
+        recorded; a ``tracer`` restores its full in-flight state (ID
+        counters, open parent chains) from the checkpoint when the
+        interrupted run carried one, and otherwise just resumes cycle
+        numbering.  Raises :class:`~repro.errors.CheckpointError` on a
         truncated, malformed, or version-mismatched checkpoint.
         """
         check_version(snapshot, "simulation checkpoint")
@@ -378,9 +388,12 @@ class Simulation:
             trace=trace,
             decision_clock=decision_clock,
             audit=audit,
+            tracer=tracer,
         )
         state = require(snapshot, "simulator", "simulation checkpoint")
         sim.simulator.restore(state)
         if audit is not None:
             audit.resume_at(int(state.get("cycles_recorded", 0)))
+        if tracer is not None and state.get("tracer") is None:
+            tracer.resume_at(int(state.get("cycles_recorded", 0)))
         return sim

@@ -38,7 +38,11 @@ PathLike = Union[str, Path]
 #:   / ``heartbeat`` record types in the JSONL stream.  The export
 #:   document itself is unchanged; the version moves in lockstep with
 #:   the stream schema.
-SCHEMA_VERSION = 4
+#: * **5** — the causal job tracer: ``trace_event`` records in the JSONL
+#:   stream, and (runs recorded with a tracer only) the JSON ``wait``
+#:   section carrying per-job wait-time decompositions and the
+#:   per-segment aggregate.
+SCHEMA_VERSION = 5
 
 #: Column order for cycle samples (stable export schema).
 CYCLE_COLUMNS = (
@@ -185,6 +189,13 @@ def metrics_to_json(
         "faults": faults.as_dict(),
         "sla": sla_summary(metrics),
     }
+    if metrics.wait_profiles:
+        # Only present for runs recorded with a JobTracer attached, so
+        # non-traced export documents are unchanged across v4 -> v5.
+        document["wait"] = {
+            "decomposition": metrics.wait_decomposition(),
+            "profiles": metrics.wait_profiles,
+        }
 
     def default(value):
         if value != value:  # NaN -> null

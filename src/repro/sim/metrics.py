@@ -317,6 +317,12 @@ class MetricsRecorder:
         #: Fallible-actuator accounting (all zeros when fault injection
         #: is off — the default).
         self.faults = ActionFaultStats()
+        #: job_id -> wait-time decomposition from the causal tracer's
+        #: critical path (empty unless a JobTracer is attached).
+        self.wait_profiles: Dict[str, Dict[str, object]] = {}
+        #: Registered lazily on the first wait profile, so runs without
+        #: a tracer leave the registry's series set untouched.
+        self._h_wait = None
         self.registry = registry
         if registry is not None:
             self.faults.bind_registry(registry)
@@ -424,19 +430,77 @@ class MetricsRecorder:
             if not record.met_deadline:
                 # Batch SLA breaches are missed deadlines, counted once
                 # at completion (the per-cycle hypothetical is a
-                # prediction, not an outcome).
-                self._c_breaches.inc(app="batch")
+                # prediction, not an outcome).  With a tracer attached
+                # the job carries its trace ID, linking the breach back
+                # to the offending job's causal trace.
+                self._c_breaches.inc(app="batch", exemplar=job.trace_id)
+
+    def record_wait_profile(self, path: Dict[str, object]) -> None:
+        """Store a completed job's wait-time decomposition.
+
+        ``path`` is the dict :func:`repro.obs.tracing.critical_path`
+        returns.  With a registry attached, each non-zero segment is
+        also observed into ``repro_job_wait_seconds{segment}`` with the
+        job's trace ID as exemplar; the histogram is registered lazily
+        so non-traced runs' registry output is byte-identical.
+        """
+        segments = {k: float(v) for k, v in dict(path["segments"]).items()}
+        self.wait_profiles[str(path["subject"])] = {
+            "trace": str(path["trace"]),
+            "total": float(path["total"]),
+            "segments": segments,
+        }
+        if self.registry is None:
+            return
+        if self._h_wait is None:
+            self._h_wait = self.registry.histogram(
+                "repro_job_wait_seconds",
+                "Per-segment wait-time decomposition of completed jobs "
+                "(causal-trace critical path)",
+                ("segment",),
+                buckets=(
+                    10.0, 60.0, 300.0, 1800.0, 3600.0, 7200.0,
+                    21_600.0, 86_400.0,
+                ),
+            )
+        for segment, seconds in segments.items():
+            if seconds > 0.0:
+                self._h_wait.observe(
+                    seconds, exemplar=str(path["trace"]), segment=segment
+                )
+
+    def wait_decomposition(self) -> Dict[str, float]:
+        """Total seconds per wait segment over all recorded profiles."""
+        out: Dict[str, float] = {}
+        for profile in self.wait_profiles.values():
+            for segment, seconds in profile["segments"].items():
+                out[segment] = out.get(segment, 0.0) + seconds
+        return out
 
     # ------------------------------------------------------------------
     # Snapshot / restore (crash-safe simulations)
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, object]:
-        """Everything recorded so far, as plain JSON data."""
-        return {
+        """Everything recorded so far, as plain JSON data.
+
+        ``wait_profiles`` is written only when non-empty, so snapshots
+        of non-traced runs are byte-identical to pre-tracer ones.
+        """
+        out: Dict[str, object] = {
             "cycles": [s.to_dict() for s in self.cycles],
             "completions": [c.to_dict() for c in self.completions],
             "faults": self.faults.state_dict(),
         }
+        if self.wait_profiles:
+            out["wait_profiles"] = {
+                job_id: {
+                    "trace": profile["trace"],
+                    "total": profile["total"],
+                    "segments": dict(profile["segments"]),
+                }
+                for job_id, profile in self.wait_profiles.items()
+            }
+        return out
 
     def restore_state(self, data: Dict[str, object]) -> None:
         """Rebuild the recorded history from :meth:`state_dict` output.
@@ -452,6 +516,18 @@ class MetricsRecorder:
             JobCompletionRecord.from_dict(c) for c in data["completions"]
         ]
         self.faults.restore_state(data["faults"])
+        # ``.get``: snapshots from non-traced (or pre-tracer) runs
+        # simply lack the key.
+        self.wait_profiles = {
+            str(job_id): {
+                "trace": str(profile["trace"]),
+                "total": float(profile["total"]),
+                "segments": {
+                    k: float(v) for k, v in profile["segments"].items()
+                },
+            }
+            for job_id, profile in data.get("wait_profiles", {}).items()
+        }
 
     # ------------------------------------------------------------------
     # Figure 3: deadline satisfaction

@@ -177,6 +177,11 @@ class Reconciler:
         detected (and treated as a failure) when the timeout fires.
     stats:
         The metrics sink (``MetricsRecorder.faults``).
+    tracer:
+        Optional causal job tracer (``repro.obs.tracing.JobTracer``):
+        every state-machine step is mirrored as a ``reconcile-*`` trace
+        event on the affected application's trace.  Decisions are
+        unaffected either way.
     """
 
     def __init__(
@@ -185,6 +190,7 @@ class Reconciler:
         retry_policy: RetryPolicy,
         action_timeout: float,
         stats: ActionFaultStats,
+        tracer=None,
     ) -> None:
         if action_timeout <= 0:
             from repro.errors import ConfigurationError
@@ -196,6 +202,7 @@ class Reconciler:
         self._retry = retry_policy
         self._timeout = action_timeout
         self._stats = stats
+        self._tracer = tracer
         #: In-flight actions by app id (at most one per application).
         self.pending: Dict[str, PendingAction] = {}
 
@@ -222,6 +229,7 @@ class Reconciler:
         outcome = self._sampler.sample(pending.action, pending.target_node)
         if outcome.failed:
             self._stats.record_failure(name)
+            self._trace(pending, now, "fail", reason="fault")
             return self._after_failure(pending, now)
         if outcome.stalled:
             self._stats.record_stall(name)
@@ -229,28 +237,37 @@ class Reconciler:
                 # The action drags but completes before the supervisor
                 # loses patience: success with the stall as extra delay.
                 self._record_success(pending, now)
+                self._trace(
+                    pending, now, "commit", stall=round(outcome.stall_duration, 2)
+                )
                 return Directive(Decision.COMMIT, extra_delay=outcome.stall_duration)
             self.pending[pending.app_id] = pending
+            self._trace(
+                pending, now, "stall", timeout_at=round(now + self._timeout, 2)
+            )
             return Directive(Decision.STALL, at=now + self._timeout)
         self._record_success(pending, now)
+        self._trace(pending, now, "commit")
         return Directive(Decision.COMMIT)
 
     def on_stall_timeout(self, pending: PendingAction, now: float) -> Directive:
         """A stalled attempt exceeded the timeout: count the failure."""
         self._stats.record_failure(pending.action_name)
+        self._trace(pending, now, "fail", reason="stall-timeout")
         return self._after_failure(pending, now)
 
     def force_failure(self, pending: PendingAction, now: float) -> Directive:
         """An attempt sampled OK but could not be committed (for example
         the destination node died mid-flight): treat it as failed."""
         self._stats.record_failure(pending.action_name)
+        self._trace(pending, now, "fail", reason="forced")
         return self._after_failure(pending, now)
 
     def supersede(self, pending: PendingAction, now: float) -> None:
         """A new control cycle re-plans from the actual placement: any
         in-flight retry/stall for the old plan is cancelled."""
-        del now
         self._stats.record_superseded(pending.action_name)
+        self._trace(pending, now, "supersede")
         self.pending.pop(pending.app_id, None)
 
     # ------------------------------------------------------------------
@@ -260,11 +277,27 @@ class Reconciler:
         if pending.attempts >= self._retry.max_attempts:
             self._stats.record_abandon(pending.action_name)
             self.pending.pop(pending.app_id, None)
+            self._trace(pending, now, "abandon")
             return Directive(Decision.ABANDON)
         delay = self._retry.backoff(pending.attempts, self._sampler.rng)
         self._stats.record_retry(pending.action_name, backoff=delay)
         self.pending[pending.app_id] = pending
+        self._trace(pending, now, "retry", retry_at=round(now + delay, 2))
         return Directive(Decision.RETRY, at=now + delay)
+
+    def _trace(
+        self, pending: PendingAction, now: float, outcome: str, **detail: object
+    ) -> None:
+        if self._tracer is not None:
+            self._tracer.reconcile(
+                now,
+                pending.app_id,
+                outcome,
+                action=pending.action_name,
+                attempt=pending.attempts,
+                node=pending.target_node,
+                **detail,
+            )
 
     def _record_success(self, pending: PendingAction, now: float) -> None:
         lag = now - pending.issued_at if pending.attempts > 1 else 0.0

@@ -281,6 +281,7 @@ class MixedWorkloadSimulator:
         trace: Optional[SimulationTrace] = None,
         registry: Optional[MetricRegistry] = None,
         profiler: Optional[SpanProfiler] = None,
+        tracer=None,
     ) -> None:
         self._cluster = cluster
         self._policy = policy
@@ -296,6 +297,11 @@ class MixedWorkloadSimulator:
         #: the same profiler nests its ``apc.place`` phases beneath it.
         self.profiler = profiler
         self.trace = trace
+        #: Optional causal job tracer (``repro.obs.tracing.JobTracer``):
+        #: every job lifecycle event — arrival, directives, reconcile
+        #: outcomes, suspend/resume, completion — lands on the job's
+        #: trace.  ``None`` keeps the simulation byte-identical.
+        self.tracer = tracer
         self._state = PlacementState(cluster)
         #: Per running job: (allocated speed MHz, execution start time).
         self._speeds: Dict[str, float] = {}
@@ -374,6 +380,11 @@ class MixedWorkloadSimulator:
                         now, TraceEventKind.ARRIVAL, payload.job_id,
                         goal=round(payload.completion_goal, 1),
                     )
+                if self.tracer is not None:
+                    payload.trace_id = self.tracer.job_arrival(
+                        now, payload.job_id,
+                        goal=round(payload.completion_goal, 1),
+                    )
                 self._schedule_next_arrival(events, now)
             elif kind == _COMPLETION:
                 self._complete_job(payload, now)
@@ -434,6 +445,7 @@ class MixedWorkloadSimulator:
                 self._config.retry_policy,
                 self._config.action_timeout,
                 self.metrics.faults,
+                tracer=self.tracer,
             )
 
     def _bootstrap(self, events: EventQueue) -> None:
@@ -511,6 +523,7 @@ class MixedWorkloadSimulator:
             ),
             "metrics": self.metrics.state_dict(),
             "trace": None if self.trace is None else self.trace.state_dict(),
+            "tracer": None if self.tracer is None else self.tracer.state_dict(),
             "engine": self._events.snapshot_base(),
             "events": [self._encode_event(e) for e in self._events.dump_events()],
             "cycles_recorded": len(self.metrics.cycles),
@@ -569,6 +582,10 @@ class MixedWorkloadSimulator:
         trace_state = snapshot["trace"]
         if self.trace is not None and trace_state is not None:
             self.trace.restore_state(trace_state)
+        # ``.get``: pre-tracer snapshots simply lack the key.
+        tracer_state = snapshot.get("tracer")
+        if self.tracer is not None and tracer_state is not None:
+            self.tracer.restore_state(tracer_state)
         self._init_reconciler()
         self._init_alerts()
         rec_state = snapshot["reconciler"]
@@ -704,6 +721,26 @@ class MixedWorkloadSimulator:
                 met=job.met_deadline(),
                 distance=round(job.deadline_distance(), 1),
             )
+        if self.tracer is not None:
+            self.tracer.completion(
+                now, job_id,
+                met=job.met_deadline(),
+                distance=round(job.deadline_distance(), 1),
+            )
+            self._record_wait_profile(job_id)
+
+    def _record_wait_profile(self, job_id: str) -> None:
+        """Feed the completed job's wait-time decomposition into the
+        metrics recorder.  Skipped (never fatal) when the tracer's
+        capacity bound evicted part of the job's chain."""
+        from repro.errors import ConfigurationError
+        from repro.obs.tracing import critical_path
+
+        try:
+            path = critical_path(self.tracer.history_of(job_id))
+        except ConfigurationError:
+            return
+        self.metrics.record_wait_profile(path)
 
     def _advance_job(self, job: Job, now: float) -> None:
         """Credit work done since the job last ran."""
@@ -763,11 +800,23 @@ class MixedWorkloadSimulator:
                     job.node = None
                 else:
                     job.status = JobStatus.SUSPENDED
+                if self.tracer is not None:
+                    self.tracer.directive(
+                        now, app_id, "suspend",
+                        reason="node-failure", node=failure.node,
+                        lost_progress=failure.lose_progress,
+                    )
             elif job.status is JobStatus.SUSPENDED and failure.lose_progress:
                 if job.node == failure.node:
                     job.cpu_consumed = 0.0
                     job.status = JobStatus.NOT_STARTED
                     job.node = None
+                    if self.tracer is not None:
+                        self.tracer.directive(
+                            now, app_id, "suspend",
+                            reason="node-failure", node=failure.node,
+                            lost_progress=True,
+                        )
         node.available = False
         if self.trace is not None:
             self.trace.emit(
@@ -964,6 +1013,10 @@ class MixedWorkloadSimulator:
                             now, TraceEventKind.SUSPEND, job.job_id,
                             node=job.node,
                         )
+                    if self.tracer is not None:
+                        self.tracer.directive(
+                            now, job.job_id, "suspend", node=job.node
+                        )
                 continue
 
             primary = sorted(new_set)[0]
@@ -977,6 +1030,11 @@ class MixedWorkloadSimulator:
                         now, TraceEventKind.BOOT, job.job_id, node=primary,
                         delay=round(delays[job.job_id], 2),
                     )
+                if self.tracer is not None:
+                    self.tracer.directive(
+                        now, job.job_id, "boot", node=primary,
+                        delay=round(delays[job.job_id], 2),
+                    )
             elif job.status is JobStatus.SUSPENDED:
                 if job.node in new_set:
                     job.resume_count += 1
@@ -985,6 +1043,11 @@ class MixedWorkloadSimulator:
                         self.trace.emit(
                             now, TraceEventKind.RESUME, job.job_id,
                             node=job.node,
+                            delay=round(delays[job.job_id], 2),
+                        )
+                    if self.tracer is not None:
+                        self.tracer.directive(
+                            now, job.job_id, "resume", node=job.node,
                             delay=round(delays[job.job_id], 2),
                         )
                 else:
@@ -996,6 +1059,12 @@ class MixedWorkloadSimulator:
                     if self.trace is not None:
                         self.trace.emit(
                             now, TraceEventKind.MIGRATE, job.job_id,
+                            source=job.node, node=primary,
+                            delay=round(delays[job.job_id], 2),
+                        )
+                    if self.tracer is not None:
+                        self.tracer.directive(
+                            now, job.job_id, "migrate",
                             source=job.node, node=primary,
                             delay=round(delays[job.job_id], 2),
                         )
@@ -1015,6 +1084,12 @@ class MixedWorkloadSimulator:
                     if self.trace is not None:
                         self.trace.emit(
                             now, TraceEventKind.MIGRATE, job.job_id,
+                            source=sorted(old_set)[0], node=primary,
+                            delay=round(delays[job.job_id], 2),
+                        )
+                    if self.tracer is not None:
+                        self.tracer.directive(
+                            now, job.job_id, "migrate",
                             source=sorted(old_set)[0], node=primary,
                             delay=round(delays[job.job_id], 2),
                         )
@@ -1144,6 +1219,8 @@ class MixedWorkloadSimulator:
                 self.trace.emit(
                     now, TraceEventKind.SUSPEND, job.job_id, node=job.node
                 )
+            if self.tracer is not None:
+                self.tracer.directive(now, job.job_id, "suspend", node=job.node)
             return
         primary = pending.primary_node
         delays[job.job_id] = delay
@@ -1156,12 +1233,21 @@ class MixedWorkloadSimulator:
                     now, TraceEventKind.BOOT, job.job_id, node=primary,
                     delay=round(delay, 2),
                 )
+            if self.tracer is not None:
+                self.tracer.directive(
+                    now, job.job_id, "boot", node=primary, delay=round(delay, 2)
+                )
         elif action is ActionType.RESUME:
             job.resume_count += 1
             job.status = JobStatus.RUNNING
             if self.trace is not None:
                 self.trace.emit(
                     now, TraceEventKind.RESUME, job.job_id, node=job.node,
+                    delay=round(delay, 2),
+                )
+            if self.tracer is not None:
+                self.tracer.directive(
+                    now, job.job_id, "resume", node=job.node,
                     delay=round(delay, 2),
                 )
         elif pending.prior_status is JobStatus.SUSPENDED:
@@ -1173,19 +1259,30 @@ class MixedWorkloadSimulator:
                     now, TraceEventKind.MIGRATE, job.job_id,
                     source=job.node, node=primary, delay=round(delay, 2),
                 )
+            if self.tracer is not None:
+                self.tracer.directive(
+                    now, job.job_id, "migrate",
+                    source=job.node, node=primary, delay=round(delay, 2),
+                )
             job.node = primary
         else:
             # Live migration of a running instance.
             job.migration_count += 1
-            if self.trace is not None:
+            if self.trace is not None or self.tracer is not None:
                 source = (
                     sorted(pending.prior_nodes)[0]
                     if pending.prior_nodes else job.node
                 )
-                self.trace.emit(
-                    now, TraceEventKind.MIGRATE, job.job_id,
-                    source=source, node=primary, delay=round(delay, 2),
-                )
+                if self.trace is not None:
+                    self.trace.emit(
+                        now, TraceEventKind.MIGRATE, job.job_id,
+                        source=source, node=primary, delay=round(delay, 2),
+                    )
+                if self.tracer is not None:
+                    self.tracer.directive(
+                        now, job.job_id, "migrate",
+                        source=source, node=primary, delay=round(delay, 2),
+                    )
             if job.node not in pending.dest_nodes:
                 job.node = primary
 
@@ -1231,6 +1328,11 @@ class MixedWorkloadSimulator:
                 if self.trace is not None:
                     self.trace.emit(
                         now, TraceEventKind.SUSPEND, app_id,
+                        node=pending.prior_node_attr, reason="fallback-lost",
+                    )
+                if self.tracer is not None:
+                    self.tracer.directive(
+                        now, app_id, "suspend",
                         node=pending.prior_node_attr, reason="fallback-lost",
                     )
             return False

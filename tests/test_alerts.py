@@ -235,7 +235,7 @@ class TestEngineLifecycle:
                            node_below_goal_txn={"n1": ["TX"]}))
         assert engine.active_keys() == ["node_overload:n1"]
 
-    def test_transitions_stream_as_v4_records(self):
+    def test_transitions_stream_as_current_schema_records(self):
         buf = io.StringIO()
         sink = JsonlSink(buf)
         engine = AlertEngine(
@@ -251,7 +251,7 @@ class TestEngineLifecycle:
         assert [r["type"] for r in records] == [
             "alert_fired", "alert_resolved",
         ]
-        assert all(r["v"] == SCHEMA_VERSION == 4 for r in records)
+        assert all(r["v"] == SCHEMA_VERSION == 5 for r in records)
         assert records[1]["duration"] == pytest.approx(300.0)
 
     def test_registry_publication(self):

@@ -349,7 +349,7 @@ def _audit_record(rtype, **overrides):
 
 class TestSchemaV3:
     def test_current_version_is_four(self):
-        assert SCHEMA_VERSION == 4
+        assert SCHEMA_VERSION == 5
         assert MIN_AUDIT_SCHEMA_VERSION == 3
 
     def test_all_audit_record_types_validate(self):

@@ -246,7 +246,7 @@ class TestFaultExport:
         recorder = MetricsRecorder()
         recorder.faults = self._stats_with_activity()
         doc = json.loads(metrics_to_json(recorder))
-        assert SCHEMA_VERSION == 4
+        assert SCHEMA_VERSION == 5
         assert doc["schema_version"] == SCHEMA_VERSION
         assert "sla" in doc  # v3 SLA-attainment section
         assert doc["faults"]["attempts"] == {"suspend": 2, "migrate": 1}

@@ -67,8 +67,8 @@ class TestHeartbeatFeed:
         records = read_heartbeats(str(run_dir))
         assert records  # every worker wrote liveness records
         for record in records:
-            validate_record(record)  # v4 stream schema
-            assert record["v"] == SCHEMA_VERSION == 4
+            validate_record(record)  # v5 stream schema
+            assert record["v"] == SCHEMA_VERSION == 5
         statuses = {r["status"] for r in records}
         assert {"start", "ok"} <= statuses
         assert {r["index"] for r in records} == {0, 1}
